@@ -1,0 +1,113 @@
+// Command dagstat inspects a Specializing DAG snapshot written by
+// cmd/specdag -save: structural statistics, per-issuer activity, heaviest
+// transactions by cumulative weight, and optional Graphviz export.
+//
+//	specdag -dataset fmnist -rounds 30 -save tangle.sdg
+//	dagstat -in tangle.sdg
+//	dagstat -in tangle.sdg -top 5 -dot tangle.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/specdag/specdag/internal/dag"
+	"github.com/specdag/specdag/internal/graphx"
+	"github.com/specdag/specdag/internal/metrics"
+	"github.com/specdag/specdag/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dagstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in      = flag.String("in", "", "snapshot file written by specdag -save (required)")
+		top     = flag.Int("top", 10, "show the N heaviest transactions")
+		dotFile = flag.String("dot", "", "write Graphviz output to this file")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		return fmt.Errorf("missing -in")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := dag.ReadDAG(f)
+	if err != nil {
+		return err
+	}
+
+	stats := d.Stats()
+	fmt.Printf("snapshot: %s\n", *in)
+	fmt.Printf("transactions: %d  tips: %d  max depth: %d\n", stats.Transactions, stats.Tips, stats.MaxDepth)
+
+	// Per-issuer activity.
+	published := map[int]int{}
+	poisoned := 0
+	var paramDim int
+	for _, tx := range d.All() {
+		if tx.IsGenesis() {
+			paramDim = len(tx.Params)
+			continue
+		}
+		published[tx.Issuer]++
+		if tx.Meta.Poisoned {
+			poisoned++
+		}
+	}
+	fmt.Printf("model parameters per transaction: %d\n", paramDim)
+	fmt.Printf("publishing clients: %d  poisoned transactions: %d\n", len(published), poisoned)
+
+	// Community structure of the client graph.
+	g := metrics.BuildClientGraph(d)
+	if g.NumNodes() > 0 {
+		part := graphx.Louvain(g, xrand.New(1))
+		fmt.Printf("G_clients: %d nodes, %d communities, modularity %.3f\n",
+			g.NumNodes(), graphx.NumCommunities(part), graphx.Modularity(g, part))
+	}
+
+	// Heaviest transactions (classic cumulative weight).
+	weights := d.CumulativeWeights()
+	type row struct {
+		id dag.ID
+		w  int
+	}
+	rows := make([]row, 0, len(weights))
+	for id, w := range weights {
+		rows = append(rows, row{id, w})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].w != rows[j].w {
+			return rows[i].w > rows[j].w
+		}
+		return rows[i].id < rows[j].id
+	})
+	if *top > len(rows) {
+		*top = len(rows)
+	}
+	fmt.Printf("\nheaviest %d transactions (cumulative weight):\n", *top)
+	fmt.Println("  id | weight | issuer | round | test acc")
+	for _, r := range rows[:*top] {
+		tx := d.MustGet(r.id)
+		fmt.Printf("%4d | %6d | %6d | %5d | %.3f\n", tx.ID, r.w, tx.Issuer, tx.Round, tx.Meta.TestAcc)
+	}
+
+	if *dotFile != "" {
+		if err := os.WriteFile(*dotFile, []byte(d.DOT()), 0o644); err != nil {
+			return fmt.Errorf("writing DOT file: %w", err)
+		}
+		fmt.Printf("\nwrote Graphviz output to %s\n", *dotFile)
+	}
+	return nil
+}

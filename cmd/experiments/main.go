@@ -1,0 +1,163 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§5) as markdown tables on stdout.
+//
+//	experiments -exp all            # everything, quick scale
+//	experiments -exp table2 -full   # one experiment at paper scale
+//	experiments -exp fig12          # poisoning curves (fig12 == fig13 runs)
+//
+// Experiment IDs: table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+// fig13 fig14 fig15 ablations all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/specdag/specdag/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp  = flag.String("exp", "all", "experiment id (table1, table2, fig5..fig15, ablations, all)")
+		full = flag.Bool("full", false, "paper-scale runs (100 rounds, full federations)")
+		seed = flag.Int64("seed", 42, "root random seed")
+	)
+	flag.Parse()
+
+	preset := sim.Quick
+	if *full {
+		preset = sim.Full
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9",
+			"fig10", "fig12", "fig14", "fig15", "ablations", "gossip", "visibility"}
+		// fig11 shares runs with fig10; fig13 with fig12.
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		out, err := runOne(strings.TrimSpace(id), preset, *seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(out)
+		fmt.Printf("(%s completed in %v at %s scale)\n\n", id, time.Since(start).Round(time.Millisecond), preset)
+	}
+	return nil
+}
+
+func runOne(id string, preset sim.Preset, seed int64) (string, error) {
+	switch id {
+	case "table1":
+		return sim.Table1(), nil
+	case "table2":
+		rows, err := sim.Table2(preset, seed)
+		if err != nil {
+			return "", err
+		}
+		return sim.RenderTable2(rows), nil
+	case "fig5":
+		res, err := sim.Figure5(preset, seed)
+		if err != nil {
+			return "", err
+		}
+		return sim.RenderFig5(res), nil
+	case "fig6":
+		curves, err := sim.Figure6(preset, seed)
+		if err != nil {
+			return "", err
+		}
+		return sim.RenderCurves("Figure 6: accuracy by alpha (standard normalization)", curves), nil
+	case "fig7":
+		res, err := sim.Figure7(preset, seed)
+		if err != nil {
+			return "", err
+		}
+		return sim.RenderFig7(res), nil
+	case "fig8":
+		curves, err := sim.Figure8(preset, seed)
+		if err != nil {
+			return "", err
+		}
+		return sim.RenderCurves("Figure 8: accuracy by alpha (relaxed clusters)", curves), nil
+	case "fig9":
+		res, err := sim.Figure9(preset, seed)
+		if err != nil {
+			return "", err
+		}
+		return sim.RenderFig9(res), nil
+	case "fig10", "fig11":
+		curves, err := sim.Figure10And11(preset, seed)
+		if err != nil {
+			return "", err
+		}
+		return sim.RenderFig1011(curves), nil
+	case "fig12", "fig13":
+		curves, err := sim.Figure12And13(preset, seed)
+		if err != nil {
+			return "", err
+		}
+		return sim.RenderPoison(curves), nil
+	case "fig14":
+		res, err := sim.Figure14(preset, seed)
+		if err != nil {
+			return "", err
+		}
+		return sim.RenderFig14(res), nil
+	case "fig15":
+		curves, err := sim.Figure15(preset, seed)
+		if err != nil {
+			return "", err
+		}
+		return sim.RenderFig15(curves), nil
+	case "visibility":
+		rows, err := sim.VisibilitySweep(preset, seed)
+		if err != nil {
+			return "", err
+		}
+		return sim.RenderAblation("reveal delay (non-ideal broadcast)", rows), nil
+	case "gossip":
+		curves, err := sim.GossipComparison(preset, seed)
+		if err != nil {
+			return "", err
+		}
+		return "### Extension: gossip learning vs FedAvg vs DAG (FMNIST-clustered)\n\n" +
+			sim.RenderFig1011(curves), nil
+	case "ablations":
+		var b strings.Builder
+		type abl struct {
+			name string
+			run  func(sim.Preset, int64) ([]sim.AblationRow, error)
+		}
+		for _, a := range []abl{
+			{"normalization (alpha=1)", sim.AblationNormalization},
+			{"publish gate", sim.AblationPublishGate},
+			{"walk entry depth", sim.AblationWalkDepth},
+			{"reference walks", sim.AblationReferenceWalks},
+			{"selector family", sim.AblationSelectors},
+			{"partial layer sharing", sim.AblationPartialSharing},
+		} {
+			rows, err := a.run(preset, seed)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(sim.RenderAblation(a.name, rows))
+			b.WriteString("\n")
+		}
+		return b.String(), nil
+	default:
+		return "", fmt.Errorf("unknown experiment %q", id)
+	}
+}

@@ -1,0 +1,177 @@
+// Command specdag runs a single Specializing DAG simulation with
+// configurable dataset, tip selector, and poisoning scenario, printing
+// per-round progress and the final specialization metrics.
+//
+// Examples:
+//
+//	specdag -dataset fmnist -alpha 10 -rounds 50
+//	specdag -dataset poets -alpha 1 -norm dynamic
+//	specdag -dataset fmnist-bywriter -poison-fraction 0.2 -poison-start 20
+//	specdag -dataset fmnist -selector urts -dot tangle.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/specdag/specdag/internal/core"
+	"github.com/specdag/specdag/internal/graphx"
+	"github.com/specdag/specdag/internal/metrics"
+	"github.com/specdag/specdag/internal/sim"
+	"github.com/specdag/specdag/internal/tipselect"
+	"github.com/specdag/specdag/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "specdag:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		datasetName    = flag.String("dataset", "fmnist", "dataset: fmnist | fmnist-relaxed | fmnist-bywriter | poets | cifar100 | fedprox")
+		alpha          = flag.Float64("alpha", 10, "specialization parameter of the accuracy walk")
+		norm           = flag.String("norm", "standard", "walk-weight normalization: standard | dynamic")
+		selector       = flag.String("selector", "accuracy", "tip selector: accuracy | weighted | urts | uniform")
+		rounds         = flag.Int("rounds", 0, "training rounds (0 = preset default)")
+		perRound       = flag.Int("clients-per-round", 0, "active clients per round (0 = preset default)")
+		full           = flag.Bool("full", false, "use paper-scale federation sizes")
+		seed           = flag.Int64("seed", 42, "root random seed")
+		poisonFraction = flag.Float64("poison-fraction", 0, "fraction of clients with flipped labels (3<->8)")
+		poisonStart    = flag.Int("poison-start", 0, "round at which poisoning begins")
+		every          = flag.Int("progress-every", 5, "print progress every N rounds")
+		dotFile        = flag.String("dot", "", "write the final DAG in Graphviz format to this file")
+		saveFile       = flag.String("save", "", "write the final DAG as a binary snapshot (inspect with dagstat)")
+	)
+	flag.Parse()
+
+	preset := sim.Quick
+	if *full {
+		preset = sim.Full
+	}
+
+	var spec sim.Spec
+	switch *datasetName {
+	case "fmnist":
+		spec = sim.FMNISTSpec(preset, *seed)
+	case "fmnist-relaxed":
+		spec = sim.RelaxedFMNISTSpec(preset, *seed)
+	case "fmnist-bywriter":
+		spec = sim.ByWriterFMNISTSpec(preset, *seed)
+	case "poets":
+		spec = sim.PoetsSpec(preset, *seed)
+	case "cifar100":
+		spec = sim.CIFARSpec(preset, *seed)
+	case "fedprox":
+		spec = sim.FedProxSpec(preset, *seed)
+	default:
+		return fmt.Errorf("unknown dataset %q", *datasetName)
+	}
+
+	var normalization tipselect.Normalization
+	switch *norm {
+	case "standard":
+		normalization = tipselect.NormStandard
+	case "dynamic":
+		normalization = tipselect.NormDynamic
+	default:
+		return fmt.Errorf("unknown normalization %q", *norm)
+	}
+
+	var sel tipselect.Selector
+	switch *selector {
+	case "accuracy":
+		sel = tipselect.AccuracyWalk{Alpha: *alpha, Norm: normalization}
+	case "weighted":
+		sel = tipselect.WeightedWalk{Alpha: *alpha}
+	case "urts":
+		sel = tipselect.URTS{}
+	case "uniform":
+		sel = tipselect.UniformWalk{}
+	default:
+		return fmt.Errorf("unknown selector %q", *selector)
+	}
+
+	cfg := spec.DAGConfig(preset, sel, *seed)
+	if *rounds > 0 {
+		cfg.Rounds = *rounds
+	}
+	if *perRound > 0 {
+		cfg.ClientsPerRound = *perRound
+	}
+	if *poisonFraction > 0 {
+		cfg.Poison = core.PoisonConfig{
+			Fraction:   *poisonFraction,
+			FlipA:      3,
+			FlipB:      8,
+			StartRound: *poisonStart,
+			Track:      true,
+		}
+	}
+
+	fmt.Printf("dataset=%s clients=%d clusters=%d selector=%s rounds=%d clients/round=%d seed=%d\n",
+		spec.Name, len(spec.Fed.Clients), spec.Fed.NumClusters, sel.Name(), cfg.Rounds, cfg.ClientsPerRound, *seed)
+
+	s, err := core.NewSimulation(spec.Fed, cfg)
+	if err != nil {
+		return err
+	}
+	for r := 0; r < cfg.Rounds; r++ {
+		rr := s.RunRound()
+		if (r+1)%*every == 0 || r == cfg.Rounds-1 {
+			published := 0
+			for _, p := range rr.Published {
+				if p {
+					published++
+				}
+			}
+			line := fmt.Sprintf("round %3d  acc %.3f  loss %.3f  published %d/%d  dag %d",
+				r+1, rr.MeanTrainedAcc(), rr.MeanTrainedLoss(), published, len(rr.Active), s.DAG().Size())
+			if cfg.Poison.Enabled() && r >= cfg.Poison.StartRound {
+				line += fmt.Sprintf("  flipped %.1f%%", 100*rr.MeanFlippedFrac())
+			}
+			fmt.Println(line)
+		}
+	}
+
+	fmt.Println()
+	stats := s.DAG().Stats()
+	fmt.Printf("final DAG: %d transactions, %d tips, max depth %d\n", stats.Transactions, stats.Tips, stats.MaxDepth)
+	pureness := metrics.ApprovalPureness(s.DAG(), spec.Fed.ClusterOf())
+	fmt.Printf("approval pureness: %.3f (random base %.3f)\n", pureness, spec.Fed.BasePureness())
+
+	g := metrics.BuildClientGraph(s.DAG())
+	part := graphx.Louvain(g, xrand.New(*seed+1))
+	fmt.Printf("G_clients: %d nodes, modularity %.3f, %d communities, misclassification %.3f\n",
+		g.NumNodes(), graphx.Modularity(g, part), graphx.NumCommunities(part),
+		metrics.Misclassification(part, spec.Fed.ClusterOf()))
+
+	if n := len(s.PoisonedClients()); n > 0 {
+		fmt.Printf("poisoned clients: %d\n", n)
+	}
+
+	if *dotFile != "" {
+		if err := os.WriteFile(*dotFile, []byte(s.DAG().DOT()), 0o644); err != nil {
+			return fmt.Errorf("writing DOT file: %w", err)
+		}
+		fmt.Printf("wrote DAG to %s\n", *dotFile)
+	}
+	if *saveFile != "" {
+		f, err := os.Create(*saveFile)
+		if err != nil {
+			return fmt.Errorf("creating snapshot: %w", err)
+		}
+		n, err := s.DAG().WriteTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing snapshot: %w", err)
+		}
+		fmt.Printf("wrote %d-byte snapshot to %s\n", n, *saveFile)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+// Fedcompare: compare the Specializing DAG against the centralized FedAvg
+// and FedProx baselines on the FedProx synthetic dataset (paper §5.3.3,
+// Figs. 10 & 11).
+//
+// Synthetic(0.5, 0.5) gives every client a different local optimum, which
+// punishes a single global model. The DAG accommodates the heterogeneity
+// without any central server.
+//
+//	go run ./examples/fedcompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	specdag "github.com/specdag/specdag"
+)
+
+const (
+	rounds          = 30
+	clientsPerRound = 10
+)
+
+func main() {
+	fed := specdag.FedProxSynthetic(specdag.FedProxConfig{
+		Clients:    30,
+		MaxSamples: 300,
+		Seed:       21,
+	})
+	arch := specdag.Arch{In: fed.InputDim, Out: fed.NumClasses} // softmax regression, as in FedProx
+	local := specdag.SGDConfig{LR: 0.05, Epochs: 2, BatchSize: 10}
+
+	fedAvg := runCentralized(fed, arch, local, 0)
+	fedProx := runCentralized(fed, arch, local, 1.0)
+	dagAcc, dagLoss := runDAG(fed, arch, local)
+
+	fmt.Println("round | FedAvg acc/loss | FedProx acc/loss | DAG acc/loss")
+	fmt.Println("------|-----------------|------------------|-------------")
+	for r := 0; r < rounds; r += 5 {
+		fmt.Printf("%5d | %.3f / %.3f   | %.3f / %.3f    | %.3f / %.3f\n",
+			r+1,
+			fedAvg.MeanAccs()[r], fedAvg.MeanLosses()[r],
+			fedProx.MeanAccs()[r], fedProx.MeanLosses()[r],
+			dagAcc[r], dagLoss[r])
+	}
+
+	tailMean := func(xs []float64) float64 {
+		s := 0.0
+		for _, v := range xs[len(xs)-5:] {
+			s += v
+		}
+		return s / 5
+	}
+	fmt.Printf("\nfinal (last-5-round mean) accuracy:  FedAvg %.3f | FedProx %.3f | DAG %.3f\n",
+		tailMean(fedAvg.MeanAccs()), tailMean(fedProx.MeanAccs()), tailMean(dagAcc))
+	fmt.Printf("final (last-5-round mean) loss:      FedAvg %.3f | FedProx %.3f | DAG %.3f\n",
+		tailMean(fedAvg.MeanLosses()), tailMean(fedProx.MeanLosses()), tailMean(dagLoss))
+	fmt.Println("\nPer the paper: the DAG's specialized local models eventually beat the")
+	fmt.Println("FedAvg global model and approach FedProx — with no central server.")
+}
+
+func runCentralized(fed *specdag.Federation, arch specdag.Arch, local specdag.SGDConfig, proxMu float64) *specdag.FedResult {
+	res, err := specdag.RunFederated(fed, specdag.FedConfig{
+		Rounds:          rounds,
+		ClientsPerRound: clientsPerRound,
+		Local:           local,
+		ProxMu:          proxMu,
+		Arch:            arch,
+		Seed:            22,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func runDAG(fed *specdag.Federation, arch specdag.Arch, local specdag.SGDConfig) (accs, losses []float64) {
+	sim, err := specdag.NewSimulation(fed, specdag.Config{
+		Rounds:          rounds,
+		ClientsPerRound: clientsPerRound,
+		Local:           local,
+		Arch:            arch,
+		Selector:        specdag.AccuracyWalk{Alpha: 10},
+		Seed:            23,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for r := 0; r < rounds; r++ {
+		rr := sim.RunRound()
+		accs = append(accs, rr.MeanTrainedAcc())
+		losses = append(losses, rr.MeanTrainedLoss())
+	}
+	return accs, losses
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"github.com/specdag/specdag/internal/dag"
+	"github.com/specdag/specdag/internal/dataset"
+	"github.com/specdag/specdag/internal/nn"
+	"github.com/specdag/specdag/internal/tipselect"
+	"github.com/specdag/specdag/internal/xrand"
+)
+
+// AsyncConfig parameterizes the event-driven simulation of the Specializing
+// DAG. The paper introduces discrete rounds only to compare against
+// centralized baselines (§5.3.3): "in a distributed implementation, each
+// client continuously runs the training process as often as its resources
+// permit, independent from all other clients". This simulator models exactly
+// that — heterogeneous per-client cycle times and a network propagation
+// delay — and demonstrates the no-stragglers property.
+type AsyncConfig struct {
+	// Duration is the simulated time horizon in seconds.
+	Duration float64
+	// MinCycle/MaxCycle bound the per-client training cycle time in
+	// seconds. Each client draws a fixed cycle time uniformly from this
+	// interval, so some clients are persistently slow (stragglers).
+	MinCycle float64
+	MaxCycle float64
+	// NetworkDelay is the simulated broadcast delay in seconds before a
+	// published transaction becomes visible to other clients.
+	NetworkDelay float64
+	// Local, Arch, Selector, ReferenceWalks as in Config.
+	Local          nn.SGDConfig
+	Arch           nn.Arch
+	Selector       tipselect.Selector
+	ReferenceWalks int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c AsyncConfig) Validate() error {
+	if c.Duration <= 0 {
+		return fmt.Errorf("core: Duration must be positive, got %v", c.Duration)
+	}
+	if c.MinCycle <= 0 || c.MaxCycle < c.MinCycle {
+		return fmt.Errorf("core: need 0 < MinCycle <= MaxCycle, got [%v, %v]", c.MinCycle, c.MaxCycle)
+	}
+	if c.NetworkDelay < 0 {
+		return fmt.Errorf("core: NetworkDelay must be >= 0, got %v", c.NetworkDelay)
+	}
+	return c.Arch.Validate()
+}
+
+// AsyncClientStats summarizes one client's activity in an async run.
+type AsyncClientStats struct {
+	ID        int
+	CycleTime float64 // the client's fixed cycle time in simulated seconds
+	Cycles    int     // completed train-publish cycles
+	Published int     // cycles that passed the publish gate
+	FinalAcc  float64 // trained-model accuracy at the last cycle
+}
+
+// AsyncResult is the outcome of an event-driven run.
+type AsyncResult struct {
+	SimulatedTime float64
+	Transactions  int
+	Clients       []AsyncClientStats
+}
+
+// event is one scheduled client activation.
+type event struct {
+	at     float64
+	seq    int // tie-breaker for determinism
+	client int // index into clients
+}
+
+// eventQueue is a min-heap of events ordered by time then sequence.
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// pendingTxAsync is a published transaction awaiting network propagation.
+type pendingTxAsync struct {
+	visibleAt float64
+	issuer    int
+	parents   []dag.ID
+	params    []float64
+	meta      dag.Meta
+}
+
+// RunAsync executes the event-driven simulation and returns per-client
+// statistics. The DAG a client observes at time t contains exactly the
+// transactions published before t − NetworkDelay (plus its own).
+func RunAsync(fed *dataset.Federation, cfg AsyncConfig) (*AsyncResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := fed.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Selector == nil {
+		cfg.Selector = tipselect.AccuracyWalk{Alpha: 10}
+	}
+	if cfg.ReferenceWalks <= 0 {
+		cfg.ReferenceWalks = 1
+	}
+
+	root := xrand.New(cfg.Seed)
+	genesis := nn.New(cfg.Arch, root.Split("genesis"))
+	tangle := dag.New(genesis.ParamsCopy())
+
+	type asyncClient struct {
+		*client
+		cycleTime float64
+		stats     AsyncClientStats
+	}
+
+	clients := make([]*asyncClient, 0, len(fed.Clients))
+	var queue eventQueue
+	seq := 0
+	for i, fc := range fed.Clients {
+		c := &asyncClient{client: &client{
+			id:      fc.ID,
+			cluster: fc.Cluster,
+			model:   genesis.Clone(),
+		}}
+		c.trainX, c.trainY = fc.Train.XY()
+		c.testX, c.testY = fc.Test.XY()
+		c.origTestY = append([]int(nil), c.testY...)
+		crng := root.SplitIndex("async-client", fc.ID)
+		c.eval = tipselect.NewMemoEvaluator(func(params []float64) float64 {
+			_, acc := c.scoreParams(params)
+			return acc
+		})
+		c.cycleTime = cfg.MinCycle + crng.Float64()*(cfg.MaxCycle-cfg.MinCycle)
+		c.stats = AsyncClientStats{ID: fc.ID, CycleTime: c.cycleTime}
+		clients = append(clients, c)
+		// Desynchronized start: the first activation happens within one
+		// cycle time.
+		heap.Push(&queue, event{at: crng.Float64() * c.cycleTime, seq: seq, client: i})
+		seq++
+	}
+
+	var pending []pendingTxAsync
+	flush := func(now float64) {
+		kept := pending[:0]
+		for _, p := range pending {
+			if p.visibleAt <= now {
+				if _, err := tangle.Add(p.issuer, int(p.visibleAt), p.parents, p.params, p.meta); err != nil {
+					panic(fmt.Sprintf("core: async publish failed: %v", err))
+				}
+			} else {
+				kept = append(kept, p)
+			}
+		}
+		pending = kept
+	}
+
+	trainCfg := cfg.Local
+	trainCfg.Shuffle = true
+
+	for queue.Len() > 0 {
+		ev := heap.Pop(&queue).(event)
+		if ev.at > cfg.Duration {
+			break
+		}
+		flush(ev.at)
+		c := clients[ev.client]
+		crng := root.SplitIndex("async-event", ev.seq)
+
+		tips, _ := tipselect.SelectTips(cfg.Selector, tangle, c.eval, crng, 2)
+		refParams := tips[0].Params
+		if cfg.ReferenceWalks >= 1 {
+			refTx, _ := cfg.Selector.SelectTip(tangle, c.eval, crng)
+			refParams = refTx.Params
+		}
+
+		avg := nn.AverageParams(tips[0].Params, tips[1].Params)
+		c.model.SetParams(avg)
+		c.model.Train(c.trainX, c.trainY, trainCfg, crng.Split("train"))
+		trainedLoss, trainedAcc := c.model.Evaluate(c.testX, c.testY)
+		refLoss, refAcc := c.scoreParams(refParams)
+
+		c.stats.Cycles++
+		c.stats.FinalAcc = trainedAcc
+		if trainedAcc > refAcc || (trainedAcc == refAcc && trainedLoss <= refLoss) {
+			c.stats.Published++
+			pending = append(pending, pendingTxAsync{
+				visibleAt: ev.at + cfg.NetworkDelay,
+				issuer:    c.id,
+				parents:   []dag.ID{tips[0].ID, tips[1].ID},
+				params:    c.model.ParamsCopy(),
+				meta:      dag.Meta{TestAcc: trainedAcc},
+			})
+		}
+
+		next := ev.at + c.cycleTime
+		if next <= cfg.Duration {
+			heap.Push(&queue, event{at: next, seq: seq, client: ev.client})
+			seq++
+		}
+	}
+	flush(cfg.Duration + cfg.NetworkDelay)
+
+	res := &AsyncResult{SimulatedTime: cfg.Duration, Transactions: tangle.Size()}
+	for _, c := range clients {
+		res.Clients = append(res.Clients, c.stats)
+	}
+	sort.Slice(res.Clients, func(i, j int) bool { return res.Clients[i].ID < res.Clients[j].ID })
+	return res, nil
+}

@@ -1,0 +1,586 @@
+// Package core implements the paper's primary contribution: the
+// Specializing DAG — fully decentralized federated learning over a tangle of
+// model updates with accuracy-aware tip selection (§4).
+//
+// Each training step of a client runs the four-phase loop of Fig. 1:
+//
+//  1. biased random walk: select two tips whose models perform well on the
+//     client's local test data;
+//  2. average the two tip models;
+//  3. train the averaged model on local data;
+//  4. publish the result as a new transaction approving the two tips — but
+//     only if it beats the client's current consensus reference model.
+//
+// The simulation proceeds in discrete rounds like the paper's prototype
+// (§5.3): every round a subset of clients is activated, all of them observe
+// the DAG state from the start of the round (so their publishes are
+// concurrent, which is what gives the tangle its width), and their new
+// transactions are appended at the end of the round.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/specdag/specdag/internal/dag"
+	"github.com/specdag/specdag/internal/dataset"
+	"github.com/specdag/specdag/internal/nn"
+	"github.com/specdag/specdag/internal/tipselect"
+	"github.com/specdag/specdag/internal/xrand"
+)
+
+// PoisonConfig describes the flipped-label attack scenario of §4.4/§5.3.4:
+// an attacker manipulates the dataset (train *and* test) of a fraction of
+// clients by swapping two labels. Poisoned clients are unaware and keep
+// participating normally.
+type PoisonConfig struct {
+	// Fraction of clients whose labels get flipped (paper: 0, 0.2, 0.3).
+	Fraction float64
+	// FlipA/FlipB are the swapped labels (paper: 3 and 8).
+	FlipA, FlipB int
+	// StartRound is the round at which the attack begins (paper: 100
+	// clean rounds first).
+	StartRound int
+	// Track enables flipped-prediction measurement even when Fraction is 0
+	// (the p=0.0 baseline of Fig. 12).
+	Track bool
+	// RandomAttackers, when positive, additionally injects that many
+	// attacker "clients" per round that publish random model weights
+	// approving random tips — the first attack type of the threat model
+	// (§4.4). They do not train and are tracked as poisoned transactions.
+	RandomAttackers int
+}
+
+// Enabled reports whether any poisoning bookkeeping is needed.
+func (p PoisonConfig) Enabled() bool {
+	return p.Track || p.Fraction > 0 || p.RandomAttackers > 0
+}
+
+// Config parameterizes a Specializing DAG simulation.
+type Config struct {
+	// Rounds and ClientsPerRound follow Table 1 (100 rounds, 10 clients).
+	Rounds          int
+	ClientsPerRound int
+	// Local is the client-side SGD configuration (Table 1).
+	Local nn.SGDConfig
+	// Arch is the model architecture; the genesis transaction carries a
+	// randomly initialized model of this shape.
+	Arch nn.Arch
+	// Selector is the tip-selection strategy. Nil defaults to the paper's
+	// accuracy walk with α=10 and standard normalization.
+	Selector tipselect.Selector
+	// ReferenceWalks is the number of walks used to obtain the consensus
+	// reference model (averaged if > 1). Default 1.
+	ReferenceWalks int
+	// DisablePublishGate publishes every trained model, even if it does not
+	// beat the reference (ablation; the paper always gates).
+	DisablePublishGate bool
+	// SharedLayers, when in (0, NumLayers), enables partial-layer sharing —
+	// the personalization extension named in the paper's conclusion
+	// ("training only some layers of the machine learning model"): only the
+	// first SharedLayers dense layers of the two selected tip models are
+	// averaged; the remaining layers (the "head") are carried over from the
+	// client's own previous model, making them persistently personal.
+	// 0 (default) shares the whole model as in the paper's evaluation.
+	SharedLayers int
+	// DisableEvalMemo turns off per-client accuracy memoization so every
+	// walk re-evaluates children, matching the cost profile of the paper's
+	// prototype (used by the Fig. 15 scalability experiment).
+	DisableEvalMemo bool
+	// MeasureWalkTime records wall-clock durations of each client's walks.
+	MeasureWalkTime bool
+	// RevealDelay, when positive, models non-ideal transaction
+	// dissemination (relaxing the ideal-broadcast assumption of §5.3.5):
+	// a transaction published in round r becomes visible to other clients
+	// only from round r+RevealDelay on. Publishers always see their own
+	// transactions immediately. 0 (default) is the paper's ideal broadcast.
+	RevealDelay int
+	// Poison configures the attack scenario (zero value: no attack).
+	Poison PoisonConfig
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Rounds <= 0 {
+		return fmt.Errorf("core: Rounds must be positive, got %d", c.Rounds)
+	}
+	if c.ClientsPerRound <= 0 {
+		return fmt.Errorf("core: ClientsPerRound must be positive, got %d", c.ClientsPerRound)
+	}
+	if err := c.Arch.Validate(); err != nil {
+		return err
+	}
+	if c.ReferenceWalks < 0 {
+		return fmt.Errorf("core: ReferenceWalks must be >= 0, got %d", c.ReferenceWalks)
+	}
+	if c.SharedLayers < 0 || c.SharedLayers > c.Arch.NumLayers() {
+		return fmt.Errorf("core: SharedLayers %d outside [0, %d]", c.SharedLayers, c.Arch.NumLayers())
+	}
+	if c.RevealDelay < 0 {
+		return fmt.Errorf("core: RevealDelay must be >= 0, got %d", c.RevealDelay)
+	}
+	if p := c.Poison; p.Fraction < 0 || p.Fraction > 1 {
+		return fmt.Errorf("core: poison fraction %v outside [0,1]", p.Fraction)
+	}
+	return nil
+}
+
+func (c Config) withDefaults() Config {
+	if c.Selector == nil {
+		c.Selector = tipselect.AccuracyWalk{Alpha: 10}
+	}
+	if c.ReferenceWalks == 0 {
+		c.ReferenceWalks = 1
+	}
+	return c
+}
+
+// client is the in-simulation state of one participant.
+type client struct {
+	id      int
+	cluster int
+
+	trainX [][]float64
+	trainY []int
+	testX  [][]float64
+	testY  []int
+	// origTestY preserves pre-poisoning test labels for the
+	// flipped-prediction metric (Fig. 12 counts true 3s predicted as 8s).
+	origTestY []int
+
+	model    *nn.MLP // scratch model reused for training and evaluation
+	eval     *tipselect.MemoEvaluator
+	poisoned bool
+	// lastParams is the client's most recently trained model, used as the
+	// source of the personal head under partial-layer sharing.
+	lastParams []float64
+	// view is the client's partial-visibility view of the tangle; nil when
+	// RevealDelay is 0 (ideal broadcast).
+	view *dag.View
+}
+
+// scoreParams evaluates arbitrary parameters on the client's test split.
+func (c *client) scoreParams(params []float64) (loss, acc float64) {
+	c.model.SetParams(params)
+	return c.model.Evaluate(c.testX, c.testY)
+}
+
+// RoundResult records everything the evaluation needs about one round.
+type RoundResult struct {
+	Round  int
+	Active []int // client IDs activated this round
+
+	// Per active client, aligned with Active:
+	TrainedAcc  []float64 // trained model accuracy on local test data
+	TrainedLoss []float64
+	RefAcc      []float64 // consensus reference accuracy on local test data
+	RefLoss     []float64
+	Published   []bool
+	RefTx       []dag.ID // reference transaction per client
+
+	// FlippedFrac is, per active client, the fraction of test samples whose
+	// *original* label is FlipA/FlipB but which the reference model
+	// predicts as the respective other label (Fig. 12). Only populated when
+	// poisoning tracking is enabled.
+	FlippedFrac []float64
+	// ActivePoisoned marks which active clients are poisoned, aligned with
+	// Active. Only populated when poisoning tracking is enabled.
+	ActivePoisoned []bool
+	// RefPoisonedApprovals counts poisoned transactions among the reference
+	// transaction's ancestors, per active client (Fig. 13).
+	RefPoisonedApprovals []int
+
+	// Walk accounting (Fig. 15).
+	Walk          tipselect.WalkStats
+	WalkDurations []time.Duration
+}
+
+// MeanTrainedAcc returns the round's mean trained-model accuracy.
+func (r RoundResult) MeanTrainedAcc() float64 { return mean(r.TrainedAcc) }
+
+// MeanTrainedLoss returns the round's mean trained-model loss.
+func (r RoundResult) MeanTrainedLoss() float64 { return mean(r.TrainedLoss) }
+
+// MeanFlippedFrac returns the round's mean flipped-prediction fraction.
+func (r RoundResult) MeanFlippedFrac() float64 { return mean(r.FlippedFrac) }
+
+// MeanFlippedFracBenign returns the mean flipped-prediction fraction over
+// the round's benign (non-poisoned) active clients only — the exposure of
+// honest participants to the attack.
+func (r RoundResult) MeanFlippedFracBenign() float64 {
+	if len(r.ActivePoisoned) != len(r.FlippedFrac) {
+		return mean(r.FlippedFrac)
+	}
+	s, n := 0.0, 0
+	for i, frac := range r.FlippedFrac {
+		if r.ActivePoisoned[i] {
+			continue
+		}
+		s += frac
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// MeanRefPoisonedApprovals returns the round's mean count of poisoned
+// transactions approved (directly or indirectly) by reference transactions.
+func (r RoundResult) MeanRefPoisonedApprovals() float64 {
+	if len(r.RefPoisonedApprovals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range r.RefPoisonedApprovals {
+		s += float64(v)
+	}
+	return s / float64(len(r.RefPoisonedApprovals))
+}
+
+// MeanWalkDuration returns the average wall-clock walk time per active
+// client, or 0 when measurement was disabled.
+func (r RoundResult) MeanWalkDuration() time.Duration {
+	if len(r.WalkDurations) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range r.WalkDurations {
+		total += d
+	}
+	return total / time.Duration(len(r.WalkDurations))
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Simulation is a running Specializing DAG experiment.
+type Simulation struct {
+	cfg     Config
+	fed     *dataset.Federation
+	tangle  *dag.DAG
+	clients []*client
+	rng     *xrand.RNG
+	round   int
+
+	results []RoundResult
+}
+
+// NewSimulation validates inputs and prepares a simulation. The DAG starts
+// with a genesis transaction carrying a randomly initialized model.
+func NewSimulation(fed *dataset.Federation, cfg Config) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := fed.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	root := xrand.New(cfg.Seed)
+
+	genesis := nn.New(cfg.Arch, root.Split("genesis"))
+	s := &Simulation{
+		cfg:    cfg,
+		fed:    fed,
+		tangle: dag.New(genesis.ParamsCopy()),
+		rng:    root,
+	}
+
+	for _, fc := range fed.Clients {
+		c := &client{
+			id:      fc.ID,
+			cluster: fc.Cluster,
+			model:   genesis.Clone(),
+		}
+		c.trainX, c.trainY = fc.Train.XY()
+		c.testX, c.testY = fc.Test.XY()
+		c.origTestY = append([]int(nil), c.testY...)
+		c.eval = s.newEvalFor(c)
+		if cfg.RevealDelay > 0 {
+			c.view = dag.NewView(s.tangle)
+		}
+		s.clients = append(s.clients, c)
+	}
+	return s, nil
+}
+
+func (s *Simulation) newEvalFor(c *client) *tipselect.MemoEvaluator {
+	m := tipselect.NewMemoEvaluator(func(params []float64) float64 {
+		_, acc := c.scoreParams(params)
+		return acc
+	})
+	m.Disable = s.cfg.DisableEvalMemo
+	return m
+}
+
+// DAG exposes the underlying tangle (read-only use intended).
+func (s *Simulation) DAG() *dag.DAG { return s.tangle }
+
+// Results returns the per-round results recorded so far.
+func (s *Simulation) Results() []RoundResult { return s.results }
+
+// Round returns the number of rounds executed so far.
+func (s *Simulation) Round() int { return s.round }
+
+// PoisonedClients returns the set of client IDs whose data is poisoned.
+func (s *Simulation) PoisonedClients() map[int]bool {
+	out := make(map[int]bool)
+	for _, c := range s.clients {
+		if c.poisoned {
+			out[c.id] = true
+		}
+	}
+	return out
+}
+
+// ClusterOf returns the ground-truth cluster lookup of the federation.
+func (s *Simulation) ClusterOf() map[int]int { return s.fed.ClusterOf() }
+
+// Run executes all configured rounds and returns the recorded results.
+func (s *Simulation) Run() []RoundResult {
+	for s.round < s.cfg.Rounds {
+		s.RunRound()
+	}
+	return s.results
+}
+
+// RunRound executes a single round and returns its result.
+func (s *Simulation) RunRound() RoundResult {
+	round := s.round
+	s.maybeActivatePoisoning(round)
+
+	sampler := s.rng.SplitIndex("round-sample", round)
+	idxs := sampler.SampleWithoutReplacement(len(s.clients), s.cfg.ClientsPerRound)
+
+	res := RoundResult{Round: round}
+	type pendingTx struct {
+		issuer  int
+		parents []dag.ID
+		params  []float64
+		meta    dag.Meta
+	}
+	var pending []pendingTx
+
+	trackPoison := s.cfg.Poison.Enabled()
+
+	for _, ci := range idxs {
+		c := s.clients[ci]
+		crng := s.rng.SplitIndex("client-round", round*100003+c.id)
+		graph := s.graphFor(c, round)
+
+		start := time.Now()
+		// (1) Biased random walk, twice, to select two tips.
+		tips, stats := tipselect.SelectTips(s.cfg.Selector, graph, c.eval, crng, 2)
+		// Consensus reference via additional walk(s).
+		refTx, refParams, refStats := s.reference(graph, c, crng)
+		stats.Add(refStats)
+		var walkDur time.Duration
+		if s.cfg.MeasureWalkTime {
+			walkDur = time.Since(start)
+		}
+
+		// (2) Average the two tip models. Under partial-layer sharing only
+		// the first SharedLayers layers come from the DAG; the head stays
+		// the client's own.
+		avg := nn.AverageParams(tips[0].Params, tips[1].Params)
+		if k := s.cfg.SharedLayers; k > 0 && k < s.cfg.Arch.NumLayers() && c.lastParams != nil {
+			split := s.cfg.Arch.PrefixParams(k)
+			copy(avg[split:], c.lastParams[split:])
+		}
+
+		// (3) Train the averaged model on local data.
+		c.model.SetParams(avg)
+		c.model.Train(c.trainX, c.trainY, s.trainConfig(), crng.Split("train"))
+		trainedParams := c.model.ParamsCopy()
+		c.lastParams = trainedParams
+		trainedLoss, trainedAcc := c.model.Evaluate(c.testX, c.testY)
+
+		refLoss, refAcc := c.scoreParams(refParams)
+
+		// (4) Publish if the trained model beats the consensus reference on
+		// local test data (ties broken by loss so saturated clients keep
+		// publishing).
+		publish := trainedAcc > refAcc || (trainedAcc == refAcc && trainedLoss <= refLoss)
+		if s.cfg.DisablePublishGate {
+			publish = true
+		}
+		if publish {
+			pending = append(pending, pendingTx{
+				issuer:  c.id,
+				parents: []dag.ID{tips[0].ID, tips[1].ID},
+				params:  trainedParams,
+				meta: dag.Meta{
+					TestAcc:  trainedAcc,
+					Poisoned: c.poisoned,
+				},
+			})
+		}
+
+		res.Active = append(res.Active, c.id)
+		res.TrainedAcc = append(res.TrainedAcc, trainedAcc)
+		res.TrainedLoss = append(res.TrainedLoss, trainedLoss)
+		res.RefAcc = append(res.RefAcc, refAcc)
+		res.RefLoss = append(res.RefLoss, refLoss)
+		res.Published = append(res.Published, publish)
+		res.RefTx = append(res.RefTx, refTx)
+		res.Walk.Add(stats)
+		if s.cfg.MeasureWalkTime {
+			res.WalkDurations = append(res.WalkDurations, walkDur)
+		}
+
+		if trackPoison {
+			res.FlippedFrac = append(res.FlippedFrac, c.flippedFraction(refParams, s.cfg.Poison))
+			res.ActivePoisoned = append(res.ActivePoisoned, c.poisoned)
+			res.RefPoisonedApprovals = append(res.RefPoisonedApprovals, s.poisonedApprovalsOf(refTx))
+		}
+	}
+
+	// Random-weight attackers publish after honest clients selected tips but
+	// their transactions land in the same round.
+	if n := s.cfg.Poison.RandomAttackers; n > 0 && round >= s.cfg.Poison.StartRound {
+		arng := s.rng.SplitIndex("attacker", round)
+		tipIDs := s.tangle.Tips()
+		for a := 0; a < n; a++ {
+			params := arng.NormalVec(s.cfg.Arch.NumParams(), 0, 1)
+			p1 := tipIDs[arng.Intn(len(tipIDs))]
+			p2 := tipIDs[arng.Intn(len(tipIDs))]
+			pending = append(pending, pendingTx{
+				issuer:  -1000 - a, // attacker IDs outside the client space
+				parents: []dag.ID{p1, p2},
+				params:  params,
+				meta:    dag.Meta{Poisoned: true},
+			})
+		}
+	}
+
+	// Apply all publishes at the end of the round (concurrent semantics).
+	for _, p := range pending {
+		if _, err := s.tangle.Add(p.issuer, round, p.parents, p.params, p.meta); err != nil {
+			// Parents came from this DAG and are never removed; failure here
+			// is a programming error.
+			panic(fmt.Sprintf("core: publishing failed: %v", err))
+		}
+	}
+
+	s.results = append(s.results, res)
+	s.round++
+	return res
+}
+
+func (s *Simulation) trainConfig() nn.SGDConfig {
+	cfg := s.cfg.Local
+	cfg.Shuffle = true
+	return cfg
+}
+
+// graphFor returns the tangle view the client walks over this round: the
+// full DAG under ideal broadcast, or the client's partial view with all
+// sufficiently old (or own) transactions revealed.
+func (s *Simulation) graphFor(c *client, round int) tipselect.Graph {
+	if c.view == nil {
+		return s.tangle
+	}
+	horizon := round - s.cfg.RevealDelay
+	c.view.RevealWhere(func(tx *dag.Transaction) bool {
+		return tx.Round <= horizon || tx.Issuer == c.id
+	})
+	return c.view
+}
+
+// reference obtains the client's consensus reference transaction and model
+// parameters via cfg.ReferenceWalks tip selections (averaged when > 1).
+func (s *Simulation) reference(graph tipselect.Graph, c *client, rng *xrand.RNG) (dag.ID, []float64, tipselect.WalkStats) {
+	n := s.cfg.ReferenceWalks
+	var stats tipselect.WalkStats
+	if n <= 1 {
+		tx, st := s.cfg.Selector.SelectTip(graph, c.eval, rng)
+		return tx.ID, tx.Params, st
+	}
+	params := make([][]float64, 0, n)
+	var first dag.ID
+	for i := 0; i < n; i++ {
+		tx, st := s.cfg.Selector.SelectTip(graph, c.eval, rng)
+		stats.Add(st)
+		params = append(params, tx.Params)
+		if i == 0 {
+			first = tx.ID
+		}
+	}
+	return first, nn.AverageParams(params...), stats
+}
+
+// flippedFraction measures the fraction of the client's test samples whose
+// original label is FlipA (resp. FlipB) but which the given model predicts
+// as FlipB (resp. FlipA).
+func (c *client) flippedFraction(params []float64, p PoisonConfig) float64 {
+	if p.FlipA == p.FlipB {
+		return 0
+	}
+	c.model.SetParams(params)
+	flipped, total := 0, 0
+	for i, x := range c.testX {
+		orig := c.origTestY[i]
+		if orig != p.FlipA && orig != p.FlipB {
+			continue
+		}
+		total++
+		pred := c.model.Predict(x)
+		if (orig == p.FlipA && pred == p.FlipB) || (orig == p.FlipB && pred == p.FlipA) {
+			flipped++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(flipped) / float64(total)
+}
+
+func (s *Simulation) poisonedApprovalsOf(id dag.ID) int {
+	n := 0
+	for anc := range s.tangle.Ancestors(id) {
+		if s.tangle.MustGet(anc).Meta.Poisoned {
+			n++
+		}
+	}
+	return n
+}
+
+// maybeActivatePoisoning flips labels for the configured fraction of clients
+// at the attack start round.
+func (s *Simulation) maybeActivatePoisoning(round int) {
+	p := s.cfg.Poison
+	if p.Fraction <= 0 || round != p.StartRound {
+		return
+	}
+	prng := s.rng.Split("poison")
+	n := int(p.Fraction * float64(len(s.clients)))
+	for _, ci := range prng.SampleWithoutReplacement(len(s.clients), n) {
+		c := s.clients[ci]
+		c.poisoned = true
+		flipLabels(c.trainY, p.FlipA, p.FlipB)
+		flipLabels(c.testY, p.FlipA, p.FlipB)
+		// Test data changed: cached accuracies are stale.
+		c.eval = s.newEvalFor(c)
+	}
+}
+
+func flipLabels(ys []int, a, b int) {
+	for i, y := range ys {
+		switch y {
+		case a:
+			ys[i] = b
+		case b:
+			ys[i] = a
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package dag
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary snapshot format for DAGs. A deployed tangle needs a wire format to
+// gossip transactions and to checkpoint state; this is a compact,
+// versioned, self-validating encoding:
+//
+//	magic "SDG1" | u32 txCount
+//	per transaction, in topological (insertion) order:
+//	  uvarint ID | varint issuer | varint round
+//	  u8 parentCount | uvarint parents...
+//	  f64 trainAcc | f64 testAcc | u8 poisoned
+//	  uvarint paramCount | f64 params...
+//
+// All integers are little-endian; floats are IEEE-754 bit patterns.
+// Decoding validates structural invariants (sequential IDs, parents precede
+// children), so a corrupted or adversarial snapshot cannot produce a cyclic
+// or dangling DAG.
+
+// codecMagic identifies snapshot files and fixes the version.
+var codecMagic = [4]byte{'S', 'D', 'G', '1'}
+
+// maxSnapshotTxs bounds decoding work against adversarial headers.
+const maxSnapshotTxs = 1 << 24
+
+// WriteTo serializes the DAG to w and returns the number of bytes written.
+func (d *DAG) WriteTo(w io.Writer) (int64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	if _, err := cw.Write(codecMagic[:]); err != nil {
+		return cw.n, err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint32(len(d.txs))); err != nil {
+		return cw.n, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := cw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := cw.Write(buf[:n])
+		return err
+	}
+	for _, t := range d.txs {
+		if err := putUvarint(uint64(t.ID)); err != nil {
+			return cw.n, err
+		}
+		if err := putVarint(int64(t.Issuer)); err != nil {
+			return cw.n, err
+		}
+		if err := putVarint(int64(t.Round)); err != nil {
+			return cw.n, err
+		}
+		if len(t.Parents) > 255 {
+			return cw.n, fmt.Errorf("dag: transaction %d has %d parents", t.ID, len(t.Parents))
+		}
+		if _, err := cw.Write([]byte{byte(len(t.Parents))}); err != nil {
+			return cw.n, err
+		}
+		for _, p := range t.Parents {
+			if err := putUvarint(uint64(p)); err != nil {
+				return cw.n, err
+			}
+		}
+		for _, f := range []float64{t.Meta.TrainAcc, t.Meta.TestAcc} {
+			if err := binary.Write(cw, binary.LittleEndian, math.Float64bits(f)); err != nil {
+				return cw.n, err
+			}
+		}
+		poisoned := byte(0)
+		if t.Meta.Poisoned {
+			poisoned = 1
+		}
+		if _, err := cw.Write([]byte{poisoned}); err != nil {
+			return cw.n, err
+		}
+		if err := putUvarint(uint64(len(t.Params))); err != nil {
+			return cw.n, err
+		}
+		for _, f := range t.Params {
+			if err := binary.Write(cw, binary.LittleEndian, math.Float64bits(f)); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+// ReadDAG deserializes a snapshot previously written with WriteTo,
+// re-validating every structural invariant.
+func ReadDAG(r io.Reader) (*DAG, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("dag: reading magic: %w", err)
+	}
+	if magic != codecMagic {
+		return nil, fmt.Errorf("dag: bad magic %q (not a SDG1 snapshot)", magic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("dag: reading count: %w", err)
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("dag: snapshot has no transactions (missing genesis)")
+	}
+	if count > maxSnapshotTxs {
+		return nil, fmt.Errorf("dag: snapshot claims %d transactions (limit %d)", count, maxSnapshotTxs)
+	}
+
+	readTx := func(index uint32) (*Transaction, error) {
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("tx %d: id: %w", index, err)
+		}
+		if id != uint64(index) {
+			return nil, fmt.Errorf("tx %d: non-sequential id %d", index, id)
+		}
+		issuer, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("tx %d: issuer: %w", index, err)
+		}
+		round, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("tx %d: round: %w", index, err)
+		}
+		var pc [1]byte
+		if _, err := io.ReadFull(br, pc[:]); err != nil {
+			return nil, fmt.Errorf("tx %d: parent count: %w", index, err)
+		}
+		parents := make([]ID, 0, pc[0])
+		for i := 0; i < int(pc[0]); i++ {
+			p, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("tx %d: parent %d: %w", index, i, err)
+			}
+			if p >= uint64(index) {
+				return nil, fmt.Errorf("tx %d: parent %d does not precede child", index, p)
+			}
+			parents = append(parents, ID(p))
+		}
+		var meta Meta
+		var bits uint64
+		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+			return nil, fmt.Errorf("tx %d: trainAcc: %w", index, err)
+		}
+		meta.TrainAcc = math.Float64frombits(bits)
+		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+			return nil, fmt.Errorf("tx %d: testAcc: %w", index, err)
+		}
+		meta.TestAcc = math.Float64frombits(bits)
+		var pb [1]byte
+		if _, err := io.ReadFull(br, pb[:]); err != nil {
+			return nil, fmt.Errorf("tx %d: poisoned flag: %w", index, err)
+		}
+		meta.Poisoned = pb[0] != 0
+		nParams, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("tx %d: param count: %w", index, err)
+		}
+		if nParams > 1<<28 {
+			return nil, fmt.Errorf("tx %d: implausible param count %d", index, nParams)
+		}
+		params := make([]float64, nParams)
+		for i := range params {
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return nil, fmt.Errorf("tx %d: param %d: %w", index, i, err)
+			}
+			params[i] = math.Float64frombits(bits)
+		}
+		return &Transaction{
+			ID:      ID(id),
+			Issuer:  int(issuer),
+			Round:   int(round),
+			Parents: parents,
+			Params:  params,
+			Meta:    meta,
+		}, nil
+	}
+
+	genesis, err := readTx(0)
+	if err != nil {
+		return nil, fmt.Errorf("dag: %w", err)
+	}
+	if !genesis.IsGenesis() {
+		return nil, fmt.Errorf("dag: first transaction has issuer %d, want genesis (%d)", genesis.Issuer, GenesisIssuer)
+	}
+	if len(genesis.Parents) != 0 {
+		return nil, fmt.Errorf("dag: genesis must have no parents, got %d", len(genesis.Parents))
+	}
+	d := New(genesis.Params)
+	d.txs[0].Round = genesis.Round
+	d.txs[0].Meta = genesis.Meta
+
+	for i := uint32(1); i < count; i++ {
+		tx, err := readTx(i)
+		if err != nil {
+			return nil, fmt.Errorf("dag: %w", err)
+		}
+		if _, err := d.Add(tx.Issuer, tx.Round, tx.Parents, tx.Params, tx.Meta); err != nil {
+			return nil, fmt.Errorf("dag: rebuilding tx %d: %w", i, err)
+		}
+	}
+	return d, nil
+}
+
+// countingWriter tracks bytes written for WriteTo's return value.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,213 @@
+package dag
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/specdag/specdag/internal/xrand"
+)
+
+// roundTrip serializes and re-reads a DAG, failing the test on error.
+func roundTrip(t *testing.T, d *DAG) *DAG {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := d.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo returned %d bytes, buffer has %d", n, buf.Len())
+	}
+	got, err := ReadDAG(&buf)
+	if err != nil {
+		t.Fatalf("ReadDAG: %v", err)
+	}
+	return got
+}
+
+// assertEqualDAGs compares every transaction of two DAGs.
+func assertEqualDAGs(t *testing.T, want, got *DAG) {
+	t.Helper()
+	if want.Size() != got.Size() {
+		t.Fatalf("size %d, want %d", got.Size(), want.Size())
+	}
+	wantTxs, gotTxs := want.All(), got.All()
+	for i := range wantTxs {
+		w, g := wantTxs[i], gotTxs[i]
+		if w.ID != g.ID || w.Issuer != g.Issuer || w.Round != g.Round {
+			t.Fatalf("tx %d header mismatch: %+v vs %+v", i, w, g)
+		}
+		if len(w.Parents) != len(g.Parents) {
+			t.Fatalf("tx %d parent count mismatch", i)
+		}
+		for j := range w.Parents {
+			if w.Parents[j] != g.Parents[j] {
+				t.Fatalf("tx %d parent %d mismatch", i, j)
+			}
+		}
+		if w.Meta != g.Meta {
+			t.Fatalf("tx %d meta mismatch: %+v vs %+v", i, w.Meta, g.Meta)
+		}
+		if len(w.Params) != len(g.Params) {
+			t.Fatalf("tx %d param count mismatch", i)
+		}
+		for j := range w.Params {
+			if w.Params[j] != g.Params[j] && !(math.IsNaN(w.Params[j]) && math.IsNaN(g.Params[j])) {
+				t.Fatalf("tx %d param %d mismatch: %v vs %v", i, j, w.Params[j], g.Params[j])
+			}
+		}
+	}
+	// Derived state must also match.
+	wantTips, gotTips := want.Tips(), got.Tips()
+	if len(wantTips) != len(gotTips) {
+		t.Fatalf("tips mismatch: %v vs %v", wantTips, gotTips)
+	}
+	for i := range wantTips {
+		if wantTips[i] != gotTips[i] {
+			t.Fatalf("tips mismatch: %v vs %v", wantTips, gotTips)
+		}
+	}
+}
+
+func TestCodecRoundTripSmall(t *testing.T) {
+	d := New([]float64{0.25, -1, math.Pi})
+	a, _ := d.Add(3, 0, []ID{0, 0}, []float64{1, 2}, Meta{TrainAcc: 0.5, TestAcc: 0.75})
+	d.Add(7, 1, []ID{a.ID}, []float64{3}, Meta{Poisoned: true})
+	assertEqualDAGs(t, d, roundTrip(t, d))
+}
+
+func TestCodecRoundTripGenesisOnly(t *testing.T) {
+	d := New(nil)
+	assertEqualDAGs(t, d, roundTrip(t, d))
+}
+
+func TestCodecRoundTripSpecialFloats(t *testing.T) {
+	d := New([]float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, -0.0})
+	assertEqualDAGs(t, d, roundTrip(t, d))
+}
+
+func TestCodecRoundTripRandomQuick(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := xrand.New(seed)
+		d := buildRandom(rng, int(size%60)+1)
+		var buf bytes.Buffer
+		if _, err := d.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadDAG(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Size() == d.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadDAGRejectsBadMagic(t *testing.T) {
+	if _, err := ReadDAG(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadDAGRejectsEmpty(t *testing.T) {
+	if _, err := ReadDAG(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReadDAGRejectsTruncation(t *testing.T) {
+	rng := xrand.New(5)
+	d := buildRandom(rng, 20)
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix must fail cleanly, never panic.
+	for _, cut := range []int{5, 9, len(full) / 2, len(full) - 1} {
+		if _, err := ReadDAG(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncated snapshot (%d/%d bytes) accepted", cut, len(full))
+		}
+	}
+}
+
+func TestReadDAGRejectsCorruptHeader(t *testing.T) {
+	d := New([]float64{1})
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Claim an absurd transaction count.
+	corrupt := append([]byte{}, data...)
+	corrupt[4], corrupt[5], corrupt[6], corrupt[7] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := ReadDAG(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("absurd tx count accepted")
+	}
+}
+
+func TestReadDAGRejectsForwardParents(t *testing.T) {
+	// Hand-craft a snapshot whose second transaction references itself.
+	d := New(nil)
+	d.Add(1, 0, []ID{0}, nil, Meta{})
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The parent uvarint of tx 1 is the byte right after its parent count;
+	// find it by re-encoding: tx1 begins after genesis. Simpler: flip the
+	// last occurrence of 0x00 parent byte to 0x01 (self-reference).
+	// Locate: tx1 layout: id=0x01, issuer=0x02(zigzag 1), round=0x00,
+	// parentCount=0x01, parent=0x00.
+	idx := bytes.Index(data[8:], []byte{0x01, 0x02, 0x00, 0x01, 0x00})
+	if idx < 0 {
+		t.Skip("layout changed; self-reference corruption not applicable")
+	}
+	data[8+idx+4] = 0x01 // parent = 1 == own id
+	if _, err := ReadDAG(bytes.NewReader(data)); err == nil {
+		t.Fatal("forward/self parent accepted")
+	}
+}
+
+func TestWriteToPropagatesWriterErrors(t *testing.T) {
+	d := New([]float64{1, 2, 3})
+	if _, err := d.WriteTo(failingWriter{}); err == nil {
+		t.Fatal("writer error swallowed")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func BenchmarkCodecWrite(b *testing.B) {
+	rng := xrand.New(1)
+	d := buildRandom(rng, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.WriteTo(io.Discard)
+	}
+}
+
+func BenchmarkCodecRead(b *testing.B) {
+	rng := xrand.New(2)
+	d := buildRandom(rng, 200)
+	var buf bytes.Buffer
+	d.WriteTo(&buf)
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadDAG(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+// Package dag implements the tangle substrate of the specializing DAG: a
+// directed acyclic graph of transactions, each carrying a full set of model
+// weights and approving (pointing at) one or two earlier transactions.
+//
+// The structure follows Popov's tangle as adapted by the paper (§4.1):
+// nodes of the graph are model weight updates, edges are approvals, tips are
+// transactions that have not received approvals yet. Acyclicity holds by
+// construction because a transaction may only approve transactions that
+// already exist.
+//
+// The DAG is safe for concurrent use; the asynchronous simulator publishes
+// from multiple goroutines.
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/specdag/specdag/internal/xrand"
+)
+
+// ID identifies a transaction within one DAG. IDs are assigned sequentially
+// starting at 0 (the genesis transaction).
+type ID int
+
+// GenesisIssuer is the Issuer value of the genesis transaction.
+const GenesisIssuer = -1
+
+// Meta carries experiment bookkeeping attached to a transaction. It is not
+// interpreted by the DAG itself.
+type Meta struct {
+	// TrainAcc and TestAcc are the publisher's local accuracies at publish
+	// time (informational).
+	TrainAcc float64
+	TestAcc  float64
+	// Poisoned marks transactions published from poisoned data. It is used
+	// only by the evaluation metrics (Fig. 12-14), never by the protocol.
+	Poisoned bool
+}
+
+// Transaction is a node of the DAG: one published model update.
+// Transactions are immutable after insertion; callers must not modify
+// Params or Parents.
+type Transaction struct {
+	ID      ID
+	Issuer  int // publishing client, or GenesisIssuer
+	Round   int // simulation round at publish time
+	Parents []ID
+	Params  []float64 // flat model weights
+	Meta    Meta
+}
+
+// IsGenesis reports whether t is the genesis transaction.
+func (t *Transaction) IsGenesis() bool { return t.Issuer == GenesisIssuer }
+
+// DAG is a thread-safe tangle of model-update transactions.
+type DAG struct {
+	mu       sync.RWMutex
+	txs      []*Transaction // index = ID; insertion order is topological
+	children map[ID][]ID
+	tips     map[ID]struct{}
+}
+
+// New creates a DAG containing only a genesis transaction that carries the
+// given initial model parameters.
+func New(genesisParams []float64) *DAG {
+	d := &DAG{
+		children: make(map[ID][]ID),
+		tips:     make(map[ID]struct{}),
+	}
+	g := &Transaction{ID: 0, Issuer: GenesisIssuer, Round: -1, Params: genesisParams}
+	d.txs = append(d.txs, g)
+	d.tips[0] = struct{}{}
+	return d
+}
+
+// Genesis returns the genesis transaction.
+func (d *DAG) Genesis() *Transaction {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.txs[0]
+}
+
+// Add publishes a new transaction approving the given parents and returns
+// it. Parents must reference existing transactions; one or two parents are
+// accepted (a client approves the same transaction twice when the DAG offers
+// only one tip). Add never creates a cycle because parents must already
+// exist.
+func (d *DAG) Add(issuer, round int, parents []ID, params []float64, meta Meta) (*Transaction, error) {
+	if len(parents) < 1 || len(parents) > 2 {
+		return nil, fmt.Errorf("dag: transaction must approve 1 or 2 parents, got %d", len(parents))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, p := range parents {
+		if p < 0 || int(p) >= len(d.txs) {
+			return nil, fmt.Errorf("dag: unknown parent %d", p)
+		}
+	}
+	t := &Transaction{
+		ID:      ID(len(d.txs)),
+		Issuer:  issuer,
+		Round:   round,
+		Parents: append([]ID(nil), parents...),
+		Params:  params,
+		Meta:    meta,
+	}
+	d.txs = append(d.txs, t)
+	seen := map[ID]bool{}
+	for _, p := range parents {
+		if seen[p] {
+			continue // approving the same parent twice adds one child edge
+		}
+		seen[p] = true
+		d.children[p] = append(d.children[p], t.ID)
+		delete(d.tips, p)
+	}
+	d.tips[t.ID] = struct{}{}
+	return t, nil
+}
+
+// Get returns the transaction with the given ID.
+func (d *DAG) Get(id ID) (*Transaction, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id < 0 || int(id) >= len(d.txs) {
+		return nil, false
+	}
+	return d.txs[id], true
+}
+
+// MustGet returns the transaction with the given ID and panics if absent.
+// Use only with IDs previously returned by this DAG.
+func (d *DAG) MustGet(id ID) *Transaction {
+	t, ok := d.Get(id)
+	if !ok {
+		panic(fmt.Sprintf("dag: no transaction %d", id))
+	}
+	return t
+}
+
+// Size returns the number of transactions including genesis.
+func (d *DAG) Size() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.txs)
+}
+
+// Children returns the IDs of transactions approving id, in insertion order.
+// The returned slice is a copy.
+func (d *DAG) Children(id ID) []ID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]ID(nil), d.children[id]...)
+}
+
+// NumChildren returns the number of direct approvers of id without copying.
+func (d *DAG) NumChildren(id ID) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.children[id])
+}
+
+// IsTip reports whether id has no approvers yet.
+func (d *DAG) IsTip(id ID) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.tips[id]
+	return ok
+}
+
+// Tips returns the current tip IDs in ascending order.
+func (d *DAG) Tips() []ID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]ID, 0, len(d.tips))
+	for id := range d.tips {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// All returns all transactions in insertion (topological) order.
+// The returned slice is a copy; the transactions are shared.
+func (d *DAG) All() []*Transaction {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]*Transaction(nil), d.txs...)
+}
+
+// Ancestors returns the set of all transactions reachable from id via
+// parent (approval) edges, excluding id itself.
+func (d *DAG) Ancestors(id ID) map[ID]struct{} {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make(map[ID]struct{})
+	stack := append([]ID(nil), d.txs[id].Parents...)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, seen := out[cur]; seen {
+			continue
+		}
+		out[cur] = struct{}{}
+		stack = append(stack, d.txs[cur].Parents...)
+	}
+	return out
+}
+
+// CumulativeWeights returns, for every transaction, the number of
+// transactions that approve it directly or indirectly, plus one for itself —
+// the classic tangle weight of Fig. 3. Computed in O(V*E/64) with bitsets.
+func (d *DAG) CumulativeWeights() map[ID]int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+
+	n := len(d.txs)
+	words := (n + 63) / 64
+	// approvers[i] = bitset of transactions that (transitively) approve i.
+	approvers := make([][]uint64, n)
+	for i := range approvers {
+		approvers[i] = make([]uint64, words)
+	}
+	// Iterate in reverse topological (insertion) order: children first.
+	for i := n - 1; i >= 0; i-- {
+		t := d.txs[i]
+		for _, p := range t.Parents {
+			dst := approvers[p]
+			src := approvers[t.ID]
+			for w := range dst {
+				dst[w] |= src[w]
+			}
+			dst[t.ID/64] |= 1 << (uint(t.ID) % 64)
+		}
+	}
+	weights := make(map[ID]int, n)
+	for i := 0; i < n; i++ {
+		c := 1 // self-approving
+		for _, w := range approvers[i] {
+			c += popcount(w)
+		}
+		weights[ID(i)] = c
+	}
+	return weights
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// Depths returns, for every transaction, its shortest distance (in approval
+// hops) to any tip, following child edges. Tips have depth 0.
+func (d *DAG) Depths() map[ID]int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	depths := make(map[ID]int, len(d.txs))
+	queue := make([]ID, 0, len(d.tips))
+	for id := range d.tips {
+		depths[id] = 0
+		queue = append(queue, id)
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, p := range d.txs[cur].Parents {
+			if _, seen := depths[p]; !seen {
+				depths[p] = depths[cur] + 1
+				queue = append(queue, p)
+			}
+		}
+	}
+	return depths
+}
+
+// SampleAtDepth returns a uniformly random transaction whose depth (shortest
+// distance to a tip) lies in [minDepth, maxDepth]. If no transaction
+// qualifies, it returns the genesis transaction. This implements the walk
+// entry-point sampling of §5.3.5 ("sampled at a depth of 15-25 transactions
+// from the tips, as proposed by Popov").
+func (d *DAG) SampleAtDepth(rng *xrand.RNG, minDepth, maxDepth int) *Transaction {
+	depths := d.Depths()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var candidates []ID
+	for id, depth := range depths {
+		if depth >= minDepth && depth <= maxDepth {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		return d.txs[0]
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	return d.txs[candidates[rng.Intn(len(candidates))]]
+}
+
+// DOT renders the DAG in Graphviz format, coloring tips gray and poisoned
+// transactions red. Intended for debugging and small visual checks.
+func (d *DAG) DOT() string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var b strings.Builder
+	b.WriteString("digraph tangle {\n  rankdir=RL;\n")
+	for _, t := range d.txs {
+		attrs := fmt.Sprintf("label=\"%d\\nc%d r%d\"", t.ID, t.Issuer, t.Round)
+		if _, isTip := d.tips[t.ID]; isTip {
+			attrs += ", style=filled, fillcolor=gray"
+		}
+		if t.Meta.Poisoned {
+			attrs += ", color=red"
+		}
+		fmt.Fprintf(&b, "  t%d [%s];\n", t.ID, attrs)
+	}
+	for _, t := range d.txs {
+		for _, p := range t.Parents {
+			fmt.Fprintf(&b, "  t%d -> t%d;\n", t.ID, p)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Stats summarizes the DAG for logging.
+type Stats struct {
+	Transactions int
+	Tips         int
+	MaxDepth     int
+}
+
+// Stats returns summary statistics.
+func (d *DAG) Stats() Stats {
+	depths := d.Depths()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	maxDepth := 0
+	for _, dep := range depths {
+		if dep > maxDepth {
+			maxDepth = dep
+		}
+	}
+	return Stats{Transactions: len(d.txs), Tips: len(d.tips), MaxDepth: maxDepth}
+}

@@ -1,0 +1,172 @@
+// Package dataset defines the federated data model (samples, per-client
+// train/test splits, cluster labels) and the synthetic generators that stand
+// in for the paper's datasets.
+//
+// The original evaluation uses FEMNIST/LEAF, a Shakespeare+Goethe corpus and
+// CIFAR-100 — none of which can be fetched in this offline, stdlib-only
+// reproduction. Each generator here reproduces the property the paper's
+// evaluation actually depends on: cluster-structured non-IID client data in
+// which model updates from the same cluster help and updates from other
+// clusters hurt. See DESIGN.md §2 for the substitution table.
+package dataset
+
+import (
+	"fmt"
+
+	"github.com/specdag/specdag/internal/xrand"
+)
+
+// Sample is a single labeled example.
+type Sample struct {
+	X []float64
+	Y int
+}
+
+// Dataset is an ordered collection of samples.
+type Dataset []Sample
+
+// XY unzips the dataset into feature and label slices. The feature slices
+// alias the samples' X vectors; labels are copied.
+func (d Dataset) XY() (xs [][]float64, ys []int) {
+	xs = make([][]float64, len(d))
+	ys = make([]int, len(d))
+	for i, s := range d {
+		xs[i] = s.X
+		ys[i] = s.Y
+	}
+	return xs, ys
+}
+
+// Clone returns a deep copy of the dataset (features copied).
+func (d Dataset) Clone() Dataset {
+	out := make(Dataset, len(d))
+	for i, s := range d {
+		x := make([]float64, len(s.X))
+		copy(x, s.X)
+		out[i] = Sample{X: x, Y: s.Y}
+	}
+	return out
+}
+
+// Split shuffles the dataset with rng and divides it into train and test
+// partitions where the test partition holds testFrac of the samples
+// (rounded, at least one sample in each part when len >= 2). The paper uses
+// a 90:10 train-test split per client.
+func (d Dataset) Split(testFrac float64, rng *xrand.RNG) (train, test Dataset) {
+	shuffled := make(Dataset, len(d))
+	copy(shuffled, d)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	nTest := int(float64(len(shuffled)) * testFrac)
+	if len(shuffled) >= 2 {
+		if nTest == 0 {
+			nTest = 1
+		}
+		if nTest == len(shuffled) {
+			nTest = len(shuffled) - 1
+		}
+	}
+	return shuffled[nTest:], shuffled[:nTest]
+}
+
+// CountLabels returns a histogram over labels 0..numClasses-1. Labels outside
+// the range are ignored.
+func (d Dataset) CountLabels(numClasses int) []int {
+	counts := make([]int, numClasses)
+	for _, s := range d {
+		if s.Y >= 0 && s.Y < numClasses {
+			counts[s.Y]++
+		}
+	}
+	return counts
+}
+
+// FlipLabels swaps labels a and b in place. It implements the paper's
+// flipped-label poisoning attack (§4.4, §5.3.4: labels 3 and 8).
+func FlipLabels(d Dataset, a, b int) {
+	for i := range d {
+		switch d[i].Y {
+		case a:
+			d[i].Y = b
+		case b:
+			d[i].Y = a
+		}
+	}
+}
+
+// Client is one federated participant with a private train/test split and a
+// ground-truth cluster assignment (used only for evaluation metrics, never
+// by the learning algorithm itself).
+type Client struct {
+	ID      int
+	Cluster int
+	Train   Dataset
+	Test    Dataset
+}
+
+// Federation is a complete federated dataset: all clients plus the model
+// input/output dimensions.
+type Federation struct {
+	Name        string
+	Clients     []*Client
+	InputDim    int
+	NumClasses  int
+	NumClusters int
+}
+
+// Validate checks structural invariants of the federation: consistent
+// feature dimensions, labels in range, cluster labels in range, and
+// non-empty client splits.
+func (f *Federation) Validate() error {
+	if len(f.Clients) == 0 {
+		return fmt.Errorf("dataset: federation %q has no clients", f.Name)
+	}
+	for _, c := range f.Clients {
+		if len(c.Train) == 0 || len(c.Test) == 0 {
+			return fmt.Errorf("dataset: client %d has empty train or test set", c.ID)
+		}
+		if c.Cluster < 0 || c.Cluster >= f.NumClusters {
+			return fmt.Errorf("dataset: client %d cluster %d out of range [0,%d)", c.ID, c.Cluster, f.NumClusters)
+		}
+		for _, part := range []Dataset{c.Train, c.Test} {
+			for _, s := range part {
+				if len(s.X) != f.InputDim {
+					return fmt.Errorf("dataset: client %d sample dim %d, want %d", c.ID, len(s.X), f.InputDim)
+				}
+				if s.Y < 0 || s.Y >= f.NumClasses {
+					return fmt.Errorf("dataset: client %d label %d out of range [0,%d)", c.ID, s.Y, f.NumClasses)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ClusterOf returns a lookup from client ID to ground-truth cluster.
+func (f *Federation) ClusterOf() map[int]int {
+	m := make(map[int]int, len(f.Clients))
+	for _, c := range f.Clients {
+		m[c.ID] = c.Cluster
+	}
+	return m
+}
+
+// BasePureness is the approval pureness expected if approvals were spread
+// randomly across clusters (Table 2's "base pureness" column): 1/numClusters
+// for equally sized clusters.
+func (f *Federation) BasePureness() float64 {
+	if f.NumClusters == 0 {
+		return 0
+	}
+	return 1 / float64(f.NumClusters)
+}
+
+// ClientsPerCluster returns the number of clients in each cluster.
+func (f *Federation) ClientsPerCluster() []int {
+	counts := make([]int, f.NumClusters)
+	for _, c := range f.Clients {
+		if c.Cluster >= 0 && c.Cluster < f.NumClusters {
+			counts[c.Cluster]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,379 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/specdag/specdag/internal/xrand"
+)
+
+func TestXY(t *testing.T) {
+	d := Dataset{{X: []float64{1, 2}, Y: 0}, {X: []float64{3, 4}, Y: 1}}
+	xs, ys := d.XY()
+	if len(xs) != 2 || len(ys) != 2 {
+		t.Fatal("XY lengths wrong")
+	}
+	if xs[1][0] != 3 || ys[1] != 1 {
+		t.Fatal("XY content wrong")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := Dataset{{X: []float64{1}, Y: 0}}
+	c := d.Clone()
+	c[0].X[0] = 99
+	c[0].Y = 5
+	if d[0].X[0] != 1 || d[0].Y != 0 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestSplitRatios(t *testing.T) {
+	rng := xrand.New(1)
+	d := make(Dataset, 100)
+	for i := range d {
+		d[i] = Sample{X: []float64{float64(i)}, Y: i % 3}
+	}
+	train, test := d.Split(0.1, rng)
+	if len(test) != 10 || len(train) != 90 {
+		t.Fatalf("90:10 split got %d:%d", len(train), len(test))
+	}
+	// No sample lost or duplicated.
+	seen := map[float64]bool{}
+	for _, s := range append(append(Dataset{}, train...), test...) {
+		if seen[s.X[0]] {
+			t.Fatal("duplicate sample after split")
+		}
+		seen[s.X[0]] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("split lost samples: %d", len(seen))
+	}
+}
+
+func TestSplitNeverEmptyParts(t *testing.T) {
+	rng := xrand.New(2)
+	d := Dataset{{X: []float64{1}, Y: 0}, {X: []float64{2}, Y: 1}}
+	train, test := d.Split(0.0, rng)
+	if len(test) == 0 || len(train) == 0 {
+		t.Fatalf("both parts should be non-empty for n>=2: %d/%d", len(train), len(test))
+	}
+	train, test = d.Split(1.0, rng)
+	if len(test) == 0 || len(train) == 0 {
+		t.Fatalf("both parts should be non-empty for n>=2: %d/%d", len(train), len(test))
+	}
+}
+
+func TestCountLabels(t *testing.T) {
+	d := Dataset{{Y: 0}, {Y: 2}, {Y: 2}, {Y: 7}}
+	counts := d.CountLabels(3)
+	if counts[0] != 1 || counts[1] != 0 || counts[2] != 2 {
+		t.Fatalf("CountLabels got %v", counts)
+	}
+}
+
+func TestFlipLabels(t *testing.T) {
+	d := Dataset{{Y: 3}, {Y: 8}, {Y: 5}, {Y: 3}}
+	FlipLabels(d, 3, 8)
+	want := []int{8, 3, 5, 8}
+	for i := range want {
+		if d[i].Y != want[i] {
+			t.Fatalf("FlipLabels got %v at %d, want %v", d[i].Y, i, want[i])
+		}
+	}
+	// Flipping twice is the identity.
+	FlipLabels(d, 3, 8)
+	if d[0].Y != 3 || d[1].Y != 8 {
+		t.Fatal("double flip should restore labels")
+	}
+}
+
+func TestFMNISTClusteredStructure(t *testing.T) {
+	fed := FMNISTClustered(FMNISTConfig{Clients: 30, Seed: 1})
+	if err := fed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if fed.NumClusters != 3 || fed.NumClasses != 10 {
+		t.Fatalf("unexpected shape: %d clusters, %d classes", fed.NumClusters, fed.NumClasses)
+	}
+	perCluster := fed.ClientsPerCluster()
+	for ci, n := range perCluster {
+		if n != 10 {
+			t.Fatalf("cluster %d has %d clients, want 10", ci, n)
+		}
+	}
+	// Every client's labels must stay inside its cluster's class set.
+	clusterClasses := map[int]map[int]bool{
+		0: {0: true, 1: true, 2: true, 3: true},
+		1: {4: true, 5: true, 6: true},
+		2: {7: true, 8: true, 9: true},
+	}
+	for _, c := range fed.Clients {
+		for _, s := range append(append(Dataset{}, c.Train...), c.Test...) {
+			if !clusterClasses[c.Cluster][s.Y] {
+				t.Fatalf("client %d (cluster %d) holds foreign class %d", c.ID, c.Cluster, s.Y)
+			}
+		}
+	}
+}
+
+func TestFMNISTRelaxedHasForeignSamples(t *testing.T) {
+	fed := FMNISTClustered(FMNISTConfig{Clients: 9, RelaxedMin: 0.15, RelaxedMax: 0.20, Seed: 2})
+	clusterClasses := [][]int{{0, 1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	for _, c := range fed.Clients {
+		own := map[int]bool{}
+		for _, cl := range clusterClasses[c.Cluster] {
+			own[cl] = true
+		}
+		foreign := 0
+		total := 0
+		for _, s := range append(append(Dataset{}, c.Train...), c.Test...) {
+			if !own[s.Y] {
+				foreign++
+			}
+			total++
+		}
+		frac := float64(foreign) / float64(total)
+		if frac < 0.05 || frac > 0.35 {
+			t.Fatalf("client %d foreign fraction %.2f outside plausible [0.05,0.35] band", c.ID, frac)
+		}
+	}
+}
+
+func TestFMNISTByWriter(t *testing.T) {
+	fed := FMNISTClustered(FMNISTConfig{Clients: 10, ByWriter: true, Seed: 3})
+	if fed.NumClusters != 1 {
+		t.Fatalf("by-writer federation should have 1 cluster, got %d", fed.NumClusters)
+	}
+	// Each client should hold (almost) all classes.
+	for _, c := range fed.Clients {
+		counts := c.Train.CountLabels(10)
+		nonzero := 0
+		for _, n := range counts {
+			if n > 0 {
+				nonzero++
+			}
+		}
+		if nonzero < 8 {
+			t.Fatalf("by-writer client %d holds only %d classes", c.ID, nonzero)
+		}
+	}
+}
+
+func TestFMNISTDeterminism(t *testing.T) {
+	a := FMNISTClustered(FMNISTConfig{Clients: 6, Seed: 42})
+	b := FMNISTClustered(FMNISTConfig{Clients: 6, Seed: 42})
+	for i := range a.Clients {
+		at, bt := a.Clients[i].Train, b.Clients[i].Train
+		if len(at) != len(bt) {
+			t.Fatal("determinism broken: lengths differ")
+		}
+		for j := range at {
+			if at[j].Y != bt[j].Y || at[j].X[0] != bt[j].X[0] {
+				t.Fatal("determinism broken: content differs")
+			}
+		}
+	}
+	c := FMNISTClustered(FMNISTConfig{Clients: 6, Seed: 43})
+	if c.Clients[0].Train[0].X[0] == a.Clients[0].Train[0].X[0] {
+		t.Fatal("different seeds should give different data")
+	}
+}
+
+func TestPoetsStructure(t *testing.T) {
+	fed := Poets(PoetsConfig{ClientsPerLanguage: 4, CharsPerClient: 200, Seed: 4})
+	if err := fed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if fed.NumClusters != 2 {
+		t.Fatalf("Poets should have 2 clusters, got %d", fed.NumClusters)
+	}
+	if len(fed.Clients) != 8 {
+		t.Fatalf("want 8 clients, got %d", len(fed.Clients))
+	}
+	if fed.InputDim != 3*27 {
+		t.Fatalf("input dim %d, want %d", fed.InputDim, 3*27)
+	}
+	// One-hot structure: every window position has exactly one hot unit.
+	s := fed.Clients[0].Train[0]
+	for w := 0; w < 3; w++ {
+		sum := 0.0
+		for j := 0; j < 27; j++ {
+			sum += s.X[w*27+j]
+		}
+		if sum != 1 {
+			t.Fatalf("window %d is not one-hot (sum %v)", w, sum)
+		}
+	}
+}
+
+func TestPoetsLanguagesDiffer(t *testing.T) {
+	fed := Poets(PoetsConfig{ClientsPerLanguage: 1, CharsPerClient: 2000, Seed: 5})
+	// Bigram distributions of the two languages must differ substantially:
+	// count successor matches between the two clients' label streams.
+	counts := make([][]float64, 2)
+	for li, c := range fed.Clients {
+		hist := make([]float64, 27)
+		for _, s := range c.Train {
+			hist[s.Y]++
+		}
+		counts[li] = hist
+	}
+	// Normalized L1 distance between label distributions.
+	var dist, total float64
+	for j := 0; j < 27; j++ {
+		dist += math.Abs(counts[0][j] - counts[1][j])
+		total += counts[0][j] + counts[1][j]
+	}
+	if dist/total < 0.1 {
+		t.Fatalf("language label distributions too similar: %v", dist/total)
+	}
+}
+
+func TestCIFARStructure(t *testing.T) {
+	fed := CIFAR100PAM(CIFARConfig{Clients: 20, TrainPerClient: 50, TestPerClient: 10, Seed: 6})
+	if err := fed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if fed.NumClasses != 100 || fed.NumClusters != 20 {
+		t.Fatalf("unexpected shape: %d classes, %d clusters", fed.NumClasses, fed.NumClusters)
+	}
+	// PAM with a low root alpha concentrates clients on few superclasses.
+	for _, c := range fed.Clients {
+		supers := map[int]bool{}
+		for _, s := range c.Train {
+			supers[s.Y/5] = true
+		}
+		if len(supers) > 15 {
+			t.Fatalf("client %d spread over %d superclasses; root alpha not concentrating", c.ID, len(supers))
+		}
+	}
+}
+
+func TestCIFARClusterIsMajoritySuperclass(t *testing.T) {
+	fed := CIFAR100PAM(CIFARConfig{Clients: 10, TrainPerClient: 200, TestPerClient: 20, Seed: 7})
+	for _, c := range fed.Clients {
+		counts := make([]int, 20)
+		for _, s := range append(append(Dataset{}, c.Train...), c.Test...) {
+			counts[s.Y/5]++
+		}
+		maxCount := 0
+		for _, n := range counts {
+			if n > maxCount {
+				maxCount = n
+			}
+		}
+		if counts[c.Cluster] != maxCount {
+			t.Fatalf("client %d cluster %d has count %d, but max is %d", c.ID, c.Cluster, counts[c.Cluster], maxCount)
+		}
+	}
+}
+
+func TestFedProxSyntheticStructure(t *testing.T) {
+	fed := FedProxSynthetic(FedProxConfig{Clients: 10, Seed: 8})
+	if err := fed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if fed.InputDim != 60 || fed.NumClasses != 10 || fed.NumClusters != 1 {
+		t.Fatalf("unexpected shape: dim %d, classes %d, clusters %d", fed.InputDim, fed.NumClasses, fed.NumClusters)
+	}
+	// Sample counts include the +50 floor and respect the cap.
+	for _, c := range fed.Clients {
+		n := len(c.Train) + len(c.Test)
+		if n < 50 || n > 600 {
+			t.Fatalf("client %d has %d samples, want [50, 600]", c.ID, n)
+		}
+	}
+}
+
+func TestFedProxHeterogeneity(t *testing.T) {
+	// With beta > 0, different clients' feature means must differ.
+	fed := FedProxSynthetic(FedProxConfig{Clients: 5, Seed: 9})
+	means := make([]float64, len(fed.Clients))
+	for i, c := range fed.Clients {
+		sum := 0.0
+		for _, s := range c.Train {
+			sum += s.X[0]
+		}
+		means[i] = sum / float64(len(c.Train))
+	}
+	allSame := true
+	for i := 1; i < len(means); i++ {
+		if math.Abs(means[i]-means[0]) > 0.3 {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Fatal("FedProx synthetic clients look identically distributed; beta has no effect")
+	}
+}
+
+func TestBasePureness(t *testing.T) {
+	tests := []struct {
+		clusters int
+		want     float64
+	}{{3, 1.0 / 3}, {2, 0.5}, {20, 0.05}}
+	for _, tt := range tests {
+		f := &Federation{NumClusters: tt.clusters}
+		if got := f.BasePureness(); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("BasePureness(%d) = %v, want %v", tt.clusters, got, tt.want)
+		}
+	}
+	if (&Federation{}).BasePureness() != 0 {
+		t.Error("BasePureness with zero clusters should be 0")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	fed := FMNISTClustered(FMNISTConfig{Clients: 3, Seed: 10})
+	fed.Clients[0].Train[0].Y = 99
+	if err := fed.Validate(); err == nil {
+		t.Fatal("Validate should reject out-of-range labels")
+	}
+
+	fed = FMNISTClustered(FMNISTConfig{Clients: 3, Seed: 10})
+	fed.Clients[0].Cluster = -1
+	if err := fed.Validate(); err == nil {
+		t.Fatal("Validate should reject out-of-range clusters")
+	}
+
+	fed = FMNISTClustered(FMNISTConfig{Clients: 3, Seed: 10})
+	fed.Clients[0].Test = nil
+	if err := fed.Validate(); err == nil {
+		t.Fatal("Validate should reject empty test sets")
+	}
+
+	if err := (&Federation{}).Validate(); err == nil {
+		t.Fatal("Validate should reject empty federations")
+	}
+}
+
+func TestClusterOf(t *testing.T) {
+	fed := FMNISTClustered(FMNISTConfig{Clients: 6, Seed: 11})
+	m := fed.ClusterOf()
+	for _, c := range fed.Clients {
+		if m[c.ID] != c.Cluster {
+			t.Fatal("ClusterOf mismatch")
+		}
+	}
+}
+
+func TestSplitPreservesAllSamplesQuick(t *testing.T) {
+	rng := xrand.New(12)
+	f := func(n uint8, frac float64) bool {
+		if math.IsNaN(frac) {
+			return true
+		}
+		frac = math.Mod(math.Abs(frac), 1)
+		d := make(Dataset, int(n))
+		for i := range d {
+			d[i] = Sample{X: []float64{float64(i)}, Y: 0}
+		}
+		train, test := d.Split(frac, rng)
+		return len(train)+len(test) == int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

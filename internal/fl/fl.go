@@ -1,0 +1,157 @@
+// Package fl implements the centralized federated-learning baselines the
+// paper compares against (§5.3.2, §5.3.3): Federated Averaging (FedAvg,
+// McMahan et al.) and FedProx (Li et al.), which adds a proximal term to the
+// local objective to stabilize convergence on heterogeneous (non-IID) data.
+//
+// Both run the classic client-server loop: each round the server samples a
+// subset of clients, ships them the global model, the clients train locally
+// and return updated parameters, and the server aggregates them weighted by
+// local sample counts.
+package fl
+
+import (
+	"fmt"
+
+	"github.com/specdag/specdag/internal/dataset"
+	"github.com/specdag/specdag/internal/nn"
+	"github.com/specdag/specdag/internal/xrand"
+)
+
+// Config parameterizes a FedAvg/FedProx run.
+type Config struct {
+	// Rounds is the number of communication rounds (Table 1: 100).
+	Rounds int
+	// ClientsPerRound is the number of clients sampled per round
+	// (Table 1: 10).
+	ClientsPerRound int
+	// Local configures the client-side SGD (learning rate, epochs, batch
+	// size, max batches — Table 1).
+	Local nn.SGDConfig
+	// ProxMu, when positive, turns the run into FedProx with the given
+	// proximal coefficient; 0 gives plain FedAvg.
+	ProxMu float64
+	// Arch is the model architecture shared by server and clients.
+	Arch nn.Arch
+	// Seed drives client sampling, initialization and batch shuffling.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Rounds <= 0 {
+		return fmt.Errorf("fl: Rounds must be positive, got %d", c.Rounds)
+	}
+	if c.ClientsPerRound <= 0 {
+		return fmt.Errorf("fl: ClientsPerRound must be positive, got %d", c.ClientsPerRound)
+	}
+	if err := c.Arch.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RoundResult captures the evaluation of one communication round: the
+// aggregated global model scored on the local test data of every client
+// selected in that round (the quantity plotted in Figs. 9-11).
+type RoundResult struct {
+	Round    int
+	Selected []int // client IDs sampled this round
+	// Accs and Losses are per-selected-client results of the *new* global
+	// model on that client's local test split.
+	Accs   []float64
+	Losses []float64
+	// MeanAcc and MeanLoss are their means.
+	MeanAcc  float64
+	MeanLoss float64
+}
+
+// Result is a full run: per-round results plus the final global model.
+type Result struct {
+	Algorithm string
+	Rounds    []RoundResult
+	Final     *nn.MLP
+}
+
+// Run executes FedAvg (or FedProx when cfg.ProxMu > 0) on the federation.
+func Run(fed *dataset.Federation, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := fed.Validate(); err != nil {
+		return nil, err
+	}
+	root := xrand.New(cfg.Seed)
+	global := nn.New(cfg.Arch, root.Split("init"))
+
+	algo := "fedavg"
+	if cfg.ProxMu > 0 {
+		algo = fmt.Sprintf("fedprox(mu=%g)", cfg.ProxMu)
+	}
+	res := &Result{Algorithm: algo}
+
+	// Pre-extract feature/label views once.
+	trainX := make([][][]float64, len(fed.Clients))
+	trainY := make([][]int, len(fed.Clients))
+	testX := make([][][]float64, len(fed.Clients))
+	testY := make([][]int, len(fed.Clients))
+	for i, c := range fed.Clients {
+		trainX[i], trainY[i] = c.Train.XY()
+		testX[i], testY[i] = c.Test.XY()
+	}
+
+	sampler := root.Split("sampler")
+	for round := 0; round < cfg.Rounds; round++ {
+		idxs := sampler.SampleWithoutReplacement(len(fed.Clients), cfg.ClientsPerRound)
+
+		updates := make([][]float64, 0, len(idxs))
+		weights := make([]float64, 0, len(idxs))
+		globalParams := global.ParamsCopy()
+		for _, ci := range idxs {
+			local := global.Clone()
+			localCfg := cfg.Local
+			localCfg.Shuffle = true
+			if cfg.ProxMu > 0 {
+				localCfg.ProxMu = cfg.ProxMu
+				localCfg.ProxCenter = globalParams
+			}
+			local.Train(trainX[ci], trainY[ci], localCfg, root.SplitIndex("train", round*1000+ci))
+			updates = append(updates, local.ParamsCopy())
+			weights = append(weights, float64(len(trainY[ci])))
+		}
+		global.SetParams(nn.WeightedAverageParams(updates, weights))
+
+		rr := RoundResult{Round: round}
+		for _, ci := range idxs {
+			loss, acc := global.Evaluate(testX[ci], testY[ci])
+			rr.Selected = append(rr.Selected, fed.Clients[ci].ID)
+			rr.Accs = append(rr.Accs, acc)
+			rr.Losses = append(rr.Losses, loss)
+			rr.MeanAcc += acc
+			rr.MeanLoss += loss
+		}
+		n := float64(len(idxs))
+		rr.MeanAcc /= n
+		rr.MeanLoss /= n
+		res.Rounds = append(res.Rounds, rr)
+	}
+	res.Final = global
+	return res, nil
+}
+
+// MeanAccs returns the per-round mean accuracy curve.
+func (r *Result) MeanAccs() []float64 {
+	out := make([]float64, len(r.Rounds))
+	for i, rr := range r.Rounds {
+		out[i] = rr.MeanAcc
+	}
+	return out
+}
+
+// MeanLosses returns the per-round mean loss curve.
+func (r *Result) MeanLosses() []float64 {
+	out := make([]float64, len(r.Rounds))
+	for i, rr := range r.Rounds {
+		out[i] = rr.MeanLoss
+	}
+	return out
+}

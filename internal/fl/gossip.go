@@ -1,0 +1,113 @@
+package fl
+
+import (
+	"fmt"
+
+	"github.com/specdag/specdag/internal/dataset"
+	"github.com/specdag/specdag/internal/nn"
+	"github.com/specdag/specdag/internal/xrand"
+)
+
+// GossipConfig parameterizes the gossip-learning baseline (paper §3.2,
+// after Ormándi/Hegedűs et al.): there is no server and no ledger — each
+// client keeps a local model, periodically receives the model of a random
+// peer, merges it with its own by parameter averaging, and trains the merge
+// on local data.
+//
+// Gossip learning is the closest decentralized alternative to the
+// Specializing DAG; the difference is that the merge partner is *random*
+// rather than selected by model performance on local data, so on clustered
+// non-IID data gossip keeps averaging across cluster boundaries.
+type GossipConfig struct {
+	// Rounds and ClientsPerRound mirror the DAG simulation so curves are
+	// comparable: each round, ClientsPerRound clients perform one
+	// receive-merge-train cycle.
+	Rounds          int
+	ClientsPerRound int
+	// Local configures client-side SGD.
+	Local nn.SGDConfig
+	// Arch is the shared model architecture.
+	Arch nn.Arch
+	// Seed drives sampling and initialization.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c GossipConfig) Validate() error {
+	if c.Rounds <= 0 {
+		return fmt.Errorf("fl: gossip Rounds must be positive, got %d", c.Rounds)
+	}
+	if c.ClientsPerRound <= 0 {
+		return fmt.Errorf("fl: gossip ClientsPerRound must be positive, got %d", c.ClientsPerRound)
+	}
+	return c.Arch.Validate()
+}
+
+// RunGossip executes the gossip-learning baseline and returns per-round
+// results shaped like Run's: the per-client accuracies are those of each
+// active client's *own* local model on its own test split.
+func RunGossip(fed *dataset.Federation, cfg GossipConfig) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := fed.Validate(); err != nil {
+		return nil, err
+	}
+	if len(fed.Clients) < 2 {
+		return nil, fmt.Errorf("fl: gossip needs at least 2 clients, got %d", len(fed.Clients))
+	}
+	root := xrand.New(cfg.Seed)
+
+	// Every client starts from the same random initialization, as in the
+	// DAG's genesis model.
+	init := nn.New(cfg.Arch, root.Split("init"))
+	models := make([][]float64, len(fed.Clients))
+	for i := range models {
+		models[i] = init.ParamsCopy()
+	}
+	scratch := init.Clone()
+
+	trainX := make([][][]float64, len(fed.Clients))
+	trainY := make([][]int, len(fed.Clients))
+	testX := make([][][]float64, len(fed.Clients))
+	testY := make([][]int, len(fed.Clients))
+	for i, c := range fed.Clients {
+		trainX[i], trainY[i] = c.Train.XY()
+		testX[i], testY[i] = c.Test.XY()
+	}
+
+	res := &Result{Algorithm: "gossip"}
+	sampler := root.Split("sampler")
+	for round := 0; round < cfg.Rounds; round++ {
+		idxs := sampler.SampleWithoutReplacement(len(fed.Clients), cfg.ClientsPerRound)
+		rr := RoundResult{Round: round}
+		for _, ci := range idxs {
+			crng := root.SplitIndex("gossip", round*100003+ci)
+			// Receive a random peer's current model and merge by averaging.
+			peer := ci
+			for peer == ci {
+				peer = crng.Intn(len(fed.Clients))
+			}
+			merged := nn.AverageParams(models[ci], models[peer])
+			scratch.SetParams(merged)
+			localCfg := cfg.Local
+			localCfg.Shuffle = true
+			scratch.Train(trainX[ci], trainY[ci], localCfg, crng.Split("train"))
+			models[ci] = scratch.ParamsCopy()
+
+			loss, acc := scratch.Evaluate(testX[ci], testY[ci])
+			rr.Selected = append(rr.Selected, fed.Clients[ci].ID)
+			rr.Accs = append(rr.Accs, acc)
+			rr.Losses = append(rr.Losses, loss)
+			rr.MeanAcc += acc
+			rr.MeanLoss += loss
+		}
+		n := float64(len(idxs))
+		rr.MeanAcc /= n
+		rr.MeanLoss /= n
+		res.Rounds = append(res.Rounds, rr)
+	}
+	scratch.SetParams(models[0])
+	res.Final = scratch
+	return res, nil
+}

@@ -1,0 +1,240 @@
+// Package mathx provides the dense float64 kernels used by the neural-network
+// substrate and the metrics code: vector arithmetic, softmax/log-sum-exp,
+// and basic summary statistics.
+//
+// All functions operate on plain []float64 slices. Matrices are row-major
+// slices with explicit dimensions, which keeps the hot training loops free of
+// interface dispatch and bounds-check-friendly.
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Dot returns the inner product of a and b. It panics if lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mathx: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place. It panics if lengths differ.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mathx: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// AddTo computes dst += src in place. It panics if lengths differ.
+func AddTo(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("mathx: AddTo length mismatch")
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// CloneVec returns a copy of x.
+func CloneVec(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Std returns the population standard deviation of x, or 0 if len(x) < 2.
+func Std(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	s := 0.0
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// MinMax returns the minimum and maximum of x.
+// It panics on an empty slice.
+func MinMax(x []float64) (min, max float64) {
+	if len(x) == 0 {
+		panic("mathx: MinMax of empty slice")
+	}
+	min, max = x[0], x[0]
+	for _, v := range x[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of x using linear
+// interpolation between order statistics. It panics on an empty slice.
+func Quantile(x []float64, q float64) float64 {
+	if len(x) == 0 {
+		panic("mathx: Quantile of empty slice")
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := CloneVec(x)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// ArgMax returns the index of the largest element, breaking ties by the
+// lowest index. It panics on an empty slice.
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		panic("mathx: ArgMax of empty slice")
+	}
+	best := 0
+	for i, v := range x[1:] {
+		if v > x[best] {
+			best = i + 1
+		}
+	}
+	return best
+}
+
+// LogSumExp returns log(sum(exp(x_i))) computed stably.
+// It panics on an empty slice.
+func LogSumExp(x []float64) float64 {
+	if len(x) == 0 {
+		panic("mathx: LogSumExp of empty slice")
+	}
+	_, max := MinMax(x)
+	if math.IsInf(max, -1) {
+		return math.Inf(-1)
+	}
+	s := 0.0
+	for _, v := range x {
+		s += math.Exp(v - max)
+	}
+	return max + math.Log(s)
+}
+
+// SoftmaxInPlace converts logits x to a probability distribution in place,
+// using the stable shifted-exponent formulation.
+func SoftmaxInPlace(x []float64) {
+	if len(x) == 0 {
+		return
+	}
+	_, max := MinMax(x)
+	s := 0.0
+	for i, v := range x {
+		e := math.Exp(v - max)
+		x[i] = e
+		s += e
+	}
+	if s == 0 {
+		Fill(x, 1/float64(len(x)))
+		return
+	}
+	for i := range x {
+		x[i] /= s
+	}
+}
+
+// Clip bounds v into [lo, hi].
+func Clip(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// MeanVecs returns the element-wise mean of the given equal-length vectors.
+// It panics if vecs is empty or lengths differ.
+func MeanVecs(vecs ...[]float64) []float64 {
+	if len(vecs) == 0 {
+		panic("mathx: MeanVecs of no vectors")
+	}
+	n := len(vecs[0])
+	out := make([]float64, n)
+	for _, v := range vecs {
+		if len(v) != n {
+			panic("mathx: MeanVecs length mismatch")
+		}
+		AddTo(out, v)
+	}
+	Scale(1/float64(len(vecs)), out)
+	return out
+}
+
+// L2Dist returns the Euclidean distance between a and b.
+// It panics if lengths differ.
+func L2Dist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mathx: L2Dist length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// L2Norm returns the Euclidean norm of x.
+func L2Norm(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

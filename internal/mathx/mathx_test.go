@@ -1,0 +1,235 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDot(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"empty", nil, nil, 0},
+		{"ones", []float64{1, 1, 1}, []float64{1, 2, 3}, 6},
+		{"orthogonal", []float64{1, 0}, []float64{0, 5}, 0},
+		{"negative", []float64{-1, 2}, []float64{3, 4}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Dot(tt.a, tt.b); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Dot() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 2, 3}
+	Axpy(2, []float64{1, 1, 1}, y)
+	want := []float64{3, 4, 5}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy got %v want %v", y, want)
+		}
+	}
+}
+
+func TestScaleAndFill(t *testing.T) {
+	x := []float64{1, 2}
+	Scale(3, x)
+	if x[0] != 3 || x[1] != 6 {
+		t.Fatalf("Scale got %v", x)
+	}
+	Fill(x, -1)
+	if x[0] != -1 || x[1] != -1 {
+		t.Fatalf("Fill got %v", x)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+	if Std([]float64{5}) != 0 {
+		t.Error("Std of singleton should be 0")
+	}
+	if got := Std([]float64{2, 4}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Std = %v, want 1", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Fatalf("MinMax got (%v, %v)", min, max)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q    float64
+		want float64
+	}{{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-0.5, 1}, {1.5, 5}}
+	for _, tt := range tests {
+		if got := Quantile(x, tt.q); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	// Quantile must not mutate its input.
+	unsorted := []float64{3, 1, 2}
+	Quantile(unsorted, 0.5)
+	if unsorted[0] != 3 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	tests := []struct {
+		x    []float64
+		want int
+	}{
+		{[]float64{1}, 0},
+		{[]float64{1, 3, 2}, 1},
+		{[]float64{5, 5, 5}, 0}, // ties break low
+		{[]float64{-3, -1, -2}, 1},
+	}
+	for _, tt := range tests {
+		if got := ArgMax(tt.x); got != tt.want {
+			t.Errorf("ArgMax(%v) = %d, want %d", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestSoftmaxIsDistribution(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		x := make([]float64, len(raw))
+		for i, v := range raw {
+			// Clamp wild quick-generated values into a sane logit range.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			x[i] = Clip(v, -1e3, 1e3)
+		}
+		SoftmaxInPlace(x)
+		sum := 0.0
+		for _, p := range x {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+			sum += p
+		}
+		return almostEqual(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	x := []float64{1000, 1000, 1000}
+	SoftmaxInPlace(x)
+	for _, p := range x {
+		if !almostEqual(p, 1.0/3.0, 1e-9) {
+			t.Fatalf("softmax of equal huge logits should be uniform, got %v", x)
+		}
+	}
+	y := []float64{-1e308, 0}
+	SoftmaxInPlace(y)
+	if !almostEqual(y[1], 1, 1e-9) {
+		t.Fatalf("softmax should concentrate on the max, got %v", y)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	x := []float64{math.Log(1), math.Log(2), math.Log(3)}
+	if got := LogSumExp(x); !almostEqual(got, math.Log(6), 1e-9) {
+		t.Errorf("LogSumExp = %v, want log(6)", got)
+	}
+	big := []float64{1e6, 1e6}
+	if got := LogSumExp(big); !almostEqual(got, 1e6+math.Log(2), 1e-3) {
+		t.Errorf("LogSumExp overflow handling broken: %v", got)
+	}
+}
+
+func TestMeanVecs(t *testing.T) {
+	got := MeanVecs([]float64{0, 2}, []float64{2, 4})
+	if got[0] != 1 || got[1] != 3 {
+		t.Fatalf("MeanVecs got %v", got)
+	}
+}
+
+func TestMeanVecsIsElementwiseMeanQuick(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 {
+			return true
+		}
+		a, b = a[:n], b[:n]
+		for i := 0; i < n; i++ {
+			// Skip values whose sum would overflow; MeanVecs is not
+			// specified for inputs outside the representable-sum range.
+			if math.IsNaN(a[i]) || math.Abs(a[i]) > 1e150 || math.IsNaN(b[i]) || math.Abs(b[i]) > 1e150 {
+				return true
+			}
+		}
+		m := MeanVecs(a, b)
+		for i := 0; i < n; i++ {
+			want := (a[i] + b[i]) / 2
+			if !almostEqual(m[i], want, 1e-9*math.Max(1, math.Abs(want))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestL2(t *testing.T) {
+	if got := L2Dist([]float64{0, 0}, []float64{3, 4}); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("L2Dist = %v, want 5", got)
+	}
+	if got := L2Norm([]float64{3, 4}); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("L2Norm = %v, want 5", got)
+	}
+}
+
+func TestClip(t *testing.T) {
+	if Clip(5, 0, 1) != 1 || Clip(-5, 0, 1) != 0 || Clip(0.5, 0, 1) != 0.5 {
+		t.Error("Clip misbehaves")
+	}
+}
+
+func TestCloneVecIndependent(t *testing.T) {
+	a := []float64{1, 2}
+	b := CloneVec(a)
+	b[0] = 99
+	if a[0] != 1 {
+		t.Error("CloneVec aliases its input")
+	}
+}

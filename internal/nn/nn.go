@@ -1,0 +1,445 @@
+// Package nn is a minimal, dependency-free neural-network library: dense
+// feed-forward networks with ReLU activations and a softmax cross-entropy
+// head, trained by mini-batch SGD.
+//
+// It substitutes for the TensorFlow models of the original paper (CNNs for
+// the image tasks, an LSTM for next-character prediction). The DAG mechanism
+// under study only requires that models (a) expose their parameters as a flat
+// vector that can be averaged and (b) exhibit per-cluster loss landscapes on
+// non-IID data; both hold for the MLPs built here.
+//
+// Models are deliberately not safe for concurrent mutation; the simulator
+// clones models per client before training.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/specdag/specdag/internal/mathx"
+	"github.com/specdag/specdag/internal/xrand"
+)
+
+// Arch describes a feed-forward architecture: In inputs, the given Hidden
+// layer widths (possibly empty, yielding softmax regression), and Out
+// classes.
+type Arch struct {
+	In     int
+	Hidden []int
+	Out    int
+}
+
+// Validate reports whether the architecture is well-formed.
+func (a Arch) Validate() error {
+	if a.In <= 0 {
+		return fmt.Errorf("nn: architecture needs In > 0, got %d", a.In)
+	}
+	if a.Out <= 0 {
+		return fmt.Errorf("nn: architecture needs Out > 0, got %d", a.Out)
+	}
+	for i, h := range a.Hidden {
+		if h <= 0 {
+			return fmt.Errorf("nn: hidden layer %d has non-positive width %d", i, h)
+		}
+	}
+	return nil
+}
+
+// NumParams returns the total number of trainable parameters.
+func (a Arch) NumParams() int {
+	n := 0
+	for _, l := range a.ParamsPerLayer() {
+		n += l
+	}
+	return n
+}
+
+// NumLayers returns the number of dense layers (hidden layers plus the
+// output layer).
+func (a Arch) NumLayers() int { return len(a.Hidden) + 1 }
+
+// ParamsPerLayer returns the parameter count of each dense layer (weights
+// plus biases), in order from input to output.
+func (a Arch) ParamsPerLayer() []int {
+	out := make([]int, 0, a.NumLayers())
+	prev := a.In
+	for _, h := range a.Hidden {
+		out = append(out, prev*h+h)
+		prev = h
+	}
+	return append(out, prev*a.Out+a.Out)
+}
+
+// PrefixParams returns the number of parameters in the first k layers.
+// It clamps k into [0, NumLayers()]. Used for partial-layer sharing, where
+// only an early slice of the network is averaged across clients.
+func (a Arch) PrefixParams(k int) int {
+	per := a.ParamsPerLayer()
+	if k > len(per) {
+		k = len(per)
+	}
+	n := 0
+	for i := 0; i < k; i++ {
+		n += per[i]
+	}
+	return n
+}
+
+// layer is one dense layer; W is row-major [out][in], b has length out.
+// Both are sub-slices of the owning network's flat parameter vector.
+type layer struct {
+	in, out int
+	w, b    []float64
+}
+
+// MLP is a feed-forward network with ReLU hidden activations and a softmax
+// output. The zero value is not usable; construct with New.
+type MLP struct {
+	arch   Arch
+	params []float64 // single flat backing store; layers view into it
+	layers []layer
+
+	// scratch buffers reused across Forward/backward calls to avoid
+	// allocating in the training hot loop.
+	acts   [][]float64 // post-activation per layer (len = len(layers)+1); acts[0] aliases the input
+	deltas [][]float64 // error terms per layer
+}
+
+// New constructs an MLP with Glorot-uniform initial weights drawn from rng.
+// It panics on an invalid architecture (programmer error).
+func New(arch Arch, rng *xrand.RNG) *MLP {
+	if err := arch.Validate(); err != nil {
+		panic(err)
+	}
+	m := &MLP{arch: arch}
+	m.params = make([]float64, arch.NumParams())
+	m.bindLayers()
+	m.init(rng)
+	return m
+}
+
+// bindLayers slices the flat parameter vector into per-layer views and
+// allocates scratch buffers.
+func (m *MLP) bindLayers() {
+	dims := make([]int, 0, len(m.arch.Hidden)+2)
+	dims = append(dims, m.arch.In)
+	dims = append(dims, m.arch.Hidden...)
+	dims = append(dims, m.arch.Out)
+
+	m.layers = m.layers[:0]
+	off := 0
+	for i := 0; i+1 < len(dims); i++ {
+		in, out := dims[i], dims[i+1]
+		w := m.params[off : off+in*out]
+		off += in * out
+		b := m.params[off : off+out]
+		off += out
+		m.layers = append(m.layers, layer{in: in, out: out, w: w, b: b})
+	}
+
+	m.acts = make([][]float64, len(m.layers)+1)
+	m.deltas = make([][]float64, len(m.layers))
+	for i, l := range m.layers {
+		m.acts[i+1] = make([]float64, l.out)
+		m.deltas[i] = make([]float64, l.out)
+	}
+}
+
+// init applies Glorot-uniform initialization to weights; biases start at 0.
+func (m *MLP) init(rng *xrand.RNG) {
+	for _, l := range m.layers {
+		limit := math.Sqrt(6.0 / float64(l.in+l.out))
+		for i := range l.w {
+			l.w[i] = (rng.Float64()*2 - 1) * limit
+		}
+		mathx.Fill(l.b, 0)
+	}
+}
+
+// Arch returns the architecture of the network.
+func (m *MLP) Arch() Arch { return m.arch }
+
+// NumParams returns the length of the flat parameter vector.
+func (m *MLP) NumParams() int { return len(m.params) }
+
+// Params returns the live flat parameter vector. Callers must copy it before
+// storing it (use ParamsCopy), since training mutates it in place.
+func (m *MLP) Params() []float64 { return m.params }
+
+// ParamsCopy returns a fresh copy of the flat parameter vector.
+func (m *MLP) ParamsCopy() []float64 { return mathx.CloneVec(m.params) }
+
+// SetParams copies p into the network. It panics if the length does not
+// match the architecture.
+func (m *MLP) SetParams(p []float64) {
+	if len(p) != len(m.params) {
+		panic(fmt.Sprintf("nn: SetParams length %d, want %d", len(p), len(m.params)))
+	}
+	copy(m.params, p)
+}
+
+// Clone returns a deep copy sharing nothing with the receiver.
+func (m *MLP) Clone() *MLP {
+	c := &MLP{arch: m.arch}
+	c.params = mathx.CloneVec(m.params)
+	c.bindLayers()
+	return c
+}
+
+// Forward computes class probabilities for input x into the returned slice.
+// The returned slice is scratch owned by the model: it is valid until the
+// next Forward/Train call. x must have length Arch().In.
+func (m *MLP) Forward(x []float64) []float64 {
+	if len(x) != m.arch.In {
+		panic(fmt.Sprintf("nn: Forward input length %d, want %d", len(x), m.arch.In))
+	}
+	m.acts[0] = x
+	for li, l := range m.layers {
+		in := m.acts[li]
+		out := m.acts[li+1]
+		last := li == len(m.layers)-1
+		for o := 0; o < l.out; o++ {
+			row := l.w[o*l.in : (o+1)*l.in]
+			v := l.b[o] + mathx.Dot(row, in)
+			if !last && v < 0 {
+				v = 0 // ReLU
+			}
+			out[o] = v
+		}
+		if last {
+			mathx.SoftmaxInPlace(out)
+		}
+	}
+	return m.acts[len(m.layers)]
+}
+
+// Predict returns the argmax class for x.
+func (m *MLP) Predict(x []float64) int {
+	return mathx.ArgMax(m.Forward(x))
+}
+
+// lossEps floors probabilities inside log() to keep losses finite.
+const lossEps = 1e-12
+
+// Evaluate returns the mean cross-entropy loss and accuracy of the model on
+// the given samples. An empty input yields (0, 0).
+func (m *MLP) Evaluate(xs [][]float64, ys []int) (loss, acc float64) {
+	if len(xs) != len(ys) {
+		panic("nn: Evaluate xs/ys length mismatch")
+	}
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	correct := 0
+	for i, x := range xs {
+		probs := m.Forward(x)
+		y := ys[i]
+		if y < 0 || y >= len(probs) {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, len(probs)))
+		}
+		loss += -math.Log(math.Max(probs[y], lossEps))
+		if mathx.ArgMax(probs) == y {
+			correct++
+		}
+	}
+	n := float64(len(xs))
+	return loss / n, float64(correct) / n
+}
+
+// Accuracy returns just the accuracy on the given samples.
+func (m *MLP) Accuracy(xs [][]float64, ys []int) float64 {
+	_, acc := m.Evaluate(xs, ys)
+	return acc
+}
+
+// SGDConfig controls local training.
+type SGDConfig struct {
+	// LR is the learning rate.
+	LR float64
+	// Epochs is the number of passes over the local data. If MaxBatches > 0
+	// the pass is truncated to that many batches per epoch, matching the
+	// paper's fixed "local batches" hyperparameter (Table 1).
+	Epochs int
+	// BatchSize is the mini-batch size (Table 1: 10).
+	BatchSize int
+	// MaxBatches caps the number of batches per epoch; 0 means no cap.
+	MaxBatches int
+	// ProxMu, when positive, adds the FedProx proximal term
+	// (mu/2)*||w - w0||^2 to the objective, where w0 = ProxCenter.
+	ProxMu float64
+	// ProxCenter is the global model the proximal term anchors to. Required
+	// when ProxMu > 0.
+	ProxCenter []float64
+	// Momentum, when positive, applies classical momentum: the update uses
+	// a velocity v = Momentum*v + grad instead of the raw gradient.
+	Momentum float64
+	// WeightDecay, when positive, adds L2 regularization: the gradient is
+	// augmented with WeightDecay * w.
+	WeightDecay float64
+	// Shuffle, when true, visits samples in a random order each epoch using
+	// the provided RNG.
+	Shuffle bool
+}
+
+// Train runs mini-batch SGD on (xs, ys) according to cfg. rng is used only
+// for shuffling and may be nil when cfg.Shuffle is false. It returns the
+// number of batches processed.
+func (m *MLP) Train(xs [][]float64, ys []int, cfg SGDConfig, rng *xrand.RNG) int {
+	if len(xs) != len(ys) {
+		panic("nn: Train xs/ys length mismatch")
+	}
+	if len(xs) == 0 || cfg.Epochs <= 0 {
+		return 0
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 10
+	}
+	if cfg.ProxMu > 0 && len(cfg.ProxCenter) != len(m.params) {
+		panic("nn: ProxMu set without a matching ProxCenter")
+	}
+
+	grads := make([]float64, len(m.params))
+	var velocity []float64
+	if cfg.Momentum > 0 {
+		velocity = make([]float64, len(m.params))
+	}
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+
+	batches := 0
+	for e := 0; e < cfg.Epochs; e++ {
+		if cfg.Shuffle && rng != nil {
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		inEpoch := 0
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			if cfg.MaxBatches > 0 && inEpoch >= cfg.MaxBatches {
+				break
+			}
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			mathx.Fill(grads, 0)
+			for _, idx := range order[start:end] {
+				m.backward(xs[idx], ys[idx], grads)
+			}
+			invBatch := 1 / float64(end-start)
+			if cfg.WeightDecay > 0 {
+				// L2 term on the mean-gradient scale.
+				k := cfg.WeightDecay / invBatch
+				mathx.Axpy(k, m.params, grads)
+			}
+			if cfg.Momentum > 0 {
+				for i, g := range grads {
+					velocity[i] = cfg.Momentum*velocity[i] + g
+				}
+				mathx.Axpy(-cfg.LR*invBatch, velocity, m.params)
+			} else {
+				mathx.Axpy(-cfg.LR*invBatch, grads, m.params)
+			}
+			if cfg.ProxMu > 0 {
+				// w -= lr * mu * (w - w0)
+				k := cfg.LR * cfg.ProxMu
+				for i := range m.params {
+					m.params[i] -= k * (m.params[i] - cfg.ProxCenter[i])
+				}
+			}
+			batches++
+			inEpoch++
+		}
+	}
+	return batches
+}
+
+// backward accumulates the gradient of the cross-entropy loss for one sample
+// into grads (laid out identically to the flat parameter vector).
+func (m *MLP) backward(x []float64, y int, grads []float64) {
+	probs := m.Forward(x) // fills m.acts
+	if y < 0 || y >= len(probs) {
+		panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, len(probs)))
+	}
+
+	// Output delta for softmax + cross-entropy: p - onehot(y).
+	last := len(m.layers) - 1
+	outDelta := m.deltas[last]
+	copy(outDelta, probs)
+	outDelta[y] -= 1
+
+	// Walk layers backwards, accumulating weight/bias gradients and
+	// propagating deltas through the ReLUs.
+	off := len(grads)
+	for li := last; li >= 0; li-- {
+		l := m.layers[li]
+		in := m.acts[li]
+		delta := m.deltas[li]
+
+		off -= l.out // bias block
+		bg := grads[off : off+l.out]
+		off -= l.in * l.out // weight block
+		wg := grads[off : off+l.in*l.out]
+
+		for o := 0; o < l.out; o++ {
+			d := delta[o]
+			if d == 0 {
+				continue
+			}
+			bg[o] += d
+			row := wg[o*l.in : (o+1)*l.in]
+			mathx.Axpy(d, in, row)
+		}
+
+		if li > 0 {
+			prev := m.deltas[li-1]
+			mathx.Fill(prev, 0)
+			for o := 0; o < l.out; o++ {
+				d := delta[o]
+				if d == 0 {
+					continue
+				}
+				row := l.w[o*l.in : (o+1)*l.in]
+				mathx.Axpy(d, row, prev)
+			}
+			// ReLU derivative: zero where the forward activation was <= 0.
+			act := m.acts[li]
+			for i := range prev {
+				if act[i] <= 0 {
+					prev[i] = 0
+				}
+			}
+		}
+	}
+}
+
+// AverageParams returns the element-wise mean of the given parameter
+// vectors. It panics if vecs is empty or lengths differ. This is the model
+// averaging step of both FedAvg and the specializing DAG.
+func AverageParams(vecs ...[]float64) []float64 {
+	return mathx.MeanVecs(vecs...)
+}
+
+// WeightedAverageParams returns sum(w_i * v_i) / sum(w_i), the
+// sample-count-weighted FedAvg aggregate. It panics if inputs are empty,
+// lengths differ, or all weights are zero.
+func WeightedAverageParams(vecs [][]float64, weights []float64) []float64 {
+	if len(vecs) == 0 || len(vecs) != len(weights) {
+		panic("nn: WeightedAverageParams needs matching non-empty vecs and weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		panic("nn: WeightedAverageParams with non-positive total weight")
+	}
+	out := make([]float64, len(vecs[0]))
+	for i, v := range vecs {
+		if len(v) != len(out) {
+			panic("nn: WeightedAverageParams length mismatch")
+		}
+		mathx.Axpy(weights[i]/total, v, out)
+	}
+	return out
+}

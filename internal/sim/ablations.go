@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/specdag/specdag/internal/core"
+	"github.com/specdag/specdag/internal/metrics"
+	"github.com/specdag/specdag/internal/tipselect"
+)
+
+// AblationRow summarizes one design-choice variant on FMNIST-clustered:
+// final accuracy (mean over the last five rounds), approval pureness, DAG
+// size and total walk evaluations.
+type AblationRow struct {
+	Variant   string
+	FinalAcc  float64
+	Pureness  float64
+	DAGSize   int
+	WalkEvals int
+}
+
+// runVariant runs one FMNIST DAG simulation with cfg customized by mutate.
+func runVariant(p Preset, seed int64, variant string, mutate func(*core.Config)) (AblationRow, error) {
+	spec := FMNISTSpec(p, seed)
+	cfg := spec.DAGConfig(p, tipselect.AccuracyWalk{Alpha: 10}, seed)
+	mutate(&cfg)
+	sim, err := core.NewSimulation(spec.Fed, cfg)
+	if err != nil {
+		return AblationRow{}, fmt.Errorf("ablation %s: %w", variant, err)
+	}
+	results := sim.Run()
+
+	evals := 0
+	accSum, accN := 0.0, 0
+	tail := 5
+	if len(results) < tail {
+		tail = len(results)
+	}
+	for i, rr := range results {
+		evals += rr.Walk.Evaluations
+		if i >= len(results)-tail {
+			accSum += rr.MeanTrainedAcc()
+			accN++
+		}
+	}
+	return AblationRow{
+		Variant:   variant,
+		FinalAcc:  accSum / float64(accN),
+		Pureness:  metrics.ApprovalPureness(sim.DAG(), spec.Fed.ClusterOf()),
+		DAGSize:   sim.DAG().Size(),
+		WalkEvals: evals,
+	}, nil
+}
+
+func runVariants(p Preset, seed int64, variants []struct {
+	name   string
+	mutate func(*core.Config)
+}) ([]AblationRow, error) {
+	rows := make([]AblationRow, 0, len(variants))
+	for _, v := range variants {
+		row, err := runVariant(p, seed, v.name, v.mutate)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationNormalization compares Eq. 1 vs Eq. 3 at α = 1, where the paper
+// reports the dynamic normalization helps (pureness 0.51 vs 0.40).
+func AblationNormalization(p Preset, seed int64) ([]AblationRow, error) {
+	return runVariants(p, seed, []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"standard(alpha=1)", func(c *core.Config) { c.Selector = tipselect.AccuracyWalk{Alpha: 1} }},
+		{"dynamic(alpha=1)", func(c *core.Config) {
+			c.Selector = tipselect.AccuracyWalk{Alpha: 1, Norm: tipselect.NormDynamic}
+		}},
+	})
+}
+
+// AblationPublishGate compares the publish-if-better gate (§4.1) against
+// unconditional publishing.
+func AblationPublishGate(p Preset, seed int64) ([]AblationRow, error) {
+	return runVariants(p, seed, []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"gate-on", func(c *core.Config) {}},
+		{"gate-off", func(c *core.Config) { c.DisablePublishGate = true }},
+	})
+}
+
+// AblationWalkDepth compares genesis-start walks against the depth-15–25
+// entry sampling proposed by Popov and used in §5.3.5.
+func AblationWalkDepth(p Preset, seed int64) ([]AblationRow, error) {
+	return runVariants(p, seed, []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"genesis-start", func(c *core.Config) {}},
+		{"depth-15-25", func(c *core.Config) {
+			c.Selector = tipselect.AccuracyWalk{Alpha: 10, DepthMin: 15, DepthMax: 25}
+		}},
+	})
+}
+
+// AblationReferenceWalks compares 1 vs 3 walks for the consensus reference
+// model.
+func AblationReferenceWalks(p Preset, seed int64) ([]AblationRow, error) {
+	return runVariants(p, seed, []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"ref-walks=1", func(c *core.Config) { c.ReferenceWalks = 1 }},
+		{"ref-walks=3", func(c *core.Config) { c.ReferenceWalks = 3 }},
+	})
+}
+
+// AblationPartialSharing compares full model sharing against the paper's
+// future-work extension of sharing only the first layer (personal heads).
+func AblationPartialSharing(p Preset, seed int64) ([]AblationRow, error) {
+	return runVariants(p, seed, []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"share-all-layers", func(c *core.Config) {}},
+		{"share-first-layer", func(c *core.Config) { c.SharedLayers = 1 }},
+	})
+}
+
+// AblationSelectors compares the three selector families: the paper's
+// accuracy walk, the classic cumulative-weight walk, and uniform random tip
+// selection.
+func AblationSelectors(p Preset, seed int64) ([]AblationRow, error) {
+	return runVariants(p, seed, []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"accuracy-walk", func(c *core.Config) {}},
+		{"weighted-walk", func(c *core.Config) { c.Selector = tipselect.WeightedWalk{Alpha: 0.1} }},
+		{"urts", func(c *core.Config) { c.Selector = tipselect.URTS{} }},
+	})
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/specdag/specdag/internal/core"
+	"github.com/specdag/specdag/internal/fl"
+	"github.com/specdag/specdag/internal/metrics"
+)
+
+// Fig9Group is one box of Fig. 9: the accuracy distribution over the clients
+// selected in a group of five consecutive rounds.
+type Fig9Group struct {
+	StartRound int
+	Stats      metrics.BoxStats
+}
+
+// Fig9Result compares FedAvg's aggregated-model accuracies against the
+// DAG's locally trained model accuracies on one dataset.
+type Fig9Result struct {
+	Dataset string
+	FedAvg  []Fig9Group
+	DAG     []Fig9Group
+}
+
+// Figure9 reproduces Fig. 9: per-client accuracy distributions, grouped
+// over five consecutive rounds, FedAvg vs the Specializing DAG, for all
+// three datasets.
+func Figure9(p Preset, seed int64) ([]Fig9Result, error) {
+	specs := []Spec{FMNISTSpec(p, seed), PoetsSpec(p, seed+1), CIFARSpec(p, seed+2)}
+	out := make([]Fig9Result, 0, len(specs))
+	for i, spec := range specs {
+		res := Fig9Result{Dataset: spec.Name}
+
+		flRes, err := fl.Run(spec.Fed, fl.Config{
+			Rounds:          p.Rounds(),
+			ClientsPerRound: p.ClientsPerRound(),
+			Local:           spec.Local,
+			Arch:            spec.Arch,
+			Seed:            seed + int64(20+i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig9 fedavg %s: %w", spec.Name, err)
+		}
+		var accs []float64
+		start := 0
+		for r, rr := range flRes.Rounds {
+			accs = append(accs, rr.Accs...)
+			if (r+1)%5 == 0 || r == len(flRes.Rounds)-1 {
+				res.FedAvg = append(res.FedAvg, Fig9Group{StartRound: start, Stats: metrics.NewBoxStats(accs)})
+				accs = nil
+				start = r + 1
+			}
+		}
+
+		sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, spec.Selector, seed+int64(30+i)))
+		if err != nil {
+			return nil, fmt.Errorf("fig9 dag %s: %w", spec.Name, err)
+		}
+		dagRounds := sim.Run()
+		accs = nil
+		start = 0
+		for r, rr := range dagRounds {
+			accs = append(accs, rr.TrainedAcc...)
+			if (r+1)%5 == 0 || r == len(dagRounds)-1 {
+				res.DAG = append(res.DAG, Fig9Group{StartRound: start, Stats: metrics.NewBoxStats(accs)})
+				accs = nil
+				start = r + 1
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Fig1011Curve is one algorithm's mean accuracy and loss trajectory on the
+// FedProx synthetic dataset (Figs. 10 and 11 share the same runs).
+type Fig1011Curve struct {
+	Algorithm string
+	Series    *metrics.Series // cols: round, acc, loss
+}
+
+// Figure10And11 reproduces Figs. 10 and 11: average accuracy and loss per
+// round for FedAvg, FedProx and the Specializing DAG on Synthetic(0.5, 0.5)
+// with 30 clients, 10 active per round.
+func Figure10And11(p Preset, seed int64) ([]Fig1011Curve, error) {
+	spec := FedProxSpec(p, seed)
+	out := make([]Fig1011Curve, 0, 3)
+
+	for _, algo := range []struct {
+		name   string
+		proxMu float64
+	}{{"FedAvg", 0}, {"FedProx", 1.0}} {
+		res, err := fl.Run(spec.Fed, fl.Config{
+			Rounds:          p.Rounds(),
+			ClientsPerRound: p.ClientsPerRound(),
+			Local:           spec.Local,
+			ProxMu:          algo.proxMu,
+			Arch:            spec.Arch,
+			Seed:            seed + 40,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig10/11 %s: %w", algo.name, err)
+		}
+		series := metrics.NewSeries(algo.name, "round", "acc", "loss")
+		for r, rr := range res.Rounds {
+			series.Add(float64(r+1), rr.MeanAcc, rr.MeanLoss)
+		}
+		out = append(out, Fig1011Curve{Algorithm: algo.name, Series: series})
+	}
+
+	sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, spec.Selector, seed+41))
+	if err != nil {
+		return nil, fmt.Errorf("fig10/11 dag: %w", err)
+	}
+	series := metrics.NewSeries("DAG", "round", "acc", "loss")
+	for r := 0; r < p.Rounds(); r++ {
+		rr := sim.RunRound()
+		series.Add(float64(r+1), rr.MeanTrainedAcc(), rr.MeanTrainedLoss())
+	}
+	out = append(out, Fig1011Curve{Algorithm: "DAG", Series: series})
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/specdag/specdag/internal/core"
+	"github.com/specdag/specdag/internal/fl"
+	"github.com/specdag/specdag/internal/metrics"
+)
+
+// GossipComparison is an extension experiment beyond the paper's figures:
+// it pits the Specializing DAG against gossip learning (the other
+// decentralized family, §3.2) and FedAvg on the clustered dataset. The DAG's
+// performance-aware merge partner selection should beat gossip's random
+// partners on non-IID data.
+func GossipComparison(p Preset, seed int64) ([]Fig1011Curve, error) {
+	spec := FMNISTSpec(p, seed)
+	out := make([]Fig1011Curve, 0, 3)
+
+	flRes, err := fl.Run(spec.Fed, fl.Config{
+		Rounds:          p.Rounds(),
+		ClientsPerRound: p.ClientsPerRound(),
+		Local:           spec.Local,
+		Arch:            spec.Arch,
+		Seed:            seed + 60,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("gossip comparison fedavg: %w", err)
+	}
+	out = append(out, curveFromFL("FedAvg", flRes))
+
+	gossip, err := fl.RunGossip(spec.Fed, fl.GossipConfig{
+		Rounds:          p.Rounds(),
+		ClientsPerRound: p.ClientsPerRound(),
+		Local:           spec.Local,
+		Arch:            spec.Arch,
+		Seed:            seed + 61,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("gossip comparison gossip: %w", err)
+	}
+	out = append(out, curveFromFL("Gossip", gossip))
+
+	sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, spec.Selector, seed+62))
+	if err != nil {
+		return nil, fmt.Errorf("gossip comparison dag: %w", err)
+	}
+	series := metrics.NewSeries("DAG", "round", "acc", "loss")
+	for r := 0; r < p.Rounds(); r++ {
+		rr := sim.RunRound()
+		series.Add(float64(r+1), rr.MeanTrainedAcc(), rr.MeanTrainedLoss())
+	}
+	out = append(out, Fig1011Curve{Algorithm: "DAG", Series: series})
+	return out, nil
+}
+
+func curveFromFL(name string, res *fl.Result) Fig1011Curve {
+	series := metrics.NewSeries(name, "round", "acc", "loss")
+	for r, rr := range res.Rounds {
+		series.Add(float64(r+1), rr.MeanAcc, rr.MeanLoss)
+	}
+	return Fig1011Curve{Algorithm: name, Series: series}
+}
+
+// VisibilitySweep is an extension experiment relaxing the ideal-broadcast
+// assumption the paper makes in §5.3.5: transactions become visible to other
+// clients only RevealDelay rounds after publication. The sweep measures how
+// stale views affect specialization (pureness) and accuracy.
+func VisibilitySweep(p Preset, seed int64) ([]AblationRow, error) {
+	delays := []int{0, 1, 3, 5}
+	rows := make([]AblationRow, 0, len(delays))
+	for _, delay := range delays {
+		d := delay
+		row, err := runVariant(p, seed, fmt.Sprintf("reveal-delay=%d", d), func(c *core.Config) {
+			c.RevealDelay = d
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

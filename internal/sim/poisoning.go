@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/specdag/specdag/internal/core"
+	"github.com/specdag/specdag/internal/graphx"
+	"github.com/specdag/specdag/internal/metrics"
+	"github.com/specdag/specdag/internal/tipselect"
+	"github.com/specdag/specdag/internal/xrand"
+)
+
+// PoisonCurve is one scenario of the poisoning study (Figs. 12 and 13):
+// flipped-prediction percentage and poisoned-approval counts per round,
+// starting at the attack round.
+type PoisonCurve struct {
+	Label  string
+	Series *metrics.Series // cols: round, flippedPct, poisonedApprovals
+}
+
+// poisonScenario describes one line of Figs. 12/13.
+type poisonScenario struct {
+	label    string
+	fraction float64
+	selector tipselect.Selector
+}
+
+// poisonRounds returns (clean rounds before attack, attack rounds).
+func poisonRounds(p Preset) (clean, attack int) {
+	if p == Full {
+		return 100, 100 // paper: poison after 100 rounds, observe to 200
+	}
+	return 10, 30
+}
+
+// Figure12And13 reproduces Figs. 12 and 13: the flipped-label attack
+// (labels 3↔8) on the by-writer FMNIST split. Scenarios: p=0.0 baseline,
+// p=0.2 and p=0.3 with the accuracy tip selector, and p=0.2 with the random
+// tip selector.
+func Figure12And13(p Preset, seed int64) ([]PoisonCurve, error) {
+	clean, attack := poisonRounds(p)
+	scenarios := []poisonScenario{
+		{"p=0.0", 0, tipselect.AccuracyWalk{Alpha: 10}},
+		{"p=0.2", 0.2, tipselect.AccuracyWalk{Alpha: 10}},
+		{"p=0.2 random", 0.2, tipselect.URTS{}},
+		{"p=0.3", 0.3, tipselect.AccuracyWalk{Alpha: 10}},
+	}
+
+	out := make([]PoisonCurve, 0, len(scenarios))
+	for si, sc := range scenarios {
+		spec := ByWriterFMNISTSpec(p, seed)
+		cfg := spec.DAGConfig(p, sc.selector, seed+int64(si))
+		cfg.Rounds = clean + attack
+		cfg.Poison = core.PoisonConfig{
+			Fraction:   sc.fraction,
+			FlipA:      3,
+			FlipB:      8,
+			StartRound: clean,
+			Track:      true,
+		}
+		sim, err := core.NewSimulation(spec.Fed, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig12/13 %s: %w", sc.label, err)
+		}
+		series := metrics.NewSeries(sc.label, "round", "flippedPct", "flippedBenignPct", "poisonedApprovals")
+		for r := 0; r < cfg.Rounds; r++ {
+			rr := sim.RunRound()
+			if r < clean {
+				continue // the figures start at the attack round
+			}
+			series.Add(float64(r),
+				100*rr.MeanFlippedFrac(),
+				100*rr.MeanFlippedFracBenign(),
+				rr.MeanRefPoisonedApprovals())
+		}
+		out = append(out, PoisonCurve{Label: sc.label, Series: series})
+	}
+	return out, nil
+}
+
+// Fig14Result is the distribution of poisoned clients over the communities
+// inferred by Louvain at the end of a p=0.3 attack run.
+type Fig14Result struct {
+	Communities int
+	Benign      []int
+	Poisoned    []int
+	// Containment is the fraction of poisoned clients that ended up in
+	// communities where poisoned clients are the majority.
+	Containment float64
+}
+
+// Figure14 reproduces Fig. 14: run the p=0.3 flipped-label attack, then
+// cluster G_clients with Louvain and histogram benign vs poisoned clients
+// per inferred community.
+func Figure14(p Preset, seed int64) (*Fig14Result, error) {
+	clean, attack := poisonRounds(p)
+	spec := ByWriterFMNISTSpec(p, seed)
+	cfg := spec.DAGConfig(p, tipselect.AccuracyWalk{Alpha: 10}, seed)
+	cfg.Rounds = clean + attack
+	cfg.Poison = core.PoisonConfig{Fraction: 0.3, FlipA: 3, FlipB: 8, StartRound: clean, Track: true}
+	sim, err := core.NewSimulation(spec.Fed, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig14: %w", err)
+	}
+	sim.Run()
+
+	g := metrics.BuildClientGraph(sim.DAG())
+	part := graphx.Louvain(g, xrand.New(seed+7))
+	poisoned := sim.PoisonedClients()
+	benign, bad := metrics.ClusterHistogram(part, poisoned)
+
+	contained, total := 0, 0
+	for client, comm := range part {
+		if !poisoned[client] {
+			continue
+		}
+		total++
+		if bad[comm] > benign[comm] {
+			contained++
+		}
+	}
+	containment := 0.0
+	if total > 0 {
+		containment = float64(contained) / float64(total)
+	}
+	return &Fig14Result{
+		Communities: graphx.NumCommunities(part),
+		Benign:      benign,
+		Poisoned:    bad,
+		Containment: containment,
+	}, nil
+}

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTable2 renders Table 2 rows as markdown.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("### Table 2: approval pureness after training\n\n")
+	b.WriteString("| Dataset | # clusters | base pureness | pureness |\n|---|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %s | %d | %.2f | %.2f |\n", r.Dataset, r.Clusters, r.Base, r.Pureness)
+	}
+	return b.String()
+}
+
+// RenderFig5 renders the α-tuning metric trajectories of Fig. 5.
+func RenderFig5(results []Fig5Result) string {
+	var b strings.Builder
+	b.WriteString("### Figure 5: choosing alpha (G_clients metrics)\n\n")
+	for _, r := range results {
+		b.WriteString(r.Series.Table())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderCurves renders labeled accuracy curves (Figs. 6-8).
+func RenderCurves(title string, curves []AccuracyCurve) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n\n", title)
+	if len(curves) == 0 {
+		return b.String()
+	}
+	// Merge curves into a single table keyed by round.
+	b.WriteString("| round |")
+	for _, c := range curves {
+		fmt.Fprintf(&b, " %s |", c.Label)
+	}
+	b.WriteString("\n|---|")
+	for range curves {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	rounds := curves[0].Series.Col("round")
+	cols := make([][]float64, len(curves))
+	for i, c := range curves {
+		cols[i] = c.Series.Col("acc")
+	}
+	for r := range rounds {
+		fmt.Fprintf(&b, "| %.0f |", rounds[r])
+		for i := range curves {
+			fmt.Fprintf(&b, " %.3f |", cols[i][r])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFig7 renders the dynamic-normalization comparison.
+func RenderFig7(r *Fig7Result) string {
+	var b strings.Builder
+	b.WriteString(RenderCurves("Figure 7: accuracy by alpha (dynamic normalization)", r.Curves))
+	b.WriteString("\nApproval pureness at alpha=1:\n")
+	for _, norm := range []string{"standard", "dynamic"} {
+		fmt.Fprintf(&b, "  %-8s: %.2f\n", norm, r.PurenessAlpha1[norm])
+	}
+	return b.String()
+}
+
+// RenderFig9 renders the FedAvg-vs-DAG accuracy distributions.
+func RenderFig9(results []Fig9Result) string {
+	var b strings.Builder
+	b.WriteString("### Figure 9: accuracy distribution, FedAvg vs Specializing DAG\n\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "#### %s\n\n", r.Dataset)
+		b.WriteString("| rounds | FedAvg median (q1–q3) | DAG median (q1–q3) |\n|---|---|---|\n")
+		n := len(r.FedAvg)
+		if len(r.DAG) < n {
+			n = len(r.DAG)
+		}
+		for i := 0; i < n; i++ {
+			f, d := r.FedAvg[i].Stats, r.DAG[i].Stats
+			fmt.Fprintf(&b, "| %d+ | %.3f (%.3f–%.3f) | %.3f (%.3f–%.3f) |\n",
+				r.FedAvg[i].StartRound, f.Median, f.Q1, f.Q3, d.Median, d.Q1, d.Q3)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFig1011 renders the FedAvg/FedProx/DAG accuracy and loss curves.
+func RenderFig1011(curves []Fig1011Curve) string {
+	var b strings.Builder
+	b.WriteString("### Figures 10 & 11: FedAvg vs DAG vs FedProx on Synthetic(0.5,0.5)\n\n")
+	if len(curves) == 0 {
+		return b.String()
+	}
+	b.WriteString("| round |")
+	for _, c := range curves {
+		fmt.Fprintf(&b, " %s acc | %s loss |", c.Algorithm, c.Algorithm)
+	}
+	b.WriteString("\n|---|")
+	for range curves {
+		b.WriteString("---|---|")
+	}
+	b.WriteString("\n")
+	rounds := curves[0].Series.Col("round")
+	for r := range rounds {
+		fmt.Fprintf(&b, "| %.0f |", rounds[r])
+		for _, c := range curves {
+			fmt.Fprintf(&b, " %.3f | %.3f |", c.Series.Col("acc")[r], c.Series.Col("loss")[r])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderPoison renders the Fig. 12/13 poisoning curves.
+func RenderPoison(curves []PoisonCurve) string {
+	var b strings.Builder
+	b.WriteString("### Figures 12 & 13: flipped predictions and poisoned approvals\n\n")
+	if len(curves) == 0 {
+		return b.String()
+	}
+	b.WriteString("| round |")
+	for _, c := range curves {
+		fmt.Fprintf(&b, " %s flipped%% | %s benign%% | %s approvals |", c.Label, c.Label, c.Label)
+	}
+	b.WriteString("\n|---|")
+	for range curves {
+		b.WriteString("---|---|---|")
+	}
+	b.WriteString("\n")
+	rounds := curves[0].Series.Col("round")
+	for r := range rounds {
+		fmt.Fprintf(&b, "| %.0f |", rounds[r])
+		for _, c := range curves {
+			fmt.Fprintf(&b, " %.1f | %.1f | %.1f |",
+				c.Series.Col("flippedPct")[r],
+				c.Series.Col("flippedBenignPct")[r],
+				c.Series.Col("poisonedApprovals")[r])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFig14 renders the poisoned-client community histogram.
+func RenderFig14(r *Fig14Result) string {
+	var b strings.Builder
+	b.WriteString("### Figure 14: distribution of poisoned clients over inferred clusters (p=0.3)\n\n")
+	fmt.Fprintf(&b, "communities: %d, containment: %.2f\n\n", r.Communities, r.Containment)
+	b.WriteString("| community | benign | poisoned |\n|---|---|---|\n")
+	for i := range r.Benign {
+		fmt.Fprintf(&b, "| %d | %d | %d |\n", i, r.Benign[i], r.Poisoned[i])
+	}
+	return b.String()
+}
+
+// RenderFig15 renders the walk-scalability curves.
+func RenderFig15(curves []Fig15Curve) string {
+	var b strings.Builder
+	b.WriteString("### Figure 15: random-walk cost vs concurrently active clients\n\n")
+	b.WriteString("| active clients | mean walk µs | mean evals/client | final-round evals/client |\n|---|---|---|---|\n")
+	for _, c := range curves {
+		micros := c.Series.Col("walkMicros")
+		evals := c.Series.Col("evalsPerClient")
+		fmt.Fprintf(&b, "| %d | %.0f | %.1f | %.1f |\n",
+			c.ActiveClients, meanOf(micros), meanOf(evals), evals[len(evals)-1])
+	}
+	return b.String()
+}
+
+// RenderAblation renders ablation rows.
+func RenderAblation(title string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Ablation: %s\n\n", title)
+	b.WriteString("| variant | final acc | pureness | DAG size | walk evals |\n|---|---|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %s | %.3f | %.2f | %d | %d |\n", r.Variant, r.FinalAcc, r.Pureness, r.DAGSize, r.WalkEvals)
+	}
+	return b.String()
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}

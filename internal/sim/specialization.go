@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/specdag/specdag/internal/core"
+	"github.com/specdag/specdag/internal/graphx"
+	"github.com/specdag/specdag/internal/metrics"
+	"github.com/specdag/specdag/internal/tipselect"
+	"github.com/specdag/specdag/internal/xrand"
+)
+
+// Table2Row is one row of Table 2: the approval pureness in the DAG after
+// training with the accuracy walk, against the random-approval baseline.
+type Table2Row struct {
+	Dataset  string
+	Clusters int
+	Base     float64
+	Pureness float64
+}
+
+// Table2 reproduces Table 2: approval pureness after training on all three
+// datasets, each with its spec's headline selector.
+func Table2(p Preset, seed int64) ([]Table2Row, error) {
+	specs := []Spec{FMNISTSpec(p, seed), PoetsSpec(p, seed+1), CIFARSpec(p, seed+2)}
+	rows := make([]Table2Row, 0, len(specs))
+	for i, spec := range specs {
+		sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, spec.Selector, seed+int64(10+i)))
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s: %w", spec.Name, err)
+		}
+		sim.Run()
+		rows = append(rows, Table2Row{
+			Dataset:  spec.Name,
+			Clusters: spec.Fed.NumClusters,
+			Base:     spec.Fed.BasePureness(),
+			Pureness: metrics.ApprovalPureness(sim.DAG(), spec.Fed.ClusterOf()),
+		})
+	}
+	return rows, nil
+}
+
+// Fig5Result is one α's trajectory of the three G_clients metrics of §4.3.
+type Fig5Result struct {
+	Alpha  float64
+	Series *metrics.Series // cols: round, modularity, partitions, misclassification
+}
+
+// Figure5 reproduces Fig. 5: modularity, partition count and
+// misclassification fraction of the Louvain partition of G_clients over
+// training rounds, for α ∈ {1, 10, 100} on FMNIST-clustered.
+func Figure5(p Preset, seed int64) ([]Fig5Result, error) {
+	alphas := []float64{1, 10, 100}
+	sampleEvery := 5
+	if p == Quick {
+		sampleEvery = 2
+	}
+
+	out := make([]Fig5Result, 0, len(alphas))
+	for ai, alpha := range alphas {
+		spec := FMNISTSpec(p, seed)
+		sel := tipselect.AccuracyWalk{Alpha: alpha}
+		sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, sel, seed+int64(ai)))
+		if err != nil {
+			return nil, fmt.Errorf("fig5 alpha=%v: %w", alpha, err)
+		}
+		truth := spec.Fed.ClusterOf()
+		series := metrics.NewSeries(fmt.Sprintf("fig5 alpha=%g", alpha),
+			"round", "modularity", "partitions", "misclassification")
+		lrng := xrand.New(seed + 100 + int64(ai))
+		for r := 0; r < p.Rounds(); r++ {
+			sim.RunRound()
+			if (r+1)%sampleEvery != 0 {
+				continue
+			}
+			g := metrics.BuildClientGraph(sim.DAG())
+			part := graphx.Louvain(g, lrng)
+			series.Add(float64(r+1),
+				graphx.Modularity(g, part),
+				float64(graphx.NumCommunities(part)),
+				metrics.Misclassification(part, truth))
+		}
+		out = append(out, Fig5Result{Alpha: alpha, Series: series})
+	}
+	return out, nil
+}
+
+// AccuracyCurve is a labeled per-round accuracy trajectory.
+type AccuracyCurve struct {
+	Label  string
+	Series *metrics.Series // cols: round, acc
+}
+
+// accuracySweep runs the DAG once per α and records the mean trained-model
+// accuracy per round.
+func accuracySweep(p Preset, spec func(int) Spec, norm tipselect.Normalization, seed int64) ([]AccuracyCurve, error) {
+	alphas := []float64{0.1, 1, 10, 100}
+	out := make([]AccuracyCurve, 0, len(alphas))
+	for ai, alpha := range alphas {
+		sp := spec(ai)
+		sel := tipselect.AccuracyWalk{Alpha: alpha, Norm: norm}
+		sim, err := core.NewSimulation(sp.Fed, sp.DAGConfig(p, sel, seed+int64(ai)))
+		if err != nil {
+			return nil, fmt.Errorf("accuracy sweep alpha=%v: %w", alpha, err)
+		}
+		series := metrics.NewSeries(fmt.Sprintf("alpha=%g (%s)", alpha, norm), "round", "acc")
+		for r := 0; r < p.Rounds(); r++ {
+			rr := sim.RunRound()
+			series.Add(float64(r+1), rr.MeanTrainedAcc())
+		}
+		out = append(out, AccuracyCurve{Label: fmt.Sprintf("alpha=%g", alpha), Series: series})
+	}
+	return out, nil
+}
+
+// Figure6 reproduces Fig. 6: accuracy per round on FMNIST-clustered for
+// α ∈ {0.1, 1, 10, 100} with the standard normalization (Eq. 1).
+func Figure6(p Preset, seed int64) ([]AccuracyCurve, error) {
+	return accuracySweep(p, func(int) Spec { return FMNISTSpec(p, seed) }, tipselect.NormStandard, seed)
+}
+
+// Fig7Result extends the accuracy sweep with the approval pureness achieved
+// by each normalization at α = 1 (the paper reports 0.51 dynamic vs 0.40
+// standard).
+type Fig7Result struct {
+	Curves []AccuracyCurve
+	// PurenessAlpha1 maps normalization name to approval pureness of the
+	// α=1 run.
+	PurenessAlpha1 map[string]float64
+}
+
+// Figure7 reproduces Fig. 7: the accuracy sweep with the dynamic
+// normalization (Eq. 3), plus the α=1 pureness comparison against the
+// standard normalization.
+func Figure7(p Preset, seed int64) (*Fig7Result, error) {
+	curves, err := accuracySweep(p, func(int) Spec { return FMNISTSpec(p, seed) }, tipselect.NormDynamic, seed)
+	if err != nil {
+		return nil, err
+	}
+	pureness := make(map[string]float64, 2)
+	for _, norm := range []tipselect.Normalization{tipselect.NormStandard, tipselect.NormDynamic} {
+		spec := FMNISTSpec(p, seed)
+		sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, tipselect.AccuracyWalk{Alpha: 1, Norm: norm}, seed+50))
+		if err != nil {
+			return nil, err
+		}
+		sim.Run()
+		pureness[norm.String()] = metrics.ApprovalPureness(sim.DAG(), spec.Fed.ClusterOf())
+	}
+	return &Fig7Result{Curves: curves, PurenessAlpha1: pureness}, nil
+}
+
+// Figure8 reproduces Fig. 8: the α accuracy sweep on the relaxed
+// FMNIST-clustered dataset (15–20 % foreign-cluster data per client).
+func Figure8(p Preset, seed int64) ([]AccuracyCurve, error) {
+	return accuracySweep(p, func(int) Spec { return RelaxedFMNISTSpec(p, seed) }, tipselect.NormStandard, seed)
+}

@@ -1,0 +1,234 @@
+// Package xrand provides deterministic, splittable random-number utilities
+// for reproducible simulations.
+//
+// Every experiment in this repository derives all of its randomness from a
+// single root seed. Sub-streams are created by name with Split, which hashes
+// the parent seed together with the name, so that adding a new consumer of
+// randomness does not perturb the streams of existing consumers.
+package xrand
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// RNG is a deterministic random source with helpers used across the
+// simulator. It is not safe for concurrent use; derive one RNG per goroutine
+// with Split.
+type RNG struct {
+	seed int64
+	src  *rand.Rand
+}
+
+// New returns an RNG seeded with seed.
+func New(seed int64) *RNG {
+	return &RNG{seed: seed, src: rand.New(rand.NewSource(seed))}
+}
+
+// Seed returns the seed this RNG was created with.
+func (r *RNG) Seed() int64 { return r.seed }
+
+// Split derives an independent RNG from this RNG's seed and a name.
+// Splitting is a pure function of (seed, name): it does not advance or
+// observe the parent stream, so call order cannot change results.
+func (r *RNG) Split(name string) *RNG {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(r.seed >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte(name))
+	return New(int64(h.Sum64()))
+}
+
+// SplitIndex derives an independent RNG from this RNG's seed, a name, and an
+// integer index (e.g. a client ID or a round number).
+func (r *RNG) SplitIndex(name string, index int) *RNG {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(r.seed >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte(name))
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(index) >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	return New(int64(h.Sum64()))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0, matching
+// math/rand semantics.
+func (r *RNG) Intn(n int) int { return r.src.Intn(n) }
+
+// Int63 returns a non-negative 63-bit integer.
+func (r *RNG) Int63() int64 { return r.src.Int63() }
+
+// NormFloat64 returns a standard normal variate.
+func (r *RNG) NormFloat64() float64 { return r.src.NormFloat64() }
+
+// Normal returns a normal variate with the given mean and standard deviation.
+func (r *RNG) Normal(mean, std float64) float64 {
+	return mean + std*r.src.NormFloat64()
+}
+
+// NormalVec fills a new length-n vector with N(mean, std^2) variates.
+func (r *RNG) NormalVec(n int, mean, std float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.Normal(mean, std)
+	}
+	return v
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.src.Float64() < p }
+
+// IntRange returns a uniform integer in [lo, hi] inclusive.
+// It panics if hi < lo.
+func (r *RNG) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("xrand: IntRange with hi < lo")
+	}
+	return lo + r.src.Intn(hi-lo+1)
+}
+
+// Choice returns a uniformly random index in [0, n).
+func (r *RNG) Choice(n int) int { return r.src.Intn(n) }
+
+// WeightedChoice returns an index sampled proportionally to weights.
+// Non-positive weights are treated as zero. If all weights are zero (or the
+// slice is empty after filtering) it falls back to a uniform choice.
+// It panics on an empty slice.
+func (r *RNG) WeightedChoice(weights []float64) int {
+	if len(weights) == 0 {
+		panic("xrand: WeightedChoice with empty weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 && !math.IsInf(w, 1) && !math.IsNaN(w) {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return r.src.Intn(len(weights))
+	}
+	x := r.src.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w > 0 && !math.IsInf(w, 1) && !math.IsNaN(w) {
+			acc += w
+		}
+		if x < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// SampleWithoutReplacement returns k distinct values from [0, n) in random
+// order. If k >= n it returns a permutation of all n values.
+func (r *RNG) SampleWithoutReplacement(n, k int) []int {
+	if k >= n {
+		return r.Perm(n)
+	}
+	perm := r.Perm(n)
+	return perm[:k]
+}
+
+// Gamma draws from a Gamma(shape, 1) distribution using the
+// Marsaglia–Tsang method. shape must be positive.
+func (r *RNG) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("xrand: Gamma with non-positive shape")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a)
+		u := r.src.Float64()
+		for u == 0 {
+			u = r.src.Float64()
+		}
+		return r.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := r.src.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.src.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Dirichlet draws from a symmetric Dirichlet distribution with concentration
+// alpha over k categories. The result sums to 1.
+func (r *RNG) Dirichlet(alpha float64, k int) []float64 {
+	if k <= 0 {
+		panic("xrand: Dirichlet with k <= 0")
+	}
+	v := make([]float64, k)
+	total := 0.0
+	for i := range v {
+		v[i] = r.Gamma(alpha)
+		total += v[i]
+	}
+	if total == 0 {
+		for i := range v {
+			v[i] = 1.0 / float64(k)
+		}
+		return v
+	}
+	for i := range v {
+		v[i] /= total
+	}
+	return v
+}
+
+// LogNormalInt returns max(lo, round(exp(N(mu, sigma^2)))) capped at hi.
+// It is used to draw per-client sample counts with a heavy tail, as in the
+// FedProx synthetic dataset.
+func (r *RNG) LogNormalInt(mu, sigma float64, lo, hi int) int {
+	x := math.Exp(r.Normal(mu, sigma))
+	n := int(math.Round(x))
+	if n < lo {
+		n = lo
+	}
+	if n > hi {
+		n = hi
+	}
+	return n
+}
+
+// SortedWeightedIndices is a deterministic helper that returns index order by
+// descending weight, breaking ties by index. It is used by tests to assert
+// weighting behaviour.
+func SortedWeightedIndices(weights []float64) []int {
+	idx := make([]int, len(weights))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return weights[idx[a]] > weights[idx[b]] })
+	return idx
+}

@@ -1,0 +1,251 @@
+// Package specdag is the public API of the Specializing DAG library — a
+// reproduction of "Implicit Model Specialization through DAG-based
+// Decentralized Federated Learning" (Beilharz, Pfitzner, Schmid et al.,
+// Middleware '21).
+//
+// The library provides:
+//
+//   - a tangle-style DAG of model updates with accuracy-aware tip selection
+//     (the paper's contribution, [NewSimulation]);
+//   - the centralized FedAvg/FedProx baselines ([RunFederated]);
+//   - synthetic federated datasets with cluster-structured non-IID data
+//     ([FMNISTClustered], [Poets], [CIFAR100PAM], [FedProxSynthetic]);
+//   - the specialization metrics of the paper's evaluation
+//     ([ApprovalPureness], [BuildClientGraph], [Louvain], [Modularity],
+//     [Misclassification]).
+//
+// # Quickstart
+//
+//	fed := specdag.FMNISTClustered(specdag.FMNISTConfig{Clients: 30, Seed: 1})
+//	sim, err := specdag.NewSimulation(fed, specdag.Config{
+//		Rounds:          50,
+//		ClientsPerRound: 10,
+//		Local:           specdag.SGDConfig{LR: 0.05, Epochs: 1, BatchSize: 10},
+//		Arch:            specdag.Arch{In: fed.InputDim, Hidden: []int{32}, Out: fed.NumClasses},
+//		Selector:        specdag.AccuracyWalk{Alpha: 10},
+//	})
+//	if err != nil { ... }
+//	results := sim.Run()
+//	pureness := specdag.ApprovalPureness(sim.DAG(), fed.ClusterOf())
+//
+// See examples/ for complete programs and cmd/experiments for the harness
+// that regenerates every table and figure of the paper.
+package specdag
+
+import (
+	"io"
+
+	"github.com/specdag/specdag/internal/core"
+	"github.com/specdag/specdag/internal/dag"
+	"github.com/specdag/specdag/internal/dataset"
+	"github.com/specdag/specdag/internal/fl"
+	"github.com/specdag/specdag/internal/graphx"
+	"github.com/specdag/specdag/internal/metrics"
+	"github.com/specdag/specdag/internal/nn"
+	"github.com/specdag/specdag/internal/tipselect"
+	"github.com/specdag/specdag/internal/xrand"
+)
+
+// ---- Specializing DAG simulation (internal/core) ----
+
+// Config parameterizes a Specializing DAG simulation. See core.Config.
+type Config = core.Config
+
+// PoisonConfig describes the flipped-label attack scenario of §4.4.
+type PoisonConfig = core.PoisonConfig
+
+// Simulation is a running Specializing DAG experiment.
+type Simulation = core.Simulation
+
+// RoundResult records the evaluation of one simulated round.
+type RoundResult = core.RoundResult
+
+// NewSimulation validates inputs and prepares a Specializing DAG simulation.
+func NewSimulation(fed *Federation, cfg Config) (*Simulation, error) {
+	return core.NewSimulation(fed, cfg)
+}
+
+// AsyncConfig parameterizes the event-driven (round-free) simulation with
+// heterogeneous client speeds and network delay (§5.3.3: "no stragglers").
+type AsyncConfig = core.AsyncConfig
+
+// AsyncResult is the outcome of an event-driven run.
+type AsyncResult = core.AsyncResult
+
+// AsyncClientStats summarizes one client's activity in an async run.
+type AsyncClientStats = core.AsyncClientStats
+
+// RunAsync executes the event-driven Specializing DAG simulation.
+func RunAsync(fed *Federation, cfg AsyncConfig) (*AsyncResult, error) {
+	return core.RunAsync(fed, cfg)
+}
+
+// ---- Tangle (internal/dag) ----
+
+// DAG is the thread-safe tangle of model-update transactions.
+type DAG = dag.DAG
+
+// Transaction is one published model update in the DAG.
+type Transaction = dag.Transaction
+
+// TxID identifies a transaction within a DAG.
+type TxID = dag.ID
+
+// TxMeta is the experiment bookkeeping attached to a transaction.
+type TxMeta = dag.Meta
+
+// NewDAG creates a tangle containing a genesis transaction with the given
+// initial model parameters.
+func NewDAG(genesisParams []float64) *DAG { return dag.New(genesisParams) }
+
+// ReadDAG deserializes a binary DAG snapshot previously written with
+// (*DAG).WriteTo, re-validating all structural invariants.
+func ReadDAG(r io.Reader) (*DAG, error) { return dag.ReadDAG(r) }
+
+// ---- Tip selection (internal/tipselect) ----
+
+// Selector chooses tips of the DAG for approval.
+type Selector = tipselect.Selector
+
+// Evaluator scores a transaction's model on a walker's local data.
+type Evaluator = tipselect.Evaluator
+
+// AccuracyWalk is the paper's accuracy-biased random walk (Algorithm 1).
+type AccuracyWalk = tipselect.AccuracyWalk
+
+// WeightedWalk is the classic cumulative-weight tangle walk (Fig. 3).
+type WeightedWalk = tipselect.WeightedWalk
+
+// URTS is uniform random tip selection.
+type URTS = tipselect.URTS
+
+// UniformWalk is an unbiased random walk over the DAG.
+type UniformWalk = tipselect.UniformWalk
+
+// Normalization selects the accuracy normalization of the walk weights.
+type Normalization = tipselect.Normalization
+
+// Normalization modes: Eq. 1 (standard) and Eq. 3 (dynamic).
+const (
+	NormStandard = tipselect.NormStandard
+	NormDynamic  = tipselect.NormDynamic
+)
+
+// WalkWeights converts child accuracies into selection weights (Eqs. 1-3).
+func WalkWeights(accs []float64, alpha float64, norm Normalization) []float64 {
+	return tipselect.Weights(accs, alpha, norm)
+}
+
+// ---- Models (internal/nn) ----
+
+// Arch describes a feed-forward architecture.
+type Arch = nn.Arch
+
+// SGDConfig controls local mini-batch SGD training.
+type SGDConfig = nn.SGDConfig
+
+// MLP is a feed-forward network with ReLU hidden layers and softmax output.
+type MLP = nn.MLP
+
+// NewModel constructs a model with Glorot-initialized weights from seed.
+func NewModel(arch Arch, seed int64) *MLP { return nn.New(arch, xrand.New(seed)) }
+
+// AverageParams returns the element-wise mean of parameter vectors — the
+// model-averaging step of both FedAvg and the DAG.
+func AverageParams(vecs ...[]float64) []float64 { return nn.AverageParams(vecs...) }
+
+// ---- Datasets (internal/dataset) ----
+
+// Federation is a complete federated dataset.
+type Federation = dataset.Federation
+
+// FedClient is one federated participant with private train/test splits.
+type FedClient = dataset.Client
+
+// Dataset is an ordered collection of samples.
+type Dataset = dataset.Dataset
+
+// Sample is a single labeled example.
+type Sample = dataset.Sample
+
+// FMNISTConfig parameterizes the synthetic FMNIST-clustered dataset.
+type FMNISTConfig = dataset.FMNISTConfig
+
+// PoetsConfig parameterizes the two-language next-character dataset.
+type PoetsConfig = dataset.PoetsConfig
+
+// CIFARConfig parameterizes the synthetic CIFAR-100/PAM dataset.
+type CIFARConfig = dataset.CIFARConfig
+
+// FedProxConfig parameterizes the FedProx Synthetic(alpha, beta) dataset.
+type FedProxConfig = dataset.FedProxConfig
+
+// FMNISTClustered generates the synthetic FMNIST-clustered federation
+// (paper §5.1.1).
+func FMNISTClustered(cfg FMNISTConfig) *Federation { return dataset.FMNISTClustered(cfg) }
+
+// Poets generates the two-language next-character federation (§5.1.2).
+func Poets(cfg PoetsConfig) *Federation { return dataset.Poets(cfg) }
+
+// CIFAR100PAM generates the synthetic CIFAR-100 federation with
+// Pachinko-style allocation (§5.1.3).
+func CIFAR100PAM(cfg CIFARConfig) *Federation { return dataset.CIFAR100PAM(cfg) }
+
+// FedProxSynthetic generates the Synthetic(alpha, beta) federation
+// (§5.3.3).
+func FedProxSynthetic(cfg FedProxConfig) *Federation { return dataset.FedProxSynthetic(cfg) }
+
+// ---- Centralized baselines (internal/fl) ----
+
+// FedConfig parameterizes a FedAvg/FedProx run.
+type FedConfig = fl.Config
+
+// FedResult is a full FedAvg/FedProx run.
+type FedResult = fl.Result
+
+// RunFederated executes FedAvg (or FedProx when cfg.ProxMu > 0).
+func RunFederated(fed *Federation, cfg FedConfig) (*FedResult, error) { return fl.Run(fed, cfg) }
+
+// ---- Metrics (internal/metrics, internal/graphx) ----
+
+// Graph is an undirected weighted graph over client IDs.
+type Graph = graphx.Graph
+
+// BoxStats summarizes an accuracy sample for box plots.
+type BoxStats = metrics.BoxStats
+
+// BuildClientGraph derives the G_clients graph from a DAG (§4.3).
+func BuildClientGraph(d *DAG) *Graph { return metrics.BuildClientGraph(d) }
+
+// ApprovalPureness is the fraction of same-cluster approvals (Table 2).
+func ApprovalPureness(d *DAG, clusterOf map[int]int) float64 {
+	return metrics.ApprovalPureness(d, clusterOf)
+}
+
+// Misclassification is the fraction of clients whose inferred community
+// majority disagrees with their true cluster (§4.3).
+func Misclassification(partition, truth map[int]int) float64 {
+	return metrics.Misclassification(partition, truth)
+}
+
+// Modularity computes Newman's modularity of a partition.
+func Modularity(g *Graph, partition map[int]int) float64 { return graphx.Modularity(g, partition) }
+
+// Louvain detects communities by modularity maximization. Pass seed < 0 for
+// a deterministic visiting order.
+func Louvain(g *Graph, seed int64) map[int]int {
+	if seed < 0 {
+		return graphx.Louvain(g, nil)
+	}
+	return graphx.Louvain(g, xrand.New(seed))
+}
+
+// NumCommunities returns the number of distinct communities in a partition.
+func NumCommunities(partition map[int]int) int { return graphx.NumCommunities(partition) }
+
+// NewBoxStats computes distribution statistics for box plots (Fig. 9).
+func NewBoxStats(values []float64) BoxStats { return metrics.NewBoxStats(values) }
+
+// PoisonedApprovals counts poisoned transactions among a transaction's
+// ancestors (Fig. 13).
+func PoisonedApprovals(d *DAG, id TxID) int { return metrics.PoisonedApprovals(d, id) }

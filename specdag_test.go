@@ -1,0 +1,103 @@
+package specdag_test
+
+import (
+	"testing"
+
+	specdag "github.com/specdag/specdag"
+)
+
+// TestPublicAPIEndToEnd exercises the library exactly as a downstream user
+// would: build a federation, run the DAG, compare with FedAvg, compute the
+// specialization metrics.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	fed := specdag.FMNISTClustered(specdag.FMNISTConfig{
+		Clients:        12,
+		TrainPerClient: 60,
+		TestPerClient:  15,
+		Seed:           1,
+	})
+
+	cfg := specdag.Config{
+		Rounds:          15,
+		ClientsPerRound: 4,
+		Local:           specdag.SGDConfig{LR: 0.05, Epochs: 1, BatchSize: 10},
+		Arch:            specdag.Arch{In: fed.InputDim, Hidden: []int{32}, Out: fed.NumClasses},
+		Selector:        specdag.AccuracyWalk{Alpha: 10},
+		Seed:            2,
+	}
+	sim, err := specdag.NewSimulation(fed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := sim.Run()
+	if len(results) != 15 {
+		t.Fatalf("rounds = %d", len(results))
+	}
+
+	pureness := specdag.ApprovalPureness(sim.DAG(), fed.ClusterOf())
+	if pureness < 0 || pureness > 1 {
+		t.Fatalf("pureness out of range: %v", pureness)
+	}
+
+	g := specdag.BuildClientGraph(sim.DAG())
+	part := specdag.Louvain(g, 3)
+	if len(part) == 0 {
+		t.Fatal("empty partition")
+	}
+	if q := specdag.Modularity(g, part); q < -0.5 || q > 1 {
+		t.Fatalf("modularity out of range: %v", q)
+	}
+	mis := specdag.Misclassification(part, fed.ClusterOf())
+	if mis < 0 || mis > 1 {
+		t.Fatalf("misclassification out of range: %v", mis)
+	}
+
+	flRes, err := specdag.RunFederated(fed, specdag.FedConfig{
+		Rounds:          10,
+		ClientsPerRound: 4,
+		Local:           specdag.SGDConfig{LR: 0.05, Epochs: 1, BatchSize: 10},
+		Arch:            cfg.Arch,
+		Seed:            4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flRes.MeanAccs()) != 10 {
+		t.Fatal("FedAvg curve wrong length")
+	}
+}
+
+func TestPublicDAGAndWeights(t *testing.T) {
+	model := specdag.NewModel(specdag.Arch{In: 4, Out: 2}, 1)
+	d := specdag.NewDAG(model.ParamsCopy())
+	if d.Size() != 1 {
+		t.Fatal("genesis missing")
+	}
+	w := specdag.WalkWeights([]float64{0.9, 0.5}, 10, specdag.NormStandard)
+	if w[0] != 1 {
+		t.Fatal("best-child weight must be 1")
+	}
+	avg := specdag.AverageParams([]float64{0, 2}, []float64{2, 0})
+	if avg[0] != 1 || avg[1] != 1 {
+		t.Fatal("AverageParams broken")
+	}
+	if n := specdag.NumCommunities(map[int]int{1: 0, 2: 1}); n != 2 {
+		t.Fatal("NumCommunities broken")
+	}
+	if s := specdag.NewBoxStats([]float64{1, 2, 3}); s.Median != 2 {
+		t.Fatal("NewBoxStats broken")
+	}
+}
+
+func TestPublicDatasets(t *testing.T) {
+	feds := []*specdag.Federation{
+		specdag.Poets(specdag.PoetsConfig{ClientsPerLanguage: 2, CharsPerClient: 150, Seed: 1}),
+		specdag.CIFAR100PAM(specdag.CIFARConfig{Clients: 4, TrainPerClient: 30, TestPerClient: 10, Seed: 2}),
+		specdag.FedProxSynthetic(specdag.FedProxConfig{Clients: 4, MaxSamples: 120, Seed: 3}),
+	}
+	for _, fed := range feds {
+		if err := fed.Validate(); err != nil {
+			t.Errorf("%s: %v", fed.Name, err)
+		}
+	}
+}
