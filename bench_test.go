@@ -9,6 +9,16 @@
 //
 // both measures the harness and records the reproduced numbers. Paper-scale
 // runs of the same experiments: cmd/experiments -full.
+//
+// The harness runs sweep cells and the round engine on a worker pool sized
+// by SPECDAG_WORKERS (default: NumCPU). Results are identical for any
+// worker count, so
+//
+//	SPECDAG_WORKERS=1 go test -bench=. .   # sequential baseline
+//	go test -bench=. .                     # parallel engine
+//
+// is a pure wall-clock comparison; BENCH_parallel.json records one such
+// snapshot.
 package specdag_test
 
 import (

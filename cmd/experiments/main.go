@@ -28,11 +28,16 @@ func main() {
 
 func run() error {
 	var (
-		exp  = flag.String("exp", "all", "experiment id (table1, table2, fig5..fig15, ablations, all)")
-		full = flag.Bool("full", false, "paper-scale runs (100 rounds, full federations)")
-		seed = flag.Int64("seed", 42, "root random seed")
+		exp     = flag.String("exp", "all", "experiment id (table1, table2, fig5..fig15, ablations, all)")
+		full    = flag.Bool("full", false, "paper-scale runs (100 rounds, full federations)")
+		seed    = flag.Int64("seed", 42, "root random seed")
+		workers = flag.Int("workers", 0, "worker goroutines for sweeps and round engine (0 = NumCPU); results are identical for any value")
 	)
 	flag.Parse()
+
+	if *workers > 0 {
+		sim.Workers = *workers
+	}
 
 	preset := sim.Quick
 	if *full {

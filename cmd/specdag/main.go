@@ -42,6 +42,7 @@ func run() error {
 		seed           = flag.Int64("seed", 42, "root random seed")
 		poisonFraction = flag.Float64("poison-fraction", 0, "fraction of clients with flipped labels (3<->8)")
 		poisonStart    = flag.Int("poison-start", 0, "round at which poisoning begins")
+		workers        = flag.Int("workers", 0, "worker goroutines for the round engine (0 = NumCPU); results are identical for any value")
 		every          = flag.Int("progress-every", 5, "print progress every N rounds")
 		dotFile        = flag.String("dot", "", "write the final DAG in Graphviz format to this file")
 		saveFile       = flag.String("save", "", "write the final DAG as a binary snapshot (inspect with dagstat)")
@@ -96,6 +97,11 @@ func run() error {
 	}
 
 	cfg := spec.DAGConfig(preset, sel, *seed)
+	if *workers > 0 {
+		// Only the explicit flag overrides; DAGConfig already applied the
+		// SPECDAG_WORKERS-derived default.
+		cfg.Workers = *workers
+	}
 	if *rounds > 0 {
 		cfg.Rounds = *rounds
 	}

@@ -1,0 +1,3 @@
+module github.com/specdag/specdag
+
+go 1.24

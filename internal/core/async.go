@@ -8,6 +8,7 @@ import (
 	"github.com/specdag/specdag/internal/dag"
 	"github.com/specdag/specdag/internal/dataset"
 	"github.com/specdag/specdag/internal/nn"
+	"github.com/specdag/specdag/internal/par"
 	"github.com/specdag/specdag/internal/tipselect"
 	"github.com/specdag/specdag/internal/xrand"
 )
@@ -35,6 +36,13 @@ type AsyncConfig struct {
 	Arch           nn.Arch
 	Selector       tipselect.Selector
 	ReferenceWalks int
+	// Workers bounds the goroutines used for the independent model
+	// evaluations inside one event (trained model vs. consensus reference).
+	// 0 (the default) uses runtime.NumCPU(). The event loop itself stays
+	// sequential: each event observes the DAG state its timestamp implies,
+	// so events are causally ordered, unlike the clients within one round of
+	// the discrete simulation. Results are identical for any worker count.
+	Workers int
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -49,6 +57,9 @@ func (c AsyncConfig) Validate() error {
 	}
 	if c.NetworkDelay < 0 {
 		return fmt.Errorf("core: NetworkDelay must be >= 0, got %v", c.NetworkDelay)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0, got %d", c.Workers)
 	}
 	return c.Arch.Validate()
 }
@@ -67,6 +78,8 @@ type AsyncResult struct {
 	SimulatedTime float64
 	Transactions  int
 	Clients       []AsyncClientStats
+	// DAG is the final tangle, for post-run inspection and metrics.
+	DAG *dag.DAG
 }
 
 // event is one scheduled client activation.
@@ -128,6 +141,10 @@ func RunAsync(fed *dataset.Federation, cfg AsyncConfig) (*AsyncResult, error) {
 
 	type asyncClient struct {
 		*client
+		// evalModel is a second scratch model so the consensus-reference
+		// evaluation can run concurrently with the trained-model evaluation
+		// (client.model) within one event.
+		evalModel *nn.MLP
 		cycleTime float64
 		stats     AsyncClientStats
 	}
@@ -140,7 +157,7 @@ func RunAsync(fed *dataset.Federation, cfg AsyncConfig) (*AsyncResult, error) {
 			id:      fc.ID,
 			cluster: fc.Cluster,
 			model:   genesis.Clone(),
-		}}
+		}, evalModel: genesis.Clone()}
 		c.trainX, c.trainY = fc.Train.XY()
 		c.testX, c.testY = fc.Test.XY()
 		c.origTestY = append([]int(nil), c.testY...)
@@ -195,8 +212,25 @@ func RunAsync(fed *dataset.Federation, cfg AsyncConfig) (*AsyncResult, error) {
 		avg := nn.AverageParams(tips[0].Params, tips[1].Params)
 		c.model.SetParams(avg)
 		c.model.Train(c.trainX, c.trainY, trainCfg, crng.Split("train"))
-		trainedLoss, trainedAcc := c.model.Evaluate(c.testX, c.testY)
-		refLoss, refAcc := c.scoreParams(refParams)
+
+		// The two post-training evaluations are independent pure functions
+		// over the client's test split; run them on separate scratch models
+		// in parallel. Each closure writes only its own locals.
+		//
+		// Note this also fixes a bug the sequential code had: evaluating the
+		// reference via c.scoreParams left the reference params in c.model,
+		// so the publish below copied the *reference* model while stamping
+		// it with the *trained* model's accuracy. Evaluating the reference
+		// on evalModel keeps c.model holding the trained params, which is
+		// what the protocol publishes (step 4 of Fig. 1, as in RunRound).
+		var trainedLoss, trainedAcc, refLoss, refAcc float64
+		par.Do(cfg.Workers,
+			func() { trainedLoss, trainedAcc = c.model.Evaluate(c.testX, c.testY) },
+			func() {
+				c.evalModel.SetParams(refParams)
+				refLoss, refAcc = c.evalModel.Evaluate(c.testX, c.testY)
+			},
+		)
 
 		c.stats.Cycles++
 		c.stats.FinalAcc = trainedAcc
@@ -219,7 +253,7 @@ func RunAsync(fed *dataset.Federation, cfg AsyncConfig) (*AsyncResult, error) {
 	}
 	flush(cfg.Duration + cfg.NetworkDelay)
 
-	res := &AsyncResult{SimulatedTime: cfg.Duration, Transactions: tangle.Size()}
+	res := &AsyncResult{SimulatedTime: cfg.Duration, Transactions: tangle.Size(), DAG: tangle}
 	for _, c := range clients {
 		res.Clients = append(res.Clients, c.stats)
 	}

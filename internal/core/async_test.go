@@ -7,6 +7,7 @@ import (
 	"github.com/specdag/specdag/internal/dataset"
 	"github.com/specdag/specdag/internal/nn"
 	"github.com/specdag/specdag/internal/tipselect"
+	"github.com/specdag/specdag/internal/xrand"
 )
 
 func asyncConfig() AsyncConfig {
@@ -145,6 +146,45 @@ func TestAsyncDeterminism(t *testing.T) {
 		if a.Clients[i].Cycles != b.Clients[i].Cycles || a.Clients[i].FinalAcc != b.Clients[i].FinalAcc {
 			t.Fatal("async runs with identical seeds diverged in client stats")
 		}
+	}
+}
+
+// TestAsyncPublishesTrainedModel is the regression test for a seed bug: the
+// sequential event loop evaluated the consensus reference on the client's
+// scratch model last, so the publish step copied the *reference* params
+// while stamping them with the *trained* model's accuracy. Published params
+// must reproduce the accuracy recorded in their own Meta when evaluated on
+// the issuer's test split.
+func TestAsyncPublishesTrainedModel(t *testing.T) {
+	fedSeed := int64(36)
+	cfg := asyncConfig()
+	res, err := RunAsync(smallFed(fedSeed), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regenerate the identical federation to recover per-client test splits.
+	fed := smallFed(fedSeed)
+	testX := make(map[int][][]float64)
+	testY := make(map[int][]int)
+	for _, fc := range fed.Clients {
+		testX[fc.ID], testY[fc.ID] = fc.Test.XY()
+	}
+	model := nn.New(cfg.Arch, xrand.New(99))
+	checked := 0
+	for _, tx := range res.DAG.All() {
+		if tx.IsGenesis() {
+			continue
+		}
+		model.SetParams(tx.Params)
+		_, acc := model.Evaluate(testX[tx.Issuer], testY[tx.Issuer])
+		if acc != tx.Meta.TestAcc {
+			t.Fatalf("tx %d by client %d: params score %v but Meta.TestAcc is %v — published the wrong model",
+				tx.ID, tx.Issuer, acc, tx.Meta.TestAcc)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no published transactions to check")
 	}
 }
 

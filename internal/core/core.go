@@ -25,6 +25,7 @@ import (
 	"github.com/specdag/specdag/internal/dag"
 	"github.com/specdag/specdag/internal/dataset"
 	"github.com/specdag/specdag/internal/nn"
+	"github.com/specdag/specdag/internal/par"
 	"github.com/specdag/specdag/internal/tipselect"
 	"github.com/specdag/specdag/internal/xrand"
 )
@@ -97,6 +98,14 @@ type Config struct {
 	RevealDelay int
 	// Poison configures the attack scenario (zero value: no attack).
 	Poison PoisonConfig
+	// Workers bounds the number of goroutines that process the round's
+	// sampled clients concurrently. 0 (the default) uses runtime.NumCPU().
+	// Results are bit-identical for every worker count: each client derives
+	// its randomness from its own split RNG stream, clients share no mutable
+	// state during a round (the DAG is only read until round end), and the
+	// round result is assembled in the original sampled-client order.
+	// Workers == 1 runs the clients inline on the calling goroutine.
+	Workers int
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -120,6 +129,9 @@ func (c Config) Validate() error {
 	}
 	if c.RevealDelay < 0 {
 		return fmt.Errorf("core: RevealDelay must be >= 0, got %d", c.RevealDelay)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0, got %d", c.Workers)
 	}
 	if p := c.Poison; p.Fraction < 0 || p.Fraction > 1 {
 		return fmt.Errorf("core: poison fraction %v outside [0,1]", p.Fraction)
@@ -354,7 +366,115 @@ func (s *Simulation) Run() []RoundResult {
 	return s.results
 }
 
+// pendingTx is a publish decision accumulated during a round and applied to
+// the tangle at round end (concurrent semantics).
+type pendingTx struct {
+	issuer  int
+	parents []dag.ID
+	params  []float64
+	meta    dag.Meta
+}
+
+// clientOutcome is everything one activated client produces during a round.
+// Outcomes are computed concurrently (one per worker) and reduced into the
+// RoundResult sequentially, in sampled-client order.
+type clientOutcome struct {
+	trainedAcc, trainedLoss float64
+	refAcc, refLoss         float64
+	publish                 bool
+	refTx                   dag.ID
+	stats                   tipselect.WalkStats
+	walkDur                 time.Duration
+	flippedFrac             float64
+	poisoned                bool
+	refPoisonedApprovals    int
+	tx                      *pendingTx // nil when the publish gate held it back
+}
+
+// runClient executes the four-phase loop of Fig. 1 for one activated client.
+// It only reads shared simulation state (the DAG is not mutated until round
+// end) and only writes state owned by this client (its scratch model, memo
+// evaluator, partial view, and lastParams), so distinct clients can run on
+// distinct goroutines. All randomness comes from the client-and-round
+// specific split stream, making the outcome independent of scheduling.
+func (s *Simulation) runClient(c *client, round int) clientOutcome {
+	crng := s.rng.SplitIndex("client-round", round*100003+c.id)
+	graph := s.graphFor(c, round)
+
+	start := time.Now()
+	// (1) Biased random walk, twice, to select two tips.
+	tips, stats := tipselect.SelectTips(s.cfg.Selector, graph, c.eval, crng, 2)
+	// Consensus reference via additional walk(s).
+	refTx, refParams, refStats := s.reference(graph, c, crng)
+	stats.Add(refStats)
+	var walkDur time.Duration
+	if s.cfg.MeasureWalkTime {
+		walkDur = time.Since(start)
+	}
+
+	// (2) Average the two tip models. Under partial-layer sharing only
+	// the first SharedLayers layers come from the DAG; the head stays
+	// the client's own.
+	avg := nn.AverageParams(tips[0].Params, tips[1].Params)
+	if k := s.cfg.SharedLayers; k > 0 && k < s.cfg.Arch.NumLayers() && c.lastParams != nil {
+		split := s.cfg.Arch.PrefixParams(k)
+		copy(avg[split:], c.lastParams[split:])
+	}
+
+	// (3) Train the averaged model on local data.
+	c.model.SetParams(avg)
+	c.model.Train(c.trainX, c.trainY, s.trainConfig(), crng.Split("train"))
+	trainedParams := c.model.ParamsCopy()
+	c.lastParams = trainedParams
+	trainedLoss, trainedAcc := c.model.Evaluate(c.testX, c.testY)
+
+	refLoss, refAcc := c.scoreParams(refParams)
+
+	// (4) Publish if the trained model beats the consensus reference on
+	// local test data (ties broken by loss so saturated clients keep
+	// publishing).
+	publish := trainedAcc > refAcc || (trainedAcc == refAcc && trainedLoss <= refLoss)
+	if s.cfg.DisablePublishGate {
+		publish = true
+	}
+
+	out := clientOutcome{
+		trainedAcc:  trainedAcc,
+		trainedLoss: trainedLoss,
+		refAcc:      refAcc,
+		refLoss:     refLoss,
+		publish:     publish,
+		refTx:       refTx,
+		stats:       stats,
+		walkDur:     walkDur,
+	}
+	if publish {
+		out.tx = &pendingTx{
+			issuer:  c.id,
+			parents: []dag.ID{tips[0].ID, tips[1].ID},
+			params:  trainedParams,
+			meta: dag.Meta{
+				TestAcc:  trainedAcc,
+				Poisoned: c.poisoned,
+			},
+		}
+	}
+	if s.cfg.Poison.Enabled() {
+		out.flippedFrac = c.flippedFraction(refParams, s.cfg.Poison)
+		out.poisoned = c.poisoned
+		out.refPoisonedApprovals = s.poisonedApprovalsOf(refTx)
+	}
+	return out
+}
+
 // RunRound executes a single round and returns its result.
+//
+// The round's sampled clients are processed by a pool of cfg.Workers
+// goroutines. Clients are concurrent actors in the paper's model — all of
+// them observe the DAG state from the start of the round and their publishes
+// land together at round end — so the parallel schedule is semantically the
+// sequential one, and the split-RNG discipline makes it numerically the
+// sequential one too.
 func (s *Simulation) RunRound() RoundResult {
 	round := s.round
 	s.maybeActivatePoisoning(round)
@@ -362,86 +482,38 @@ func (s *Simulation) RunRound() RoundResult {
 	sampler := s.rng.SplitIndex("round-sample", round)
 	idxs := sampler.SampleWithoutReplacement(len(s.clients), s.cfg.ClientsPerRound)
 
+	// Fan out: one outcome slot per sampled client. SampleWithoutReplacement
+	// yields distinct clients, so no client state is shared between workers.
+	outs := make([]clientOutcome, len(idxs))
+	par.ForEach(s.cfg.Workers, len(idxs), func(i int) {
+		outs[i] = s.runClient(s.clients[idxs[i]], round)
+	})
+
+	// Reduce sequentially in sampled order: the result slices and the
+	// pending publish list are identical to what the sequential loop built.
 	res := RoundResult{Round: round}
-	type pendingTx struct {
-		issuer  int
-		parents []dag.ID
-		params  []float64
-		meta    dag.Meta
-	}
 	var pending []pendingTx
-
 	trackPoison := s.cfg.Poison.Enabled()
-
-	for _, ci := range idxs {
-		c := s.clients[ci]
-		crng := s.rng.SplitIndex("client-round", round*100003+c.id)
-		graph := s.graphFor(c, round)
-
-		start := time.Now()
-		// (1) Biased random walk, twice, to select two tips.
-		tips, stats := tipselect.SelectTips(s.cfg.Selector, graph, c.eval, crng, 2)
-		// Consensus reference via additional walk(s).
-		refTx, refParams, refStats := s.reference(graph, c, crng)
-		stats.Add(refStats)
-		var walkDur time.Duration
-		if s.cfg.MeasureWalkTime {
-			walkDur = time.Since(start)
+	for i, out := range outs {
+		c := s.clients[idxs[i]]
+		if out.tx != nil {
+			pending = append(pending, *out.tx)
 		}
-
-		// (2) Average the two tip models. Under partial-layer sharing only
-		// the first SharedLayers layers come from the DAG; the head stays
-		// the client's own.
-		avg := nn.AverageParams(tips[0].Params, tips[1].Params)
-		if k := s.cfg.SharedLayers; k > 0 && k < s.cfg.Arch.NumLayers() && c.lastParams != nil {
-			split := s.cfg.Arch.PrefixParams(k)
-			copy(avg[split:], c.lastParams[split:])
-		}
-
-		// (3) Train the averaged model on local data.
-		c.model.SetParams(avg)
-		c.model.Train(c.trainX, c.trainY, s.trainConfig(), crng.Split("train"))
-		trainedParams := c.model.ParamsCopy()
-		c.lastParams = trainedParams
-		trainedLoss, trainedAcc := c.model.Evaluate(c.testX, c.testY)
-
-		refLoss, refAcc := c.scoreParams(refParams)
-
-		// (4) Publish if the trained model beats the consensus reference on
-		// local test data (ties broken by loss so saturated clients keep
-		// publishing).
-		publish := trainedAcc > refAcc || (trainedAcc == refAcc && trainedLoss <= refLoss)
-		if s.cfg.DisablePublishGate {
-			publish = true
-		}
-		if publish {
-			pending = append(pending, pendingTx{
-				issuer:  c.id,
-				parents: []dag.ID{tips[0].ID, tips[1].ID},
-				params:  trainedParams,
-				meta: dag.Meta{
-					TestAcc:  trainedAcc,
-					Poisoned: c.poisoned,
-				},
-			})
-		}
-
 		res.Active = append(res.Active, c.id)
-		res.TrainedAcc = append(res.TrainedAcc, trainedAcc)
-		res.TrainedLoss = append(res.TrainedLoss, trainedLoss)
-		res.RefAcc = append(res.RefAcc, refAcc)
-		res.RefLoss = append(res.RefLoss, refLoss)
-		res.Published = append(res.Published, publish)
-		res.RefTx = append(res.RefTx, refTx)
-		res.Walk.Add(stats)
+		res.TrainedAcc = append(res.TrainedAcc, out.trainedAcc)
+		res.TrainedLoss = append(res.TrainedLoss, out.trainedLoss)
+		res.RefAcc = append(res.RefAcc, out.refAcc)
+		res.RefLoss = append(res.RefLoss, out.refLoss)
+		res.Published = append(res.Published, out.publish)
+		res.RefTx = append(res.RefTx, out.refTx)
+		res.Walk.Add(out.stats)
 		if s.cfg.MeasureWalkTime {
-			res.WalkDurations = append(res.WalkDurations, walkDur)
+			res.WalkDurations = append(res.WalkDurations, out.walkDur)
 		}
-
 		if trackPoison {
-			res.FlippedFrac = append(res.FlippedFrac, c.flippedFraction(refParams, s.cfg.Poison))
-			res.ActivePoisoned = append(res.ActivePoisoned, c.poisoned)
-			res.RefPoisonedApprovals = append(res.RefPoisonedApprovals, s.poisonedApprovalsOf(refTx))
+			res.FlippedFrac = append(res.FlippedFrac, out.flippedFrac)
+			res.ActivePoisoned = append(res.ActivePoisoned, out.poisoned)
+			res.RefPoisonedApprovals = append(res.RefPoisonedApprovals, out.refPoisonedApprovals)
 		}
 	}
 

@@ -8,8 +8,11 @@
 // construction because a transaction may only approve transactions that
 // already exist.
 //
-// The DAG is safe for concurrent use; the asynchronous simulator publishes
-// from multiple goroutines.
+// The DAG is safe for concurrent use: all accessors take an internal
+// RWMutex, so any number of readers (the parallel round engine's walkers)
+// proceed in parallel, and Add serializes against them. Transactions are
+// immutable after insertion and returned by pointer, so reads of a
+// Transaction's fields need no lock at all.
 package dag
 
 import (

@@ -17,8 +17,14 @@ import (
 //
 // Genesis is always visible. Reveal must be called in an order that keeps
 // the visible set parent-closed (a transaction only after its parents),
-// which holds automatically when revealing in insertion order. View is not
-// safe for concurrent use; each simulated client owns one.
+// which holds automatically when revealing in insertion order.
+//
+// Concurrency: a View is NOT safe for concurrent use — its visibility maps
+// are unsynchronized — so each simulated client owns one and all of that
+// client's reveals and walks happen on a single goroutine. Distinct clients'
+// views may be used concurrently with each other: the only state a View
+// shares is the underlying *DAG, whose accessors take its RWMutex, and the
+// round engine never adds transactions while views are being read.
 type View struct {
 	d *DAG
 	// visible marks revealed transactions.

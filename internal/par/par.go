@@ -1,0 +1,130 @@
+// Package par provides the bounded worker pools behind every parallel code
+// path of the simulator: the per-client fan-out of a simulation round, the
+// per-event evaluations of the asynchronous simulator, and the sweep cells
+// (preset, seed, variant) of the experiment harness.
+//
+// The helpers deliberately know nothing about determinism; they only bound
+// concurrency. Callers obtain reproducible results by writing each item's
+// output to its own slice index and reducing sequentially afterwards, and by
+// deriving all randomness from split RNG streams (xrand.Split*) rather than
+// from a shared stream whose consumption order would depend on scheduling.
+//
+// With workers == 1 all helpers degrade to a plain loop on the calling
+// goroutine, so a single-worker run is not merely equivalent to the
+// sequential code — it is the sequential code.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a configured worker count: values <= 0 select
+// runtime.NumCPU(), anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// ForEach invokes fn(i) for every i in [0, n), using at most workers
+// goroutines (workers <= 0 selects runtime.NumCPU()). It returns when all
+// invocations have finished. Items are claimed dynamically, so long items do
+// not serialize behind short ones. A panic inside fn is re-raised on the
+// calling goroutine after the remaining workers drain.
+func ForEach(workers, n int, fn func(i int)) {
+	_ = ForEachErr(workers, n, func(i int) error {
+		fn(i)
+		return nil
+	})
+}
+
+// ForEachErr is ForEach for item functions that can fail. Once any item
+// errors, unclaimed items are abandoned (in-flight ones finish), and the
+// lowest-indexed error observed is returned, which keeps the reported error
+// stable when several concurrent items fail.
+func ForEachErr(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		abort    atomic.Bool
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		panicked any
+		wg       sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		abort.Store(true)
+	}
+	worker := func() {
+		defer wg.Done()
+		for {
+			// Check abort before claiming: an index, once claimed, always
+			// runs, so the first claimed index (0) is always observed.
+			if abort.Load() {
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			err := func() (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						mu.Lock()
+						if panicked == nil {
+							panicked = r
+						}
+						mu.Unlock()
+						abort.Store(true)
+						err = fmt.Errorf("par: item %d panicked", i)
+					}
+				}()
+				return fn(i)
+			}()
+			if err != nil {
+				record(i, err)
+				return
+			}
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return firstErr
+}
+
+// Do runs the given functions concurrently, bounded by workers, and waits
+// for all of them. It is shorthand for ForEach over a fixed function list.
+func Do(workers int, fns ...func()) {
+	ForEach(workers, len(fns), func(i int) { fns[i]() })
+}

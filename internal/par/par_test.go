@@ -1,0 +1,113 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefaultsToNumCPU(t *testing.T) {
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Fatalf("Workers(0) = %d, want %d", got, runtime.NumCPU())
+	}
+	if got := Workers(-3); got != runtime.NumCPU() {
+		t.Fatalf("Workers(-3) = %d, want %d", got, runtime.NumCPU())
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestForEachVisitsEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		n := 250
+		counts := make([]atomic.Int64, n)
+		ForEach(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	ForEach(4, 0, func(int) { t.Fatal("should not run") })
+	ForEach(4, -1, func(int) { t.Fatal("should not run") })
+}
+
+func TestForEachOutputByIndexIsDeterministic(t *testing.T) {
+	n := 100
+	run := func(workers int) []int {
+		out := make([]int, n)
+		ForEach(workers, n, func(i int) { out[i] = i * i })
+		return out
+	}
+	a, b := run(1), run(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("index %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestForEachErrReturnsLowestObservedError(t *testing.T) {
+	// Every item fails; the sequential path must report item 0, and the
+	// parallel path must report a deterministic (lowest-observed) index —
+	// with every item failing, the lowest observed is always 0 because item
+	// 0 is claimed first.
+	for _, workers := range []int{1, 4} {
+		err := ForEachErr(workers, 50, func(i int) error {
+			return fmt.Errorf("item %d", i)
+		})
+		if err == nil || err.Error() != "item 0" {
+			t.Fatalf("workers=%d: err = %v, want item 0", workers, err)
+		}
+	}
+}
+
+func TestForEachErrAbandonsAfterError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := ForEachErr(2, 10_000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() == 10_000 {
+		t.Fatal("no early abandon after error")
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("recovered %v, want kaboom", r)
+		}
+	}()
+	ForEach(4, 8, func(i int) {
+		if i == 3 {
+			panic("kaboom")
+		}
+	})
+	t.Fatal("panic not propagated")
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var a, b, c atomic.Bool
+	Do(2,
+		func() { a.Store(true) },
+		func() { b.Store(true) },
+		func() { c.Store(true) },
+	)
+	if !a.Load() || !b.Load() || !c.Load() {
+		t.Fatal("Do skipped a function")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/specdag/specdag/internal/core"
 	"github.com/specdag/specdag/internal/metrics"
+	"github.com/specdag/specdag/internal/par"
 	"github.com/specdag/specdag/internal/tipselect"
 )
 
@@ -52,17 +53,23 @@ func runVariant(p Preset, seed int64, variant string, mutate func(*core.Config))
 	}, nil
 }
 
+// runVariants runs every variant as an independent sweep cell on the
+// harness worker pool; rows come back in variant order.
 func runVariants(p Preset, seed int64, variants []struct {
 	name   string
 	mutate func(*core.Config)
 }) ([]AblationRow, error) {
-	rows := make([]AblationRow, 0, len(variants))
-	for _, v := range variants {
-		row, err := runVariant(p, seed, v.name, v.mutate)
+	rows := make([]AblationRow, len(variants))
+	err := par.ForEachErr(Workers, len(variants), func(i int) error {
+		row, err := runVariant(p, seed, variants[i].name, variants[i].mutate)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -6,6 +6,7 @@ import (
 	"github.com/specdag/specdag/internal/core"
 	"github.com/specdag/specdag/internal/fl"
 	"github.com/specdag/specdag/internal/metrics"
+	"github.com/specdag/specdag/internal/par"
 )
 
 // Fig9Group is one box of Fig. 9: the accuracy distribution over the clients
@@ -23,52 +24,79 @@ type Fig9Result struct {
 	DAG     []Fig9Group
 }
 
+// groupByFives folds per-round client accuracies into five-round box groups,
+// the aggregation both halves of Fig. 9 share.
+func groupByFives(perRound [][]float64) []Fig9Group {
+	var groups []Fig9Group
+	var accs []float64
+	start := 0
+	for r, roundAccs := range perRound {
+		accs = append(accs, roundAccs...)
+		if (r+1)%5 == 0 || r == len(perRound)-1 {
+			groups = append(groups, Fig9Group{StartRound: start, Stats: metrics.NewBoxStats(accs)})
+			accs = nil
+			start = r + 1
+		}
+	}
+	return groups
+}
+
 // Figure9 reproduces Fig. 9: per-client accuracy distributions, grouped
 // over five consecutive rounds, FedAvg vs the Specializing DAG, for all
-// three datasets.
+// three datasets. The six underlying runs (three datasets × two algorithms)
+// are independent and execute on the harness worker pool.
 func Figure9(p Preset, seed int64) ([]Fig9Result, error) {
 	specs := []Spec{FMNISTSpec(p, seed), PoetsSpec(p, seed+1), CIFARSpec(p, seed+2)}
-	out := make([]Fig9Result, 0, len(specs))
-	for i, spec := range specs {
+	out := make([]Fig9Result, len(specs))
+	err := par.ForEachErr(Workers, len(specs), func(i int) error {
+		spec := specs[i]
 		res := Fig9Result{Dataset: spec.Name}
 
-		flRes, err := fl.Run(spec.Fed, fl.Config{
-			Rounds:          p.Rounds(),
-			ClientsPerRound: p.ClientsPerRound(),
-			Local:           spec.Local,
-			Arch:            spec.Arch,
-			Seed:            seed + int64(20+i),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("fig9 fedavg %s: %w", spec.Name, err)
+		var fedErr, dagErr error
+		par.Do(Workers,
+			func() {
+				flRes, err := fl.Run(spec.Fed, fl.Config{
+					Rounds:          p.Rounds(),
+					ClientsPerRound: p.ClientsPerRound(),
+					Local:           spec.Local,
+					Arch:            spec.Arch,
+					Seed:            seed + int64(20+i),
+				})
+				if err != nil {
+					fedErr = fmt.Errorf("fig9 fedavg %s: %w", spec.Name, err)
+					return
+				}
+				perRound := make([][]float64, len(flRes.Rounds))
+				for r, rr := range flRes.Rounds {
+					perRound[r] = rr.Accs
+				}
+				res.FedAvg = groupByFives(perRound)
+			},
+			func() {
+				sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, spec.Selector, seed+int64(30+i)))
+				if err != nil {
+					dagErr = fmt.Errorf("fig9 dag %s: %w", spec.Name, err)
+					return
+				}
+				dagRounds := sim.Run()
+				perRound := make([][]float64, len(dagRounds))
+				for r, rr := range dagRounds {
+					perRound[r] = rr.TrainedAcc
+				}
+				res.DAG = groupByFives(perRound)
+			},
+		)
+		if fedErr != nil {
+			return fedErr
 		}
-		var accs []float64
-		start := 0
-		for r, rr := range flRes.Rounds {
-			accs = append(accs, rr.Accs...)
-			if (r+1)%5 == 0 || r == len(flRes.Rounds)-1 {
-				res.FedAvg = append(res.FedAvg, Fig9Group{StartRound: start, Stats: metrics.NewBoxStats(accs)})
-				accs = nil
-				start = r + 1
-			}
+		if dagErr != nil {
+			return dagErr
 		}
-
-		sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, spec.Selector, seed+int64(30+i)))
-		if err != nil {
-			return nil, fmt.Errorf("fig9 dag %s: %w", spec.Name, err)
-		}
-		dagRounds := sim.Run()
-		accs = nil
-		start = 0
-		for r, rr := range dagRounds {
-			accs = append(accs, rr.TrainedAcc...)
-			if (r+1)%5 == 0 || r == len(dagRounds)-1 {
-				res.DAG = append(res.DAG, Fig9Group{StartRound: start, Stats: metrics.NewBoxStats(accs)})
-				accs = nil
-				start = r + 1
-			}
-		}
-		out = append(out, res)
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -80,17 +108,44 @@ type Fig1011Curve struct {
 	Series    *metrics.Series // cols: round, acc, loss
 }
 
+// dagCurve runs the Specializing DAG on spec and records its per-round mean
+// accuracy/loss curve — the DAG half of every algorithm comparison.
+func dagCurve(p Preset, spec Spec, seed int64) (Fig1011Curve, error) {
+	sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, spec.Selector, seed))
+	if err != nil {
+		return Fig1011Curve{}, err
+	}
+	series := metrics.NewSeries("DAG", "round", "acc", "loss")
+	for r := 0; r < p.Rounds(); r++ {
+		rr := sim.RunRound()
+		series.Add(float64(r+1), rr.MeanTrainedAcc(), rr.MeanTrainedLoss())
+	}
+	return Fig1011Curve{Algorithm: "DAG", Series: series}, nil
+}
+
 // Figure10And11 reproduces Figs. 10 and 11: average accuracy and loss per
 // round for FedAvg, FedProx and the Specializing DAG on Synthetic(0.5, 0.5)
-// with 30 clients, 10 active per round.
+// with 30 clients, 10 active per round. The three algorithm runs are
+// independent cells on the harness worker pool.
 func Figure10And11(p Preset, seed int64) ([]Fig1011Curve, error) {
 	spec := FedProxSpec(p, seed)
-	out := make([]Fig1011Curve, 0, 3)
 
-	for _, algo := range []struct {
+	algos := []struct {
 		name   string
 		proxMu float64
-	}{{"FedAvg", 0}, {"FedProx", 1.0}} {
+	}{{"FedAvg", 0}, {"FedProx", 1.0}, {"DAG", 0}}
+
+	out := make([]Fig1011Curve, len(algos))
+	err := par.ForEachErr(Workers, len(algos), func(i int) error {
+		algo := algos[i]
+		if algo.name == "DAG" {
+			curve, err := dagCurve(p, spec, seed+41)
+			if err != nil {
+				return fmt.Errorf("fig10/11 dag: %w", err)
+			}
+			out[i] = curve
+			return nil
+		}
 		res, err := fl.Run(spec.Fed, fl.Config{
 			Rounds:          p.Rounds(),
 			ClientsPerRound: p.ClientsPerRound(),
@@ -100,24 +155,17 @@ func Figure10And11(p Preset, seed int64) ([]Fig1011Curve, error) {
 			Seed:            seed + 40,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("fig10/11 %s: %w", algo.name, err)
+			return fmt.Errorf("fig10/11 %s: %w", algo.name, err)
 		}
 		series := metrics.NewSeries(algo.name, "round", "acc", "loss")
 		for r, rr := range res.Rounds {
 			series.Add(float64(r+1), rr.MeanAcc, rr.MeanLoss)
 		}
-		out = append(out, Fig1011Curve{Algorithm: algo.name, Series: series})
-	}
-
-	sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, spec.Selector, seed+41))
+		out[i] = Fig1011Curve{Algorithm: algo.name, Series: series}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("fig10/11 dag: %w", err)
+		return nil, err
 	}
-	series := metrics.NewSeries("DAG", "round", "acc", "loss")
-	for r := 0; r < p.Rounds(); r++ {
-		rr := sim.RunRound()
-		series.Add(float64(r+1), rr.MeanTrainedAcc(), rr.MeanTrainedLoss())
-	}
-	out = append(out, Fig1011Curve{Algorithm: "DAG", Series: series})
 	return out, nil
 }

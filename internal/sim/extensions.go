@@ -6,6 +6,7 @@ import (
 	"github.com/specdag/specdag/internal/core"
 	"github.com/specdag/specdag/internal/fl"
 	"github.com/specdag/specdag/internal/metrics"
+	"github.com/specdag/specdag/internal/par"
 )
 
 // GossipComparison is an extension experiment beyond the paper's figures:
@@ -15,42 +16,48 @@ import (
 // partners on non-IID data.
 func GossipComparison(p Preset, seed int64) ([]Fig1011Curve, error) {
 	spec := FMNISTSpec(p, seed)
-	out := make([]Fig1011Curve, 0, 3)
+	out := make([]Fig1011Curve, 3)
 
-	flRes, err := fl.Run(spec.Fed, fl.Config{
-		Rounds:          p.Rounds(),
-		ClientsPerRound: p.ClientsPerRound(),
-		Local:           spec.Local,
-		Arch:            spec.Arch,
-		Seed:            seed + 60,
+	// The three algorithm runs only read the shared federation; run them as
+	// independent cells.
+	err := par.ForEachErr(Workers, 3, func(i int) error {
+		switch i {
+		case 0:
+			flRes, err := fl.Run(spec.Fed, fl.Config{
+				Rounds:          p.Rounds(),
+				ClientsPerRound: p.ClientsPerRound(),
+				Local:           spec.Local,
+				Arch:            spec.Arch,
+				Seed:            seed + 60,
+			})
+			if err != nil {
+				return fmt.Errorf("gossip comparison fedavg: %w", err)
+			}
+			out[i] = curveFromFL("FedAvg", flRes)
+		case 1:
+			gossip, err := fl.RunGossip(spec.Fed, fl.GossipConfig{
+				Rounds:          p.Rounds(),
+				ClientsPerRound: p.ClientsPerRound(),
+				Local:           spec.Local,
+				Arch:            spec.Arch,
+				Seed:            seed + 61,
+			})
+			if err != nil {
+				return fmt.Errorf("gossip comparison gossip: %w", err)
+			}
+			out[i] = curveFromFL("Gossip", gossip)
+		case 2:
+			curve, err := dagCurve(p, spec, seed+62)
+			if err != nil {
+				return fmt.Errorf("gossip comparison dag: %w", err)
+			}
+			out[i] = curve
+		}
+		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("gossip comparison fedavg: %w", err)
+		return nil, err
 	}
-	out = append(out, curveFromFL("FedAvg", flRes))
-
-	gossip, err := fl.RunGossip(spec.Fed, fl.GossipConfig{
-		Rounds:          p.Rounds(),
-		ClientsPerRound: p.ClientsPerRound(),
-		Local:           spec.Local,
-		Arch:            spec.Arch,
-		Seed:            seed + 61,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("gossip comparison gossip: %w", err)
-	}
-	out = append(out, curveFromFL("Gossip", gossip))
-
-	sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, spec.Selector, seed+62))
-	if err != nil {
-		return nil, fmt.Errorf("gossip comparison dag: %w", err)
-	}
-	series := metrics.NewSeries("DAG", "round", "acc", "loss")
-	for r := 0; r < p.Rounds(); r++ {
-		rr := sim.RunRound()
-		series.Add(float64(r+1), rr.MeanTrainedAcc(), rr.MeanTrainedLoss())
-	}
-	out = append(out, Fig1011Curve{Algorithm: "DAG", Series: series})
 	return out, nil
 }
 
@@ -68,16 +75,20 @@ func curveFromFL(name string, res *fl.Result) Fig1011Curve {
 // stale views affect specialization (pureness) and accuracy.
 func VisibilitySweep(p Preset, seed int64) ([]AblationRow, error) {
 	delays := []int{0, 1, 3, 5}
-	rows := make([]AblationRow, 0, len(delays))
-	for _, delay := range delays {
-		d := delay
+	rows := make([]AblationRow, len(delays))
+	err := par.ForEachErr(Workers, len(delays), func(i int) error {
+		d := delays[i]
 		row, err := runVariant(p, seed, fmt.Sprintf("reveal-delay=%d", d), func(c *core.Config) {
 			c.RevealDelay = d
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

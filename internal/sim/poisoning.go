@@ -6,6 +6,7 @@ import (
 	"github.com/specdag/specdag/internal/core"
 	"github.com/specdag/specdag/internal/graphx"
 	"github.com/specdag/specdag/internal/metrics"
+	"github.com/specdag/specdag/internal/par"
 	"github.com/specdag/specdag/internal/tipselect"
 	"github.com/specdag/specdag/internal/xrand"
 )
@@ -46,8 +47,11 @@ func Figure12And13(p Preset, seed int64) ([]PoisonCurve, error) {
 		{"p=0.3", 0.3, tipselect.AccuracyWalk{Alpha: 10}},
 	}
 
-	out := make([]PoisonCurve, 0, len(scenarios))
-	for si, sc := range scenarios {
+	// Each scenario owns its federation (poisoning flips labels in place on
+	// the simulation's private copies), so the cells are fully independent.
+	out := make([]PoisonCurve, len(scenarios))
+	err := par.ForEachErr(Workers, len(scenarios), func(si int) error {
+		sc := scenarios[si]
 		spec := ByWriterFMNISTSpec(p, seed)
 		cfg := spec.DAGConfig(p, sc.selector, seed+int64(si))
 		cfg.Rounds = clean + attack
@@ -60,7 +64,7 @@ func Figure12And13(p Preset, seed int64) ([]PoisonCurve, error) {
 		}
 		sim, err := core.NewSimulation(spec.Fed, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("fig12/13 %s: %w", sc.label, err)
+			return fmt.Errorf("fig12/13 %s: %w", sc.label, err)
 		}
 		series := metrics.NewSeries(sc.label, "round", "flippedPct", "flippedBenignPct", "poisonedApprovals")
 		for r := 0; r < cfg.Rounds; r++ {
@@ -73,7 +77,11 @@ func Figure12And13(p Preset, seed int64) ([]PoisonCurve, error) {
 				100*rr.MeanFlippedFracBenign(),
 				rr.MeanRefPoisonedApprovals())
 		}
-		out = append(out, PoisonCurve{Label: sc.label, Series: series})
+		out[si] = PoisonCurve{Label: sc.label, Series: series}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -7,12 +7,39 @@ package sim
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 
 	"github.com/specdag/specdag/internal/core"
 	"github.com/specdag/specdag/internal/dataset"
 	"github.com/specdag/specdag/internal/nn"
 	"github.com/specdag/specdag/internal/tipselect"
 )
+
+// Workers bounds the harness's parallelism: the number of independent sweep
+// cells (one figure line, ablation variant, or scenario each) run
+// concurrently, and the Workers setting of every core.Config the harness
+// assembles. 0 (the default) uses runtime.NumCPU(). Every experiment is
+// deterministic for any value — cells write results by index and each DAG
+// simulation is worker-count invariant — so this knob only trades wall clock
+// for CPU. It is read once from the SPECDAG_WORKERS environment variable at
+// startup (how the benchmark snapshots pin a sequential baseline) and can be
+// overridden by cmd/experiments -workers.
+var Workers = workersFromEnv()
+
+func workersFromEnv() int {
+	v := os.Getenv("SPECDAG_WORKERS")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		// Fail loudly: silently falling back to full parallelism would turn
+		// a typo'd "sequential baseline" benchmark into a parallel run.
+		panic(fmt.Sprintf("sim: invalid SPECDAG_WORKERS=%q (want a non-negative integer)", v))
+	}
+	return n
+}
 
 // Preset selects the experiment scale.
 type Preset int
@@ -204,6 +231,7 @@ func FedProxSpec(p Preset, seed int64) Spec {
 }
 
 // DAGConfig assembles a core.Config for the spec with the given selector.
+// The simulation inherits the harness-wide Workers setting.
 func (s Spec) DAGConfig(p Preset, sel tipselect.Selector, seed int64) core.Config {
 	return core.Config{
 		Rounds:          p.Rounds(),
@@ -211,6 +239,7 @@ func (s Spec) DAGConfig(p Preset, sel tipselect.Selector, seed int64) core.Confi
 		Local:           s.Local,
 		Arch:            s.Arch,
 		Selector:        sel,
+		Workers:         Workers,
 		Seed:            seed,
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"github.com/specdag/specdag/internal/core"
 	"github.com/specdag/specdag/internal/graphx"
 	"github.com/specdag/specdag/internal/metrics"
+	"github.com/specdag/specdag/internal/par"
 	"github.com/specdag/specdag/internal/tipselect"
 	"github.com/specdag/specdag/internal/xrand"
 )
@@ -23,19 +24,24 @@ type Table2Row struct {
 // datasets, each with its spec's headline selector.
 func Table2(p Preset, seed int64) ([]Table2Row, error) {
 	specs := []Spec{FMNISTSpec(p, seed), PoetsSpec(p, seed+1), CIFARSpec(p, seed+2)}
-	rows := make([]Table2Row, 0, len(specs))
-	for i, spec := range specs {
+	rows := make([]Table2Row, len(specs))
+	err := par.ForEachErr(Workers, len(specs), func(i int) error {
+		spec := specs[i]
 		sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, spec.Selector, seed+int64(10+i)))
 		if err != nil {
-			return nil, fmt.Errorf("table2 %s: %w", spec.Name, err)
+			return fmt.Errorf("table2 %s: %w", spec.Name, err)
 		}
 		sim.Run()
-		rows = append(rows, Table2Row{
+		rows[i] = Table2Row{
 			Dataset:  spec.Name,
 			Clusters: spec.Fed.NumClusters,
 			Base:     spec.Fed.BasePureness(),
 			Pureness: metrics.ApprovalPureness(sim.DAG(), spec.Fed.ClusterOf()),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -56,13 +62,14 @@ func Figure5(p Preset, seed int64) ([]Fig5Result, error) {
 		sampleEvery = 2
 	}
 
-	out := make([]Fig5Result, 0, len(alphas))
-	for ai, alpha := range alphas {
+	out := make([]Fig5Result, len(alphas))
+	err := par.ForEachErr(Workers, len(alphas), func(ai int) error {
+		alpha := alphas[ai]
 		spec := FMNISTSpec(p, seed)
 		sel := tipselect.AccuracyWalk{Alpha: alpha}
 		sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, sel, seed+int64(ai)))
 		if err != nil {
-			return nil, fmt.Errorf("fig5 alpha=%v: %w", alpha, err)
+			return fmt.Errorf("fig5 alpha=%v: %w", alpha, err)
 		}
 		truth := spec.Fed.ClusterOf()
 		series := metrics.NewSeries(fmt.Sprintf("fig5 alpha=%g", alpha),
@@ -80,7 +87,11 @@ func Figure5(p Preset, seed int64) ([]Fig5Result, error) {
 				float64(graphx.NumCommunities(part)),
 				metrics.Misclassification(part, truth))
 		}
-		out = append(out, Fig5Result{Alpha: alpha, Series: series})
+		out[ai] = Fig5Result{Alpha: alpha, Series: series}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -95,20 +106,25 @@ type AccuracyCurve struct {
 // accuracy per round.
 func accuracySweep(p Preset, spec func(int) Spec, norm tipselect.Normalization, seed int64) ([]AccuracyCurve, error) {
 	alphas := []float64{0.1, 1, 10, 100}
-	out := make([]AccuracyCurve, 0, len(alphas))
-	for ai, alpha := range alphas {
+	out := make([]AccuracyCurve, len(alphas))
+	err := par.ForEachErr(Workers, len(alphas), func(ai int) error {
+		alpha := alphas[ai]
 		sp := spec(ai)
 		sel := tipselect.AccuracyWalk{Alpha: alpha, Norm: norm}
 		sim, err := core.NewSimulation(sp.Fed, sp.DAGConfig(p, sel, seed+int64(ai)))
 		if err != nil {
-			return nil, fmt.Errorf("accuracy sweep alpha=%v: %w", alpha, err)
+			return fmt.Errorf("accuracy sweep alpha=%v: %w", alpha, err)
 		}
 		series := metrics.NewSeries(fmt.Sprintf("alpha=%g (%s)", alpha, norm), "round", "acc")
 		for r := 0; r < p.Rounds(); r++ {
 			rr := sim.RunRound()
 			series.Add(float64(r+1), rr.MeanTrainedAcc())
 		}
-		out = append(out, AccuracyCurve{Label: fmt.Sprintf("alpha=%g", alpha), Series: series})
+		out[ai] = AccuracyCurve{Label: fmt.Sprintf("alpha=%g", alpha), Series: series}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -137,15 +153,24 @@ func Figure7(p Preset, seed int64) (*Fig7Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pureness := make(map[string]float64, 2)
-	for _, norm := range []tipselect.Normalization{tipselect.NormStandard, tipselect.NormDynamic} {
+	norms := []tipselect.Normalization{tipselect.NormStandard, tipselect.NormDynamic}
+	vals := make([]float64, len(norms))
+	err = par.ForEachErr(Workers, len(norms), func(i int) error {
 		spec := FMNISTSpec(p, seed)
-		sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, tipselect.AccuracyWalk{Alpha: 1, Norm: norm}, seed+50))
+		sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, tipselect.AccuracyWalk{Alpha: 1, Norm: norms[i]}, seed+50))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sim.Run()
-		pureness[norm.String()] = metrics.ApprovalPureness(sim.DAG(), spec.Fed.ClusterOf())
+		vals[i] = metrics.ApprovalPureness(sim.DAG(), spec.Fed.ClusterOf())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pureness := make(map[string]float64, len(norms))
+	for i, norm := range norms {
+		pureness[norm.String()] = vals[i]
 	}
 	return &Fig7Result{Curves: curves, PurenessAlpha1: pureness}, nil
 }

@@ -31,6 +31,14 @@ import (
 // Graph is the read view of a tangle that tip selection walks over: either
 // a full *dag.DAG or a partial-visibility *dag.View (non-ideal transaction
 // dissemination). All methods mirror the corresponding dag.DAG methods.
+//
+// Concurrency: the parallel round engine runs many walkers over one Graph at
+// the same time, so a Graph shared between walkers must tolerate concurrent
+// method calls as long as no transaction is added during the walks. *dag.DAG
+// satisfies this unconditionally (internal RWMutex). *dag.View is owned by a
+// single client and must not be shared, but walking it concurrently with
+// other clients' walks is safe because its reads of the underlying DAG go
+// through the DAG's lock.
 type Graph interface {
 	Genesis() *dag.Transaction
 	MustGet(id dag.ID) *dag.Transaction
@@ -63,6 +71,13 @@ func (f EvaluatorFunc) Accuracy(tx *dag.Transaction) float64 { return f(tx) }
 // transaction ID. Hits and Misses expose cache effectiveness; the paper's
 // prototype re-evaluates children on every walk, so the scalability
 // experiment (Fig. 15) disables memoization to reproduce its cost profile.
+//
+// MemoEvaluator is NOT safe for concurrent use (unsynchronized map and
+// counters). The parallel round engine respects this by giving each client
+// its own MemoEvaluator and running all of one client's walks within a round
+// on a single worker goroutine; only distinct clients' evaluators run
+// concurrently. Anyone sharing one evaluator across goroutines must add
+// external locking.
 type MemoEvaluator struct {
 	Score func(params []float64) float64
 	// Disable turns the memo off (every call is a miss).
@@ -110,7 +125,9 @@ func (s *WalkStats) Add(other WalkStats) {
 
 // Selector chooses one tip of the DAG for approval. Implementations must be
 // stateless with respect to the walk (all per-walk state is local) so a
-// single Selector value can be shared across clients.
+// single Selector value can be shared across clients — including across the
+// concurrently running walkers of the parallel round engine, which share one
+// Selector value without synchronization.
 type Selector interface {
 	// Name identifies the selector in logs and experiment output.
 	Name() string
