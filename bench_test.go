@@ -22,6 +22,7 @@
 package specdag_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -53,7 +54,7 @@ var table2Once sync.Once
 // FMNIST-clustered, Poets and CIFAR-100 after training with α=10.
 func BenchmarkTable2ApprovalPureness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := sim.Table2(benchPreset, benchSeed)
+		rows, err := sim.Table2(context.Background(), benchPreset, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +73,7 @@ var fig5Once sync.Once
 // count and misclassification of G_clients for α ∈ {1, 10, 100}.
 func BenchmarkFigure5AlphaMetrics(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Figure5(benchPreset, benchSeed)
+		res, err := sim.Figure5(context.Background(), benchPreset, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -91,7 +92,7 @@ var fig6Once sync.Once
 // FMNIST-clustered for α ∈ {0.1, 1, 10, 100}, standard normalization.
 func BenchmarkFigure6AccuracyByAlpha(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		curves, err := sim.Figure6(benchPreset, benchSeed)
+		curves, err := sim.Figure6(context.Background(), benchPreset, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,7 +113,7 @@ var fig7Once sync.Once
 // sweep with Eq. 3 normalization plus the α=1 pureness comparison.
 func BenchmarkFigure7DynamicNormalization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Figure7(benchPreset, benchSeed)
+		res, err := sim.Figure7(context.Background(), benchPreset, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -130,7 +131,7 @@ var fig8Once sync.Once
 // relaxed dataset (15–20 % foreign-cluster data).
 func BenchmarkFigure8RelaxedClusters(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		curves, err := sim.Figure8(benchPreset, benchSeed)
+		curves, err := sim.Figure8(context.Background(), benchPreset, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -151,7 +152,7 @@ var fig9Once sync.Once
 // distributions, FedAvg vs Specializing DAG, on all three datasets.
 func BenchmarkFigure9FedAvgComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Figure9(benchPreset, benchSeed)
+		res, err := sim.Figure9(context.Background(), benchPreset, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -172,7 +173,7 @@ var fig1011Once sync.Once
 func runFig1011(b *testing.B, metric string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		curves, err := sim.Figure10And11(benchPreset, benchSeed)
+		curves, err := sim.Figure10And11(context.Background(), benchPreset, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -198,7 +199,7 @@ var fig1213Once sync.Once
 func runFig1213(b *testing.B, metric string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		curves, err := sim.Figure12And13(benchPreset, benchSeed)
+		curves, err := sim.Figure12And13(context.Background(), benchPreset, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -226,7 +227,7 @@ var fig14Once sync.Once
 // distribution of poisoned clients over Louvain-inferred communities.
 func BenchmarkFigure14PoisonClusterHistogram(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Figure14(benchPreset, benchSeed)
+		res, err := sim.Figure14(context.Background(), benchPreset, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -245,7 +246,7 @@ var fig15Once sync.Once
 // active clients.
 func BenchmarkFigure15WalkScalability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		curves, err := sim.Figure15(benchPreset, benchSeed)
+		curves, err := sim.Figure15(context.Background(), benchPreset, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -262,10 +263,10 @@ func BenchmarkFigure15WalkScalability(b *testing.B) {
 // ---- Ablation benches (DESIGN.md §5) ----
 
 func runAblation(b *testing.B, once *sync.Once, title string,
-	run func(sim.Preset, int64) ([]sim.AblationRow, error)) {
+	run func(context.Context, sim.Preset, int64) ([]sim.AblationRow, error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		rows, err := run(benchPreset, benchSeed)
+		rows, err := run(context.Background(), benchPreset, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -334,7 +335,7 @@ var gossipOnce sync.Once
 // baseline (related work §3.2) and FedAvg on the clustered dataset.
 func BenchmarkGossipComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		curves, err := sim.GossipComparison(benchPreset, benchSeed)
+		curves, err := sim.GossipComparison(context.Background(), benchPreset, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}

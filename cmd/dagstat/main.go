@@ -1,18 +1,25 @@
-// Command dagstat inspects a Specializing DAG snapshot written by
-// cmd/specdag -save: structural statistics, per-issuer activity, heaviest
-// transactions by cumulative weight, and optional Graphviz export.
+// Command dagstat inspects Specializing DAG artifacts: both plain tangle
+// snapshots (cmd/specdag -save, format SDG1) and full simulation
+// checkpoints (cmd/specdag -checkpoint, format SDC1 — the resumable state
+// behind specdag.Run). It reports structural statistics, per-issuer
+// activity, heaviest transactions by cumulative weight, and optional
+// Graphviz export; for checkpoints it additionally shows the resume point.
 //
 //	specdag -dataset fmnist -rounds 30 -save tangle.sdg
 //	dagstat -in tangle.sdg
 //	dagstat -in tangle.sdg -top 5 -dot tangle.dot
+//	specdag -dataset fmnist -rounds 200 -checkpoint run.sdc
+//	dagstat -in run.sdc
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
+	"github.com/specdag/specdag/internal/core"
 	"github.com/specdag/specdag/internal/dag"
 	"github.com/specdag/specdag/internal/graphx"
 	"github.com/specdag/specdag/internal/metrics"
@@ -43,9 +50,29 @@ func run() error {
 		return err
 	}
 	defer f.Close()
-	d, err := dag.ReadDAG(f)
+
+	// Sniff the magic: plain DAG snapshot (SDG1) or full simulation
+	// checkpoint (SDC1) — both carry a tangle to analyze.
+	br := bufio.NewReader(f)
+	magic, err := br.Peek(4)
 	if err != nil {
-		return err
+		return fmt.Errorf("reading magic: %w", err)
+	}
+	var d *dag.DAG
+	switch string(magic) {
+	case "SDC1":
+		info, ckptDAG, err := core.InspectCheckpoint(br)
+		if err != nil {
+			return err
+		}
+		d = ckptDAG
+		fmt.Printf("simulation checkpoint: seed %d, round %d/%d, %d clients — resume with specdag -resume\n",
+			info.Seed, info.Round, info.Rounds, info.Clients)
+	default:
+		d, err = dag.ReadDAG(br)
+		if err != nil {
+			return err
+		}
 	}
 
 	stats := d.Stats()

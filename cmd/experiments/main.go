@@ -7,12 +7,19 @@
 //
 // Experiment IDs: table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 // fig13 fig14 fig15 ablations all.
+//
+// Every experiment runs through the unified run API on one shared worker
+// pool (-workers), so the whole sweep is interruptible: Ctrl-C cancels the
+// in-flight runs at round granularity and exits cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -31,13 +38,16 @@ func run() error {
 		exp     = flag.String("exp", "all", "experiment id (table1, table2, fig5..fig15, ablations, all)")
 		full    = flag.Bool("full", false, "paper-scale runs (100 rounds, full federations)")
 		seed    = flag.Int64("seed", 42, "root random seed")
-		workers = flag.Int("workers", 0, "worker goroutines for sweeps and round engine (0 = NumCPU); results are identical for any value")
+		workers = flag.Int("workers", 0, "total worker budget shared by sweep cells and round engines (0 = NumCPU); results are identical for any value")
 	)
 	flag.Parse()
 
 	if *workers > 0 {
-		sim.Workers = *workers
+		sim.SetWorkers(*workers)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	preset := sim.Quick
 	if *full {
@@ -53,7 +63,11 @@ func run() error {
 
 	for _, id := range ids {
 		start := time.Now()
-		out, err := runOne(strings.TrimSpace(id), preset, *seed)
+		out, err := runOne(ctx, strings.TrimSpace(id), preset, *seed)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted — partial sweep discarded")
+			return nil
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
@@ -63,78 +77,78 @@ func run() error {
 	return nil
 }
 
-func runOne(id string, preset sim.Preset, seed int64) (string, error) {
+func runOne(ctx context.Context, id string, preset sim.Preset, seed int64) (string, error) {
 	switch id {
 	case "table1":
 		return sim.Table1(), nil
 	case "table2":
-		rows, err := sim.Table2(preset, seed)
+		rows, err := sim.Table2(ctx, preset, seed)
 		if err != nil {
 			return "", err
 		}
 		return sim.RenderTable2(rows), nil
 	case "fig5":
-		res, err := sim.Figure5(preset, seed)
+		res, err := sim.Figure5(ctx, preset, seed)
 		if err != nil {
 			return "", err
 		}
 		return sim.RenderFig5(res), nil
 	case "fig6":
-		curves, err := sim.Figure6(preset, seed)
+		curves, err := sim.Figure6(ctx, preset, seed)
 		if err != nil {
 			return "", err
 		}
 		return sim.RenderCurves("Figure 6: accuracy by alpha (standard normalization)", curves), nil
 	case "fig7":
-		res, err := sim.Figure7(preset, seed)
+		res, err := sim.Figure7(ctx, preset, seed)
 		if err != nil {
 			return "", err
 		}
 		return sim.RenderFig7(res), nil
 	case "fig8":
-		curves, err := sim.Figure8(preset, seed)
+		curves, err := sim.Figure8(ctx, preset, seed)
 		if err != nil {
 			return "", err
 		}
 		return sim.RenderCurves("Figure 8: accuracy by alpha (relaxed clusters)", curves), nil
 	case "fig9":
-		res, err := sim.Figure9(preset, seed)
+		res, err := sim.Figure9(ctx, preset, seed)
 		if err != nil {
 			return "", err
 		}
 		return sim.RenderFig9(res), nil
 	case "fig10", "fig11":
-		curves, err := sim.Figure10And11(preset, seed)
+		curves, err := sim.Figure10And11(ctx, preset, seed)
 		if err != nil {
 			return "", err
 		}
 		return sim.RenderFig1011(curves), nil
 	case "fig12", "fig13":
-		curves, err := sim.Figure12And13(preset, seed)
+		curves, err := sim.Figure12And13(ctx, preset, seed)
 		if err != nil {
 			return "", err
 		}
 		return sim.RenderPoison(curves), nil
 	case "fig14":
-		res, err := sim.Figure14(preset, seed)
+		res, err := sim.Figure14(ctx, preset, seed)
 		if err != nil {
 			return "", err
 		}
 		return sim.RenderFig14(res), nil
 	case "fig15":
-		curves, err := sim.Figure15(preset, seed)
+		curves, err := sim.Figure15(ctx, preset, seed)
 		if err != nil {
 			return "", err
 		}
 		return sim.RenderFig15(curves), nil
 	case "visibility":
-		rows, err := sim.VisibilitySweep(preset, seed)
+		rows, err := sim.VisibilitySweep(ctx, preset, seed)
 		if err != nil {
 			return "", err
 		}
 		return sim.RenderAblation("reveal delay (non-ideal broadcast)", rows), nil
 	case "gossip":
-		curves, err := sim.GossipComparison(preset, seed)
+		curves, err := sim.GossipComparison(ctx, preset, seed)
 		if err != nil {
 			return "", err
 		}
@@ -144,7 +158,7 @@ func runOne(id string, preset sim.Preset, seed int64) (string, error) {
 		var b strings.Builder
 		type abl struct {
 			name string
-			run  func(sim.Preset, int64) ([]sim.AblationRow, error)
+			run  func(context.Context, sim.Preset, int64) ([]sim.AblationRow, error)
 		}
 		for _, a := range []abl{
 			{"normalization (alpha=1)", sim.AblationNormalization},
@@ -154,7 +168,7 @@ func runOne(id string, preset sim.Preset, seed int64) (string, error) {
 			{"selector family", sim.AblationSelectors},
 			{"partial layer sharing", sim.AblationPartialSharing},
 		} {
-			rows, err := a.run(preset, seed)
+			rows, err := a.run(ctx, preset, seed)
 			if err != nil {
 				return "", err
 			}

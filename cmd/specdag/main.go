@@ -2,20 +2,32 @@
 // configurable dataset, tip selector, and poisoning scenario, printing
 // per-round progress and the final specialization metrics.
 //
+// The run is driven through the unified run API: Ctrl-C cancels it at round
+// granularity (partial metrics are still reported), -checkpoint persists
+// the full simulation state periodically and at exit, and -resume continues
+// a checkpointed run bit-identically to one that was never interrupted.
+//
 // Examples:
 //
 //	specdag -dataset fmnist -alpha 10 -rounds 50
 //	specdag -dataset poets -alpha 1 -norm dynamic
 //	specdag -dataset fmnist-bywriter -poison-fraction 0.2 -poison-start 20
 //	specdag -dataset fmnist -selector urts -dot tangle.dot
+//	specdag -dataset fmnist -rounds 200 -checkpoint run.sdc   # ^C anytime…
+//	specdag -dataset fmnist -rounds 200 -resume run.sdc       # …and continue
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 
 	"github.com/specdag/specdag/internal/core"
+	"github.com/specdag/specdag/internal/engine"
 	"github.com/specdag/specdag/internal/graphx"
 	"github.com/specdag/specdag/internal/metrics"
 	"github.com/specdag/specdag/internal/sim"
@@ -28,6 +40,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "specdag:", err)
 		os.Exit(1)
 	}
+}
+
+// atomicFile writes through a temp file and renames it over the target on
+// Close, so an interrupted write (crash, OOM kill) never truncates the
+// previous good checkpoint — the exact interruptions checkpoints exist to
+// survive.
+type atomicFile struct {
+	f    *os.File
+	path string
+}
+
+func newAtomicFile(path string) (*atomicFile, error) {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return nil, err
+	}
+	return &atomicFile{f: f, path: path}, nil
+}
+
+func (a *atomicFile) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+func (a *atomicFile) Close() error {
+	if err := a.f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(a.path+".tmp", a.path)
+}
+
+// abort discards the temp file without touching the target.
+func (a *atomicFile) abort() {
+	a.f.Close()
+	os.Remove(a.path + ".tmp")
 }
 
 func run() error {
@@ -46,6 +90,9 @@ func run() error {
 		every          = flag.Int("progress-every", 5, "print progress every N rounds")
 		dotFile        = flag.String("dot", "", "write the final DAG in Graphviz format to this file")
 		saveFile       = flag.String("save", "", "write the final DAG as a binary snapshot (inspect with dagstat)")
+		ckptFile       = flag.String("checkpoint", "", "write a full simulation checkpoint to this file every -checkpoint-every rounds and at exit (resume with -resume)")
+		ckptEvery      = flag.Int("checkpoint-every", 10, "rounds between periodic checkpoints (with -checkpoint)")
+		resumeFile     = flag.String("resume", "", "resume from a checkpoint written by -checkpoint (requires the same dataset/config flags)")
 	)
 	flag.Parse()
 
@@ -121,26 +168,74 @@ func run() error {
 	fmt.Printf("dataset=%s clients=%d clusters=%d selector=%s rounds=%d clients/round=%d seed=%d\n",
 		spec.Name, len(spec.Fed.Clients), spec.Fed.NumClusters, sel.Name(), cfg.Rounds, cfg.ClientsPerRound, *seed)
 
-	s, err := core.NewSimulation(spec.Fed, cfg)
+	var s *core.Simulation
+	var err error
+	if *resumeFile != "" {
+		f, ferr := os.Open(*resumeFile)
+		if ferr != nil {
+			return fmt.Errorf("opening checkpoint: %w", ferr)
+		}
+		s, err = core.ResumeSimulation(spec.Fed, cfg, f)
+		f.Close()
+		if err == nil {
+			fmt.Printf("resumed from %s at round %d\n", *resumeFile, s.Round())
+		}
+	} else {
+		s, err = core.NewSimulation(spec.Fed, cfg)
+	}
 	if err != nil {
 		return err
 	}
-	for r := 0; r < cfg.Rounds; r++ {
-		rr := s.RunRound()
-		if (r+1)%*every == 0 || r == cfg.Rounds-1 {
-			published := 0
-			for _, p := range rr.Published {
-				if p {
-					published++
-				}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := []engine.Option{engine.WithHooks(engine.Hooks{
+		OnRound: func(ev engine.RoundEvent) {
+			if (ev.Round+1)%*every != 0 && ev.Round != cfg.Rounds-1 {
+				return
 			}
 			line := fmt.Sprintf("round %3d  acc %.3f  loss %.3f  published %d/%d  dag %d",
-				r+1, rr.MeanTrainedAcc(), rr.MeanTrainedLoss(), published, len(rr.Active), s.DAG().Size())
-			if cfg.Poison.Enabled() && r >= cfg.Poison.StartRound {
+				ev.Round+1, ev.MeanAcc, ev.MeanLoss, ev.Published, cfg.ClientsPerRound, ev.DAGSize)
+			if cfg.Poison.Enabled() && ev.Round >= cfg.Poison.StartRound {
+				rr := ev.Detail.(*core.RoundResult)
 				line += fmt.Sprintf("  flipped %.1f%%", 100*rr.MeanFlippedFrac())
 			}
 			fmt.Println(line)
+		},
+	})}
+	if *ckptFile != "" {
+		opts = append(opts, engine.WithCheckpoints(*ckptEvery, func(int) (io.WriteCloser, error) {
+			return newAtomicFile(*ckptFile)
+		}))
+	}
+
+	_, runErr := engine.Run(ctx, s, opts...)
+	canceled := errors.Is(runErr, context.Canceled)
+	if runErr != nil && !canceled {
+		return runErr
+	}
+	if *ckptFile != "" {
+		f, err := newAtomicFile(*ckptFile)
+		if err != nil {
+			return fmt.Errorf("creating checkpoint: %w", err)
 		}
+		n, err := s.WriteCheckpoint(f)
+		if err != nil {
+			f.abort()
+			return fmt.Errorf("writing checkpoint: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("writing checkpoint: %w", err)
+		}
+		fmt.Printf("wrote %d-byte checkpoint to %s (round %d)\n", n, *ckptFile, s.Round())
+	}
+	if canceled {
+		fmt.Printf("\ninterrupted after round %d — partial metrics below", s.Round())
+		if *ckptFile != "" {
+			fmt.Printf("; continue with -resume %s", *ckptFile)
+		}
+		fmt.Println()
 	}
 
 	fmt.Println()

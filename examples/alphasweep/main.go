@@ -5,22 +5,34 @@
 // small, pure communities); low α approaches a uniform walk (one generalized
 // model, low modularity).
 //
+// The four runs share one worker pool: each simulation's round fan-out
+// draws from the same budget, so the sweep saturates the machine without
+// oversubscribing it — the same mechanism cmd/experiments uses at scale.
+//
 //	go run ./examples/alphasweep
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	specdag "github.com/specdag/specdag"
 )
 
 func main() {
+	rounds := 30
+	if os.Getenv("SPECDAG_EXAMPLES_FAST") != "" {
+		rounds = 8 // CI smoke mode: same program, fewer rounds
+	}
+	pool := specdag.NewWorkerPool(0) // one budget for the whole sweep
+
 	fmt.Println("alpha | pureness | modularity | communities | misclassification | final acc")
 	fmt.Println("------|----------|------------|-------------|-------------------|----------")
 
 	for _, alpha := range []float64{0.1, 1, 10, 100} {
-		pureness, modularity, comms, mis, acc := runOnce(alpha)
+		pureness, modularity, comms, mis, acc := runOnce(alpha, rounds, pool)
 		fmt.Printf("%5g | %8.3f | %10.3f | %11d | %17.3f | %.3f\n",
 			alpha, pureness, modularity, comms, mis, acc)
 	}
@@ -29,7 +41,7 @@ func main() {
 	fmt.Println("under-specializes and alpha=100 over-fragments the network.")
 }
 
-func runOnce(alpha float64) (pureness, modularity float64, communities int, misclassification, finalAcc float64) {
+func runOnce(alpha float64, rounds int, pool *specdag.WorkerPool) (pureness, modularity float64, communities int, misclassification, finalAcc float64) {
 	fed := specdag.FMNISTClustered(specdag.FMNISTConfig{
 		Clients:        30,
 		TrainPerClient: 60,
@@ -38,7 +50,7 @@ func runOnce(alpha float64) (pureness, modularity float64, communities int, misc
 		Seed:           7,
 	})
 	sim, err := specdag.NewSimulation(fed, specdag.Config{
-		Rounds:          30,
+		Rounds:          rounds,
 		ClientsPerRound: 10,
 		Local:           specdag.SGDConfig{LR: 0.05, Epochs: 1, BatchSize: 10},
 		Arch:            specdag.Arch{In: fed.InputDim, Hidden: []int{32}, Out: fed.NumClasses},
@@ -48,7 +60,10 @@ func runOnce(alpha float64) (pureness, modularity float64, communities int, misc
 	if err != nil {
 		log.Fatal(err)
 	}
-	results := sim.Run()
+	if _, err := specdag.Run(context.Background(), sim, specdag.WithPool(pool)); err != nil {
+		log.Fatal(err)
+	}
+	results := sim.Results()
 
 	g := specdag.BuildClientGraph(sim.DAG())
 	part := specdag.Louvain(g, 9)

@@ -6,18 +6,32 @@
 // than another simply contributes fewer updates — it never blocks anyone,
 // unlike a synchronized FedAvg round that waits for the slowest participant.
 //
+// The engine runs through the unified run API at event granularity: the
+// deadline on the context caps wall-clock time, and Result() reports
+// whatever the run achieved — exactly how a long-lived deployment would be
+// supervised.
+//
 //	go run ./examples/asyncdag
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"os"
 	"sort"
+	"time"
 
 	specdag "github.com/specdag/specdag"
 )
 
 func main() {
+	duration := 120.0 // simulated seconds
+	if os.Getenv("SPECDAG_EXAMPLES_FAST") != "" {
+		duration = 20 // CI smoke mode: same program, shorter horizon
+	}
+
 	fed := specdag.FMNISTClustered(specdag.FMNISTConfig{
 		Clients:        20,
 		TrainPerClient: 60,
@@ -26,24 +40,38 @@ func main() {
 	})
 
 	cfg := specdag.AsyncConfig{
-		Duration:     120, // simulated seconds
-		MinCycle:     1,   // fastest client: one cycle per second
-		MaxCycle:     8,   // slowest: one cycle per 8 seconds
+		Duration:     duration,
+		MinCycle:     1, // fastest client: one cycle per second
+		MaxCycle:     8, // slowest: one cycle per 8 seconds
 		NetworkDelay: 0.5,
 		Local:        specdag.SGDConfig{LR: 0.05, Epochs: 1, BatchSize: 10},
 		Arch:         specdag.Arch{In: fed.InputDim, Hidden: []int{32}, Out: fed.NumClasses},
 		Selector:     specdag.AccuracyWalk{Alpha: 10},
 		Seed:         32,
 	}
-	res, err := specdag.RunAsync(fed, cfg)
+	async, err := specdag.NewAsyncSimulation(fed, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	// A real deployment supervises the runner: bound its wall-clock time
+	// and observe publishes as they happen.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	publishes := 0
+	_, err = specdag.Run(ctx, async, specdag.WithHooks(specdag.Hooks{
+		OnPublish: func(specdag.PublishEvent) { publishes++ },
+	}))
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatal(err)
+	}
+	res := async.Result() // partial if the deadline hit first
+
 	clients := append([]specdag.AsyncClientStats(nil), res.Clients...)
 	sort.Slice(clients, func(i, j int) bool { return clients[i].CycleTime < clients[j].CycleTime })
 
-	fmt.Printf("simulated %.0fs, %d transactions in the DAG\n\n", res.SimulatedTime, res.Transactions)
+	fmt.Printf("simulated %.0fs: %d activations, %d publish events, %d transactions in the DAG\n\n",
+		res.SimulatedTime, async.Events(), publishes, res.Transactions)
 	fmt.Println("client | cycle time | cycles done | published | final acc")
 	fmt.Println("-------|------------|-------------|-----------|----------")
 	for _, c := range clients {

@@ -6,20 +6,30 @@
 // punishes a single global model. The DAG accommodates the heterogeneity
 // without any central server.
 //
+// All three algorithms are engines behind the same specdag.Run call — the
+// unified run API is what makes this comparison a loop over engines rather
+// than three bespoke code paths.
+//
 //	go run ./examples/fedcompare
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	specdag "github.com/specdag/specdag"
 )
 
-const (
-	rounds          = 30
-	clientsPerRound = 10
-)
+const clientsPerRound = 10
+
+func rounds() int {
+	if os.Getenv("SPECDAG_EXAMPLES_FAST") != "" {
+		return 10 // CI smoke mode: same program, fewer rounds
+	}
+	return 30
+}
 
 func main() {
 	fed := specdag.FedProxSynthetic(specdag.FedProxConfig{
@@ -36,7 +46,7 @@ func main() {
 
 	fmt.Println("round | FedAvg acc/loss | FedProx acc/loss | DAG acc/loss")
 	fmt.Println("------|-----------------|------------------|-------------")
-	for r := 0; r < rounds; r += 5 {
+	for r := 0; r < rounds(); r += 5 {
 		fmt.Printf("%5d | %.3f / %.3f   | %.3f / %.3f    | %.3f / %.3f\n",
 			r+1,
 			fedAvg.MeanAccs()[r], fedAvg.MeanLosses()[r],
@@ -60,8 +70,8 @@ func main() {
 }
 
 func runCentralized(fed *specdag.Federation, arch specdag.Arch, local specdag.SGDConfig, proxMu float64) *specdag.FedResult {
-	res, err := specdag.RunFederated(fed, specdag.FedConfig{
-		Rounds:          rounds,
+	eng, err := specdag.NewFederated(fed, specdag.FedConfig{
+		Rounds:          rounds(),
 		ClientsPerRound: clientsPerRound,
 		Local:           local,
 		ProxMu:          proxMu,
@@ -71,12 +81,15 @@ func runCentralized(fed *specdag.Federation, arch specdag.Arch, local specdag.SG
 	if err != nil {
 		log.Fatal(err)
 	}
-	return res
+	if _, err := specdag.Run(context.Background(), eng); err != nil {
+		log.Fatal(err)
+	}
+	return eng.Result()
 }
 
 func runDAG(fed *specdag.Federation, arch specdag.Arch, local specdag.SGDConfig) (accs, losses []float64) {
 	sim, err := specdag.NewSimulation(fed, specdag.Config{
-		Rounds:          rounds,
+		Rounds:          rounds(),
 		ClientsPerRound: clientsPerRound,
 		Local:           local,
 		Arch:            arch,
@@ -86,10 +99,15 @@ func runDAG(fed *specdag.Federation, arch specdag.Arch, local specdag.SGDConfig)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for r := 0; r < rounds; r++ {
-		rr := sim.RunRound()
-		accs = append(accs, rr.MeanTrainedAcc())
-		losses = append(losses, rr.MeanTrainedLoss())
+	// The per-round curve streams out of the run as round events.
+	_, err = specdag.Run(context.Background(), sim, specdag.WithHooks(specdag.Hooks{
+		OnRound: func(ev specdag.RoundEvent) {
+			accs = append(accs, ev.MeanAcc)
+			losses = append(losses, ev.MeanLoss)
+		},
+	}))
+	if err != nil {
+		log.Fatal(err)
 	}
 	return accs, losses
 }

@@ -10,17 +10,25 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	specdag "github.com/specdag/specdag"
 )
 
 const (
-	cleanRounds  = 10
-	attackRounds = 40
-	poisonFrac   = 0.3
+	cleanRounds = 10
+	poisonFrac  = 0.3
 )
+
+func attackRounds() int {
+	if os.Getenv("SPECDAG_EXAMPLES_FAST") != "" {
+		return 12 // CI smoke mode: same program, fewer rounds
+	}
+	return 40
+}
 
 func main() {
 	fmt.Printf("flipped-label attack: %d%% of clients, labels 3<->8, starting at round %d\n\n",
@@ -63,7 +71,7 @@ func attack(selector specdag.Selector) (benign, all, poisonedApprovals float64) 
 		Seed:           11,
 	})
 	sim, err := specdag.NewSimulation(fed, specdag.Config{
-		Rounds:          cleanRounds + attackRounds,
+		Rounds:          cleanRounds + attackRounds(),
 		ClientsPerRound: 10,
 		Local:           specdag.SGDConfig{LR: 0.05, Epochs: 1, BatchSize: 10},
 		Arch:            specdag.Arch{In: fed.InputDim, Hidden: []int{32}, Out: fed.NumClasses},
@@ -80,7 +88,10 @@ func attack(selector specdag.Selector) (benign, all, poisonedApprovals float64) 
 	if err != nil {
 		log.Fatal(err)
 	}
-	results := sim.Run()
+	if _, err := specdag.Run(context.Background(), sim); err != nil {
+		log.Fatal(err)
+	}
+	results := sim.Results()
 
 	tail := results[len(results)-10:]
 	for _, rr := range tail {

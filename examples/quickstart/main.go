@@ -1,17 +1,26 @@
 // Quickstart: run a small Specializing DAG on a 3-cluster federated dataset
-// and watch implicit specialization emerge.
+// and watch implicit specialization emerge — live, through the unified run
+// API: the run streams typed round events and a mid-run pureness probe, and
+// would stop cleanly if the context were canceled.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	specdag "github.com/specdag/specdag"
 )
 
 func main() {
+	rounds := 30
+	if os.Getenv("SPECDAG_EXAMPLES_FAST") != "" {
+		rounds = 8 // CI smoke mode: same program, fewer rounds
+	}
+
 	// A synthetic 10-class task with 30 clients grouped into three
 	// clusters: clients in a cluster share class-conditional distributions,
 	// so model updates from the same cluster help and others hurt.
@@ -25,7 +34,7 @@ func main() {
 		len(fed.Clients), fed.NumClusters, fed.NumClasses)
 
 	sim, err := specdag.NewSimulation(fed, specdag.Config{
-		Rounds:          30,
+		Rounds:          rounds,
 		ClientsPerRound: 10,
 		Local:           specdag.SGDConfig{LR: 0.05, Epochs: 1, BatchSize: 10},
 		Arch:            specdag.Arch{In: fed.InputDim, Hidden: []int{32}, Out: fed.NumClasses},
@@ -36,12 +45,26 @@ func main() {
 		log.Fatal(err)
 	}
 
-	for round := 0; round < 30; round++ {
-		rr := sim.RunRound()
-		if (round+1)%5 == 0 {
-			fmt.Printf("round %2d: mean accuracy %.3f, DAG size %d\n",
-				round+1, rr.MeanTrainedAcc(), sim.DAG().Size())
-		}
+	// One Run call drives the whole experiment: progress arrives as typed
+	// events, and the probe watches specialization emerge on the live DAG.
+	_, err = specdag.Run(context.Background(), sim,
+		specdag.WithHooks(specdag.Hooks{
+			OnRound: func(ev specdag.RoundEvent) {
+				if (ev.Round+1)%5 == 0 {
+					fmt.Printf("round %2d: mean accuracy %.3f, DAG size %d\n",
+						ev.Round+1, ev.MeanAcc, ev.DAGSize)
+				}
+			},
+			OnProbe: func(ev specdag.ProbeEvent) {
+				fmt.Printf("          … %s after %d rounds: %.3f\n", ev.Name, ev.Step, ev.Value)
+			},
+		}),
+		specdag.WithProbe("approval pureness", 10, func() float64 {
+			return specdag.ApprovalPureness(sim.DAG(), fed.ClusterOf())
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// Specialization is implicit: clients never see cluster labels, yet

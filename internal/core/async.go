@@ -43,6 +43,9 @@ type AsyncConfig struct {
 	// so events are causally ordered, unlike the clients within one round of
 	// the discrete simulation. Results are identical for any worker count.
 	Workers int
+	// Pool, when set, is the shared worker budget the per-event evaluations
+	// draw from (see Config.Pool).
+	Pool *par.Budget
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -61,6 +64,9 @@ func (c AsyncConfig) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("core: Workers must be >= 0, got %d", c.Workers)
 	}
+	if c.ReferenceWalks < 0 {
+		return fmt.Errorf("core: ReferenceWalks must be >= 0, got %d", c.ReferenceWalks)
+	}
 	return c.Arch.Validate()
 }
 
@@ -71,6 +77,25 @@ type AsyncClientStats struct {
 	Cycles    int     // completed train-publish cycles
 	Published int     // cycles that passed the publish gate
 	FinalAcc  float64 // trained-model accuracy at the last cycle
+}
+
+// AsyncEvent describes one processed client activation — the Detail payload
+// of the RoundEvents the asynchronous engine emits.
+type AsyncEvent struct {
+	// Seq is the 0-based ordinal of the event in processing order.
+	Seq int
+	// Time is the simulated time of the activation in seconds.
+	Time float64
+	// Client is the activated client's ID.
+	Client int
+	// TrainedAcc/TrainedLoss score the freshly trained model; RefAcc/RefLoss
+	// the consensus reference, both on the client's local test split.
+	TrainedAcc  float64
+	TrainedLoss float64
+	RefAcc      float64
+	RefLoss     float64
+	// Published reports whether the cycle passed the publish gate.
+	Published bool
 }
 
 // AsyncResult is the outcome of an event-driven run.
@@ -118,10 +143,39 @@ type pendingTxAsync struct {
 	meta      dag.Meta
 }
 
-// RunAsync executes the event-driven simulation and returns per-client
-// statistics. The DAG a client observes at time t contains exactly the
+// asyncClient is the in-simulation state of one event-driven participant.
+type asyncClient struct {
+	*client
+	// evalModel is a second scratch model so the consensus-reference
+	// evaluation can run concurrently with the trained-model evaluation
+	// (client.model) within one event.
+	evalModel *nn.MLP
+	cycleTime float64
+	stats     AsyncClientStats
+}
+
+// AsyncSimulation is a running event-driven Specializing DAG experiment: the
+// asynchronous counterpart of Simulation, advanced one client activation at
+// a time. The DAG a client observes at time t contains exactly the
 // transactions published before t − NetworkDelay (plus its own).
-func RunAsync(fed *dataset.Federation, cfg AsyncConfig) (*AsyncResult, error) {
+type AsyncSimulation struct {
+	cfg      AsyncConfig
+	root     *xrand.RNG
+	tangle   *dag.DAG
+	clients  []*asyncClient
+	queue    eventQueue
+	pending  []pendingTxAsync
+	trainCfg nn.SGDConfig
+	seq      int // next scheduling sequence number
+	events   int // processed events
+	done     bool
+}
+
+// NewAsyncSimulation validates inputs and prepares an event-driven
+// simulation. The DAG starts with a genesis transaction carrying a randomly
+// initialized model; every client's first activation is scheduled within one
+// of its own cycle times (desynchronized start).
+func NewAsyncSimulation(fed *dataset.Federation, cfg AsyncConfig) (*AsyncSimulation, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -131,27 +185,20 @@ func RunAsync(fed *dataset.Federation, cfg AsyncConfig) (*AsyncResult, error) {
 	if cfg.Selector == nil {
 		cfg.Selector = tipselect.AccuracyWalk{Alpha: 10}
 	}
-	if cfg.ReferenceWalks <= 0 {
+	if cfg.ReferenceWalks == 0 {
 		cfg.ReferenceWalks = 1
 	}
 
 	root := xrand.New(cfg.Seed)
 	genesis := nn.New(cfg.Arch, root.Split("genesis"))
-	tangle := dag.New(genesis.ParamsCopy())
-
-	type asyncClient struct {
-		*client
-		// evalModel is a second scratch model so the consensus-reference
-		// evaluation can run concurrently with the trained-model evaluation
-		// (client.model) within one event.
-		evalModel *nn.MLP
-		cycleTime float64
-		stats     AsyncClientStats
+	a := &AsyncSimulation{
+		cfg:      cfg,
+		root:     root,
+		tangle:   dag.New(genesis.ParamsCopy()),
+		trainCfg: cfg.Local,
 	}
+	a.trainCfg.Shuffle = true
 
-	clients := make([]*asyncClient, 0, len(fed.Clients))
-	var queue eventQueue
-	seq := 0
 	for i, fc := range fed.Clients {
 		c := &asyncClient{client: &client{
 			id:      fc.ID,
@@ -168,95 +215,150 @@ func RunAsync(fed *dataset.Federation, cfg AsyncConfig) (*AsyncResult, error) {
 		})
 		c.cycleTime = cfg.MinCycle + crng.Float64()*(cfg.MaxCycle-cfg.MinCycle)
 		c.stats = AsyncClientStats{ID: fc.ID, CycleTime: c.cycleTime}
-		clients = append(clients, c)
-		// Desynchronized start: the first activation happens within one
-		// cycle time.
-		heap.Push(&queue, event{at: crng.Float64() * c.cycleTime, seq: seq, client: i})
-		seq++
+		a.clients = append(a.clients, c)
+		heap.Push(&a.queue, event{at: crng.Float64() * c.cycleTime, seq: a.seq, client: i})
+		a.seq++
 	}
+	return a, nil
+}
 
-	var pending []pendingTxAsync
-	flush := func(now float64) {
-		kept := pending[:0]
-		for _, p := range pending {
-			if p.visibleAt <= now {
-				if _, err := tangle.Add(p.issuer, int(p.visibleAt), p.parents, p.params, p.meta); err != nil {
-					panic(fmt.Sprintf("core: async publish failed: %v", err))
-				}
-			} else {
-				kept = append(kept, p)
+// flush applies every pending transaction whose propagation delay has
+// elapsed by now.
+func (a *AsyncSimulation) flush(now float64) {
+	kept := a.pending[:0]
+	for _, p := range a.pending {
+		if p.visibleAt <= now {
+			if _, err := a.tangle.Add(p.issuer, int(p.visibleAt), p.parents, p.params, p.meta); err != nil {
+				panic(fmt.Sprintf("core: async publish failed: %v", err))
 			}
-		}
-		pending = kept
-	}
-
-	trainCfg := cfg.Local
-	trainCfg.Shuffle = true
-
-	for queue.Len() > 0 {
-		ev := heap.Pop(&queue).(event)
-		if ev.at > cfg.Duration {
-			break
-		}
-		flush(ev.at)
-		c := clients[ev.client]
-		crng := root.SplitIndex("async-event", ev.seq)
-
-		tips, _ := tipselect.SelectTips(cfg.Selector, tangle, c.eval, crng, 2)
-		refParams := tips[0].Params
-		if cfg.ReferenceWalks >= 1 {
-			refTx, _ := cfg.Selector.SelectTip(tangle, c.eval, crng)
-			refParams = refTx.Params
-		}
-
-		avg := nn.AverageParams(tips[0].Params, tips[1].Params)
-		c.model.SetParams(avg)
-		c.model.Train(c.trainX, c.trainY, trainCfg, crng.Split("train"))
-
-		// The two post-training evaluations are independent pure functions
-		// over the client's test split; run them on separate scratch models
-		// in parallel. Each closure writes only its own locals.
-		//
-		// Note this also fixes a bug the sequential code had: evaluating the
-		// reference via c.scoreParams left the reference params in c.model,
-		// so the publish below copied the *reference* model while stamping
-		// it with the *trained* model's accuracy. Evaluating the reference
-		// on evalModel keeps c.model holding the trained params, which is
-		// what the protocol publishes (step 4 of Fig. 1, as in RunRound).
-		var trainedLoss, trainedAcc, refLoss, refAcc float64
-		par.Do(cfg.Workers,
-			func() { trainedLoss, trainedAcc = c.model.Evaluate(c.testX, c.testY) },
-			func() {
-				c.evalModel.SetParams(refParams)
-				refLoss, refAcc = c.evalModel.Evaluate(c.testX, c.testY)
-			},
-		)
-
-		c.stats.Cycles++
-		c.stats.FinalAcc = trainedAcc
-		if trainedAcc > refAcc || (trainedAcc == refAcc && trainedLoss <= refLoss) {
-			c.stats.Published++
-			pending = append(pending, pendingTxAsync{
-				visibleAt: ev.at + cfg.NetworkDelay,
-				issuer:    c.id,
-				parents:   []dag.ID{tips[0].ID, tips[1].ID},
-				params:    c.model.ParamsCopy(),
-				meta:      dag.Meta{TestAcc: trainedAcc},
-			})
-		}
-
-		next := ev.at + c.cycleTime
-		if next <= cfg.Duration {
-			heap.Push(&queue, event{at: next, seq: seq, client: ev.client})
-			seq++
+		} else {
+			kept = append(kept, p)
 		}
 	}
-	flush(cfg.Duration + cfg.NetworkDelay)
+	a.pending = kept
+}
 
-	res := &AsyncResult{SimulatedTime: cfg.Duration, Transactions: tangle.Size(), DAG: tangle}
-	for _, c := range clients {
+// finish applies all remaining pending transactions and marks the run done.
+func (a *AsyncSimulation) finish() {
+	if a.done {
+		return
+	}
+	a.flush(a.cfg.Duration + a.cfg.NetworkDelay)
+	a.done = true
+}
+
+// step processes the next scheduled client activation. It returns the event
+// detail, or nil when the simulated time horizon is exhausted.
+func (a *AsyncSimulation) step() *AsyncEvent {
+	if a.done {
+		return nil
+	}
+	if a.queue.Len() == 0 {
+		a.finish()
+		return nil
+	}
+	ev := heap.Pop(&a.queue).(event)
+	if ev.at > a.cfg.Duration {
+		a.finish()
+		return nil
+	}
+	a.flush(ev.at)
+	c := a.clients[ev.client]
+	crng := a.root.SplitIndex("async-event", ev.seq)
+
+	tips, _ := tipselect.SelectTips(a.cfg.Selector, a.tangle, c.eval, crng, 2)
+	_, refParams, _ := consensusReference(a.tangle, a.cfg.Selector, a.cfg.ReferenceWalks, c.eval, crng)
+
+	avg := nn.AverageParams(tips[0].Params, tips[1].Params)
+	c.model.SetParams(avg)
+	c.model.Train(c.trainX, c.trainY, a.trainCfg, crng.Split("train"))
+
+	// The two post-training evaluations are independent pure functions
+	// over the client's test split; run them on separate scratch models
+	// in parallel. Each closure writes only its own locals.
+	//
+	// Note this also fixes a bug the sequential code had: evaluating the
+	// reference via c.scoreParams left the reference params in c.model,
+	// so the publish below copied the *reference* model while stamping
+	// it with the *trained* model's accuracy. Evaluating the reference
+	// on evalModel keeps c.model holding the trained params, which is
+	// what the protocol publishes (step 4 of Fig. 1, as in RunRound).
+	var trainedLoss, trainedAcc, refLoss, refAcc float64
+	par.DoIn(a.cfg.Pool, a.cfg.Workers,
+		func() { trainedLoss, trainedAcc = c.model.Evaluate(c.testX, c.testY) },
+		func() {
+			c.evalModel.SetParams(refParams)
+			refLoss, refAcc = c.evalModel.Evaluate(c.testX, c.testY)
+		},
+	)
+
+	c.stats.Cycles++
+	c.stats.FinalAcc = trainedAcc
+	published := trainedAcc > refAcc || (trainedAcc == refAcc && trainedLoss <= refLoss)
+	if published {
+		c.stats.Published++
+		a.pending = append(a.pending, pendingTxAsync{
+			visibleAt: ev.at + a.cfg.NetworkDelay,
+			issuer:    c.id,
+			parents:   []dag.ID{tips[0].ID, tips[1].ID},
+			params:    c.model.ParamsCopy(),
+			meta:      dag.Meta{TestAcc: trainedAcc},
+		})
+	}
+
+	next := ev.at + c.cycleTime
+	if next <= a.cfg.Duration {
+		heap.Push(&a.queue, event{at: next, seq: a.seq, client: ev.client})
+		a.seq++
+	}
+
+	detail := &AsyncEvent{
+		Seq:         a.events,
+		Time:        ev.at,
+		Client:      c.id,
+		TrainedAcc:  trainedAcc,
+		TrainedLoss: trainedLoss,
+		RefAcc:      refAcc,
+		RefLoss:     refLoss,
+		Published:   published,
+	}
+	a.events++
+	return detail
+}
+
+// DAG exposes the underlying tangle (read-only use intended). Before the run
+// finishes it reflects only transactions that have propagated so far.
+func (a *AsyncSimulation) DAG() *dag.DAG { return a.tangle }
+
+// Events returns the number of client activations processed so far.
+func (a *AsyncSimulation) Events() int { return a.events }
+
+// Result summarizes the run so far: per-client statistics sorted by client
+// ID plus the tangle. It is valid mid-run (partial results after a canceled
+// run) as well as after completion.
+func (a *AsyncSimulation) Result() *AsyncResult {
+	res := &AsyncResult{SimulatedTime: a.cfg.Duration, Transactions: a.tangle.Size(), DAG: a.tangle}
+	for _, c := range a.clients {
 		res.Clients = append(res.Clients, c.stats)
 	}
 	sort.Slice(res.Clients, func(i, j int) bool { return res.Clients[i].ID < res.Clients[j].ID })
-	return res, nil
+	return res
+}
+
+// RunAsync executes the event-driven simulation to completion and returns
+// per-client statistics.
+//
+// Deprecated: RunAsync cannot be canceled or observed mid-flight. New code
+// should construct the engine with NewAsyncSimulation and drive it through
+// the unified run API — specdag.Run(ctx, asyncSim, opts...) — then read
+// Result; RunAsync is kept as a thin convenience wrapper.
+func RunAsync(fed *dataset.Federation, cfg AsyncConfig) (*AsyncResult, error) {
+	a, err := NewAsyncSimulation(fed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for !a.done {
+		a.step()
+	}
+	return a.Result(), nil
 }

@@ -198,3 +198,40 @@ func TestAsyncRejectsBadInput(t *testing.T) {
 		t.Error("bad config should be rejected")
 	}
 }
+
+// TestAsyncReferenceWalksMatter is the regression test for a seed bug: the
+// async engine ignored ReferenceWalks > 1 and always took exactly one
+// reference walk, so 1 and 3 walks produced identical runs. Both engines
+// now share one consensusReference helper; with >1 walks the reference is
+// the average of several walked models, which must change publish decisions
+// somewhere over a run.
+func TestAsyncReferenceWalksMatter(t *testing.T) {
+	run := func(walks int) *AsyncResult {
+		cfg := asyncConfig()
+		cfg.ReferenceWalks = walks
+		res, err := RunAsync(smallFed(37), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one, three := run(1), run(3)
+	same := one.Transactions == three.Transactions
+	for i := range one.Clients {
+		if one.Clients[i] != three.Clients[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("ReferenceWalks=3 produced a run identical to ReferenceWalks=1 — the setting is still ignored")
+	}
+}
+
+func TestAsyncValidatesReferenceWalks(t *testing.T) {
+	cfg := asyncConfig()
+	cfg.ReferenceWalks = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative ReferenceWalks should be rejected")
+	}
+}

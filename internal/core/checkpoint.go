@@ -1,0 +1,220 @@
+package core
+
+// Checkpoint/resume for the round simulation: the full simulation state —
+// tangle, per-client training state, poisoning flags, round counter and the
+// recorded history — serialized to a versioned binary snapshot, extending
+// the DAG codec (internal/dag, "SDG1") to whole simulations. A run resumed
+// from a checkpoint is bit-identical to one that was never interrupted:
+//
+//   - All randomness derives from Config.Seed through pure splits keyed by
+//     round and client (xrand.Split*), so the "RNG streams" of a checkpoint
+//     are just the seed — no mutable generator state exists to save. The
+//     seed is stored and verified so a snapshot cannot silently resume under
+//     a different randomness universe.
+//   - Client-side carried state (lastParams for partial-layer sharing,
+//     poisoned flags and the label flips they imply) is restored explicitly.
+//   - Partial-visibility views and evaluator memo caches are reconstructed,
+//     not stored: reveal predicates are monotone in the round counter, so a
+//     fresh view reveals exactly the accumulated set, and memoization only
+//     caches pure per-transaction accuracies (a cold cache re-computes the
+//     same values; walk stats count accuracy lookups, not cache misses).
+//
+// Format: magic "SDC1", then a single gob-encoded checkpointState whose DAG
+// field holds the tangle in the SDG1 codec.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/specdag/specdag/internal/dag"
+	"github.com/specdag/specdag/internal/dataset"
+)
+
+// checkpointMagic identifies simulation checkpoints and fixes the version.
+var checkpointMagic = [4]byte{'S', 'D', 'C', '1'}
+
+// clientCheckpoint is the per-client carried state.
+type clientCheckpoint struct {
+	ID         int
+	Poisoned   bool
+	LastParams []float64
+}
+
+// checkpointState is the serialized simulation.
+type checkpointState struct {
+	Seed    int64
+	Poison  PoisonConfig // restoring label flips needs the attack parameters
+	Round   int
+	Rounds  int // configured horizon at checkpoint time (informational)
+	Clients []clientCheckpoint
+	Results []RoundResult
+	DAG     []byte // SDG1 snapshot (dag.WriteTo)
+}
+
+// WriteCheckpoint serializes the simulation's full state to w and returns
+// the number of bytes written. The simulation can keep running afterwards;
+// the checkpoint captures the state between rounds.
+func (s *Simulation) WriteCheckpoint(w io.Writer) (int64, error) {
+	var dagBuf bytes.Buffer
+	if _, err := s.tangle.WriteTo(&dagBuf); err != nil {
+		return 0, fmt.Errorf("core: checkpointing DAG: %w", err)
+	}
+	st := checkpointState{
+		Seed:    s.cfg.Seed,
+		Poison:  s.cfg.Poison,
+		Round:   s.round,
+		Rounds:  s.cfg.Rounds,
+		Results: s.results,
+		DAG:     dagBuf.Bytes(),
+	}
+	for _, c := range s.clients {
+		st.Clients = append(st.Clients, clientCheckpoint{
+			ID:         c.id,
+			Poisoned:   c.poisoned,
+			LastParams: c.lastParams,
+		})
+	}
+	cw := &countingWriter{w: w}
+	if _, err := cw.Write(checkpointMagic[:]); err != nil {
+		return cw.n, err
+	}
+	if err := gob.NewEncoder(cw).Encode(st); err != nil {
+		return cw.n, fmt.Errorf("core: encoding checkpoint: %w", err)
+	}
+	return cw.n, nil
+}
+
+// countingWriter tracks bytes written for WriteCheckpoint's return value.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// readCheckpointState decodes and structurally validates a checkpoint.
+func readCheckpointState(r io.Reader) (*checkpointState, *dag.DAG, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, nil, fmt.Errorf("core: reading checkpoint magic: %w", err)
+	}
+	if magic != checkpointMagic {
+		return nil, nil, fmt.Errorf("core: bad magic %q (not a SDC1 checkpoint)", magic)
+	}
+	var st checkpointState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, nil, fmt.Errorf("core: decoding checkpoint: %w", err)
+	}
+	if st.Round < 0 {
+		return nil, nil, fmt.Errorf("core: checkpoint has negative round %d", st.Round)
+	}
+	if len(st.Results) != st.Round {
+		return nil, nil, fmt.Errorf("core: checkpoint records %d results for %d rounds", len(st.Results), st.Round)
+	}
+	d, err := dag.ReadDAG(bytes.NewReader(st.DAG))
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: checkpoint DAG: %w", err)
+	}
+	return &st, d, nil
+}
+
+// ResumeSimulation reconstructs a simulation from a checkpoint written by
+// WriteCheckpoint, using the same federation and configuration as the
+// original run. The resumed simulation continues from the checkpointed
+// round and produces a history and DAG bit-identical to a run that was
+// never interrupted. cfg.Rounds may exceed the original horizon to extend
+// the run.
+func ResumeSimulation(fed *dataset.Federation, cfg Config, r io.Reader) (*Simulation, error) {
+	st, d, err := readCheckpointState(r)
+	if err != nil {
+		return nil, err
+	}
+	if st.Seed != cfg.Seed {
+		return nil, fmt.Errorf("core: checkpoint was taken with Seed %d, config has %d — resuming under a different seed would diverge",
+			st.Seed, cfg.Seed)
+	}
+	if st.Poison != cfg.Poison {
+		// The label flips applied before the checkpoint are a function of
+		// the attack parameters; resuming under different ones would leave
+		// client data inconsistent with the poisoned flags.
+		return nil, fmt.Errorf("core: checkpoint was taken with Poison %+v, config has %+v — resuming under a different attack would diverge",
+			st.Poison, cfg.Poison)
+	}
+	s, err := NewSimulation(fed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Clients) != len(s.clients) {
+		return nil, fmt.Errorf("core: checkpoint has %d clients, federation has %d", len(st.Clients), len(s.clients))
+	}
+	// The checkpointed genesis must match the one the seed regenerates:
+	// a mismatch means the checkpoint belongs to a different architecture
+	// or a tampered snapshot.
+	want, got := s.tangle.Genesis().Params, d.Genesis().Params
+	if len(want) != len(got) {
+		return nil, fmt.Errorf("core: checkpoint genesis has %d params, config architecture needs %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return nil, fmt.Errorf("core: checkpoint genesis diverges from the seeded genesis at param %d", i)
+		}
+	}
+
+	s.tangle = d
+	s.round = st.Round
+	s.results = st.Results
+	for i, cc := range st.Clients {
+		c := s.clients[i]
+		if c.id != cc.ID {
+			return nil, fmt.Errorf("core: checkpoint client %d has ID %d, federation has %d", i, cc.ID, c.id)
+		}
+		c.lastParams = cc.LastParams
+		if cc.Poisoned {
+			// Re-apply the label flips the attack performed before the
+			// checkpoint; origTestY keeps the pre-attack labels for the
+			// flipped-prediction metric, exactly as in the original run.
+			c.poisoned = true
+			flipLabels(c.trainY, cfg.Poison.FlipA, cfg.Poison.FlipB)
+			flipLabels(c.testY, cfg.Poison.FlipA, cfg.Poison.FlipB)
+			c.eval = s.newEvalFor(c)
+		}
+		if cfg.RevealDelay > 0 {
+			// Partial views must read the restored tangle. Reveal state is
+			// reconstructed lazily at the client's next walk: the reveal
+			// predicate is monotone in the round counter, so the fresh view
+			// reveals exactly the set the uninterrupted run had accumulated.
+			c.view = dag.NewView(s.tangle)
+		}
+	}
+	return s, nil
+}
+
+// CheckpointInfo summarizes a checkpoint without reconstructing the
+// simulation (cmd/dagstat uses it to inspect snapshots of either kind).
+type CheckpointInfo struct {
+	Seed    int64
+	Round   int
+	Rounds  int
+	Clients int
+}
+
+// InspectCheckpoint reads a checkpoint and returns its summary along with
+// the embedded tangle.
+func InspectCheckpoint(r io.Reader) (*CheckpointInfo, *dag.DAG, error) {
+	st, d, err := readCheckpointState(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &CheckpointInfo{
+		Seed:    st.Seed,
+		Round:   st.Round,
+		Rounds:  st.Rounds,
+		Clients: len(st.Clients),
+	}, d, nil
+}

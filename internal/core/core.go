@@ -106,6 +106,13 @@ type Config struct {
 	// round result is assembled in the original sampled-client order.
 	// Workers == 1 runs the clients inline on the calling goroutine.
 	Workers int
+	// Pool, when set, is a shared worker budget: the round engine draws its
+	// helper goroutines from it instead of spawning freely, so nested
+	// fan-outs (an experiment sweep running many simulations, each fanning
+	// over clients) never exceed the pool size in total. Workers remains the
+	// per-round cap. Results are unaffected — the pool only bounds
+	// concurrency.
+	Pool *par.Budget
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -297,6 +304,10 @@ func NewSimulation(fed *dataset.Federation, cfg Config) (*Simulation, error) {
 	if err := fed.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.ClientsPerRound > len(fed.Clients) {
+		return nil, fmt.Errorf("core: ClientsPerRound %d exceeds the federation's %d clients — a round samples without replacement, so reduce ClientsPerRound or enlarge the federation",
+			cfg.ClientsPerRound, len(fed.Clients))
+	}
 	cfg = cfg.withDefaults()
 	root := xrand.New(cfg.Seed)
 
@@ -358,7 +369,13 @@ func (s *Simulation) PoisonedClients() map[int]bool {
 // ClusterOf returns the ground-truth cluster lookup of the federation.
 func (s *Simulation) ClusterOf() map[int]int { return s.fed.ClusterOf() }
 
-// Run executes all configured rounds and returns the recorded results.
+// Run executes all remaining configured rounds and returns the recorded
+// results.
+//
+// Deprecated: Run cannot be canceled, observed mid-flight or checkpointed.
+// New code should drive the simulation through the unified run API —
+// specdag.Run(ctx, sim, opts...) — and read Results afterwards; Run is kept
+// as a thin convenience wrapper for fire-and-forget uses.
 func (s *Simulation) Run() []RoundResult {
 	for s.round < s.cfg.Rounds {
 		s.RunRound()
@@ -485,7 +502,7 @@ func (s *Simulation) RunRound() RoundResult {
 	// Fan out: one outcome slot per sampled client. SampleWithoutReplacement
 	// yields distinct clients, so no client state is shared between workers.
 	outs := make([]clientOutcome, len(idxs))
-	par.ForEach(s.cfg.Workers, len(idxs), func(i int) {
+	par.ForEachIn(s.cfg.Pool, s.cfg.Workers, len(idxs), func(i int) {
 		outs[i] = s.runClient(s.clients[idxs[i]], round)
 	})
 
@@ -572,16 +589,24 @@ func (s *Simulation) graphFor(c *client, round int) tipselect.Graph {
 // reference obtains the client's consensus reference transaction and model
 // parameters via cfg.ReferenceWalks tip selections (averaged when > 1).
 func (s *Simulation) reference(graph tipselect.Graph, c *client, rng *xrand.RNG) (dag.ID, []float64, tipselect.WalkStats) {
-	n := s.cfg.ReferenceWalks
+	return consensusReference(graph, s.cfg.Selector, s.cfg.ReferenceWalks, c.eval, rng)
+}
+
+// consensusReference runs `walks` tip selections and returns the consensus
+// reference: the first selected transaction's ID and, when walks > 1, the
+// element-wise average of all selected models. It is the single reference
+// implementation shared by the synchronous and asynchronous engines (the
+// async engine used to ignore walks > 1 and always take exactly one walk).
+func consensusReference(graph tipselect.Graph, sel tipselect.Selector, walks int, eval tipselect.Evaluator, rng *xrand.RNG) (dag.ID, []float64, tipselect.WalkStats) {
 	var stats tipselect.WalkStats
-	if n <= 1 {
-		tx, st := s.cfg.Selector.SelectTip(graph, c.eval, rng)
+	if walks <= 1 {
+		tx, st := sel.SelectTip(graph, eval, rng)
 		return tx.ID, tx.Params, st
 	}
-	params := make([][]float64, 0, n)
+	params := make([][]float64, 0, walks)
 	var first dag.ID
-	for i := 0; i < n; i++ {
-		tx, st := s.cfg.Selector.SelectTip(graph, c.eval, rng)
+	for i := 0; i < walks; i++ {
+		tx, st := sel.SelectTip(graph, eval, rng)
 		stats.Add(st)
 		params = append(params, tx.Params)
 		if i == 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/specdag/specdag/internal/dataset"
@@ -491,5 +492,24 @@ func BenchmarkSimulationRound(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.RunRound()
+	}
+}
+
+// TestClientsPerRoundOversubscription: sampling more clients per round than
+// the federation holds is a configuration error with an actionable message,
+// not a silent permutation-sized round.
+func TestClientsPerRoundOversubscription(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ClientsPerRound = 13 // federation has 12
+	_, err := NewSimulation(smallFed(17), cfg)
+	if err == nil {
+		t.Fatal("oversubscribed ClientsPerRound accepted")
+	}
+	if !strings.Contains(err.Error(), "12 clients") || !strings.Contains(err.Error(), "ClientsPerRound 13") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	cfg.ClientsPerRound = 12 // exactly the federation size stays legal
+	if _, err := NewSimulation(smallFed(17), cfg); err != nil {
+		t.Fatalf("full-federation rounds rejected: %v", err)
 	}
 }

@@ -1,0 +1,281 @@
+// Package engine defines the unified run surface behind every experiment:
+// a single Run loop that drives any Engine — the synchronous round
+// simulation, the event-driven asynchronous simulation, the FedAvg/FedProx
+// baselines and the gossip baseline — with context cancellation at round or
+// event granularity, typed progress events delivered through Hooks or an
+// Observer, periodic mid-run metric probes, periodic checkpoints for engines
+// that support them, and a shared worker budget handed down to the engine's
+// internal fan-out.
+//
+// The paper's deployment model (§5.3.3: each client "continuously runs the
+// training process … independent from all other clients") treats a runner as
+// a long-lived, monitorable process rather than a batch call; Run is that
+// process's control loop. Engines remain plain steppers — all policy
+// (cancel, observe, checkpoint, budget) lives here, so every engine gains
+// every capability at once.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"github.com/specdag/specdag/internal/par"
+)
+
+// RoundEvent reports one completed unit of work: a training round for the
+// round-based engines, or a single client activation for the event-driven
+// engine.
+type RoundEvent struct {
+	// Engine is the emitting engine's Name.
+	Engine string
+	// Round is the 0-based index of the completed unit.
+	Round int
+	// Time is the simulated time in seconds for event-driven engines, 0 for
+	// round-based ones.
+	Time float64
+	// MeanAcc and MeanLoss summarize the unit's evaluation.
+	MeanAcc  float64
+	MeanLoss float64
+	// Published counts model updates published by this unit.
+	Published int
+	// DAGSize is the tangle size after the unit (0 for DAG-free engines).
+	DAGSize int
+	// Detail carries the engine-specific result for this unit — e.g. a
+	// *core.RoundResult, *core.AsyncEvent or *fl.RoundResult — for observers
+	// that need more than the summary fields above.
+	Detail any
+}
+
+// PublishEvent reports one model update entering (or being scheduled to
+// enter) the DAG.
+type PublishEvent struct {
+	Engine string
+	// Round is the unit in which the publish happened.
+	Round int
+	// Time is the publish time in simulated seconds (event-driven engines).
+	Time float64
+	// Issuer is the publishing client ID (negative for attackers/genesis).
+	Issuer int
+	// Tx is the transaction ID, or -1 when the ID is not assigned yet (the
+	// asynchronous engine delays insertion by the network propagation time).
+	Tx int
+	// Acc is the publisher's local test accuracy stamped on the update.
+	Acc float64
+	// Poisoned marks updates published from poisoned data.
+	Poisoned bool
+}
+
+// ProbeEvent reports one mid-run metric probe (see WithProbe).
+type ProbeEvent struct {
+	Engine string
+	// Step is the number of completed units when the probe ran.
+	Step  int
+	Name  string
+	Value float64
+}
+
+// Hooks receives typed progress events during Run. Nil fields are skipped.
+// Hooks are invoked synchronously on Run's goroutine, strictly ordered by
+// unit — an observer sees exactly one RoundEvent per completed unit, in
+// order, regardless of how many workers the engine uses internally.
+type Hooks struct {
+	OnRound   func(RoundEvent)
+	OnPublish func(PublishEvent)
+	OnProbe   func(ProbeEvent)
+}
+
+// Observer is the interface form of Hooks, for stateful observers.
+type Observer interface {
+	OnRound(RoundEvent)
+	OnPublish(PublishEvent)
+	OnProbe(ProbeEvent)
+}
+
+// StepResult is what an Engine reports for one completed unit of work.
+type StepResult struct {
+	Round     RoundEvent
+	Publishes []PublishEvent
+}
+
+// Engine is a resumable experiment stepper. Implementations: the round
+// simulation (core.Simulation), the event simulation (core.AsyncSimulation),
+// the centralized baselines (fl.Federated) and gossip learning (fl.Gossip).
+//
+// Step advances by one unit (round or event) and reports it; done is true —
+// with a nil result — once the run is complete. Step must honor ctx: a
+// canceled context aborts the unit's fan-out as soon as practical and
+// returns ctx.Err(). Engines keep their accumulated results internally, so
+// a canceled run's partial results remain accessible.
+type Engine interface {
+	// Name identifies the engine in events and logs.
+	Name() string
+	Step(ctx context.Context) (res *StepResult, done bool, err error)
+}
+
+// Snapshotter is implemented by engines whose full state can be checkpointed
+// mid-run and later resumed bit-identically (core.Simulation via
+// WriteCheckpoint/ResumeSimulation).
+type Snapshotter interface {
+	WriteCheckpoint(w io.Writer) (int64, error)
+}
+
+// PoolUser is implemented by engines whose internal fan-out can draw from a
+// shared worker budget instead of spawning freely.
+type PoolUser interface {
+	SetPool(*par.Budget)
+}
+
+// Report summarizes a Run.
+type Report struct {
+	Engine string
+	// Steps is the number of completed units.
+	Steps int
+	// Completed is true when the engine reached its natural end, false when
+	// the run was canceled or failed.
+	Completed bool
+}
+
+// Option configures Run.
+type Option func(*options)
+
+type probe struct {
+	name  string
+	every int
+	fn    func() float64
+}
+
+type options struct {
+	hooks      []Hooks
+	probes     []probe
+	pool       *par.Budget
+	checkEvery int
+	checkOpen  func(step int) (io.WriteCloser, error)
+}
+
+// WithHooks registers progress hooks. Multiple WithHooks/WithObserver
+// options compose; each event is delivered to all of them in option order.
+func WithHooks(h Hooks) Option {
+	return func(o *options) { o.hooks = append(o.hooks, h) }
+}
+
+// WithObserver registers an Observer (the interface form of WithHooks).
+func WithObserver(obs Observer) Option {
+	return WithHooks(Hooks{
+		OnRound:   obs.OnRound,
+		OnPublish: obs.OnPublish,
+		OnProbe:   obs.OnProbe,
+	})
+}
+
+// WithPool hands the engine a shared worker budget: its internal per-client
+// or per-event fan-out draws helpers from the pool instead of spawning
+// freely, so nested fan-outs (sweep cell → round engine) never exceed the
+// pool size in total. Engines that are not PoolUsers ignore the option.
+func WithPool(b *par.Budget) Option {
+	return func(o *options) { o.pool = b }
+}
+
+// WithProbe evaluates fn after every `every` completed units and delivers
+// the value as a ProbeEvent — mid-run metric probes (e.g. ApprovalPureness
+// over the live DAG) without stopping the run. fn runs on Run's goroutine
+// between units, so it may safely read engine state.
+func WithProbe(name string, every int, fn func() float64) Option {
+	return func(o *options) {
+		if every <= 0 {
+			every = 1
+		}
+		o.probes = append(o.probes, probe{name: name, every: every, fn: fn})
+	}
+}
+
+// WithCheckpoints writes a checkpoint every `every` completed units: open is
+// called with the current step count and must return the destination, which
+// Run closes after writing. The engine must implement Snapshotter; Run fails
+// fast otherwise.
+func WithCheckpoints(every int, open func(step int) (io.WriteCloser, error)) Option {
+	return func(o *options) {
+		if every <= 0 {
+			every = 1
+		}
+		o.checkEvery = every
+		o.checkOpen = open
+	}
+}
+
+// Run drives e to completion (or cancellation): the one entry point behind
+// every experiment. It returns the report alongside the first error — on
+// cancellation that is ctx.Err(), and the engine retains the partial results
+// of the units completed so far.
+func Run(ctx context.Context, e Engine, opts ...Option) (*Report, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	rep := &Report{Engine: e.Name()}
+	snap, isSnap := e.(Snapshotter)
+	if o.checkOpen != nil && !isSnap {
+		return rep, fmt.Errorf("engine: %s does not support checkpoints", e.Name())
+	}
+	if o.pool != nil {
+		if pu, ok := e.(PoolUser); ok {
+			pu.SetPool(o.pool)
+		}
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		res, done, err := e.Step(ctx)
+		if err != nil {
+			return rep, err
+		}
+		if done {
+			rep.Completed = true
+			return rep, nil
+		}
+		rep.Steps++
+		for _, h := range o.hooks {
+			if h.OnPublish != nil {
+				for _, p := range res.Publishes {
+					h.OnPublish(p)
+				}
+			}
+			if h.OnRound != nil {
+				h.OnRound(res.Round)
+			}
+		}
+		for _, pr := range o.probes {
+			if rep.Steps%pr.every != 0 {
+				continue
+			}
+			ev := ProbeEvent{Engine: e.Name(), Step: rep.Steps, Name: pr.name, Value: pr.fn()}
+			for _, h := range o.hooks {
+				if h.OnProbe != nil {
+					h.OnProbe(ev)
+				}
+			}
+		}
+		if o.checkOpen != nil && rep.Steps%o.checkEvery == 0 {
+			if err := writeCheckpoint(snap, o.checkOpen, rep.Steps); err != nil {
+				return rep, err
+			}
+		}
+	}
+}
+
+func writeCheckpoint(s Snapshotter, open func(int) (io.WriteCloser, error), step int) error {
+	w, err := open(step)
+	if err != nil {
+		return fmt.Errorf("engine: opening checkpoint at step %d: %w", step, err)
+	}
+	if _, err := s.WriteCheckpoint(w); err != nil {
+		w.Close()
+		return fmt.Errorf("engine: writing checkpoint at step %d: %w", step, err)
+	}
+	if err := w.Close(); err != nil {
+		return fmt.Errorf("engine: closing checkpoint at step %d: %w", step, err)
+	}
+	return nil
+}

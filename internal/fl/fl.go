@@ -1,19 +1,27 @@
 // Package fl implements the centralized federated-learning baselines the
 // paper compares against (§5.3.2, §5.3.3): Federated Averaging (FedAvg,
 // McMahan et al.) and FedProx (Li et al.), which adds a proximal term to the
-// local objective to stabilize convergence on heterogeneous (non-IID) data.
+// local objective to stabilize convergence on heterogeneous (non-IID) data —
+// plus gossip learning, the serverless decentralized baseline (§3.2).
 //
-// Both run the classic client-server loop: each round the server samples a
-// subset of clients, ships them the global model, the clients train locally
-// and return updated parameters, and the server aggregates them weighted by
-// local sample counts.
+// FedAvg/FedProx run the classic client-server loop: each round the server
+// samples a subset of clients, ships them the global model, the clients
+// train locally and return updated parameters, and the server aggregates
+// them weighted by local sample counts.
+//
+// Both baselines are exposed as steppers (Federated, Gossip) implementing
+// the unified run API, so one specdag.Run call drives them with the same
+// cancellation, observation and worker-budget machinery as the DAG engines.
 package fl
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/specdag/specdag/internal/dataset"
+	"github.com/specdag/specdag/internal/engine"
 	"github.com/specdag/specdag/internal/nn"
+	"github.com/specdag/specdag/internal/par"
 	"github.com/specdag/specdag/internal/xrand"
 )
 
@@ -32,6 +40,15 @@ type Config struct {
 	ProxMu float64
 	// Arch is the model architecture shared by server and clients.
 	Arch nn.Arch
+	// Workers bounds the goroutines that train the round's sampled clients
+	// concurrently. 0 (the default) uses runtime.NumCPU(). Results are
+	// bit-identical for every worker count: each client trains a private
+	// clone of the global model with its own split RNG stream, and updates
+	// are aggregated in sampling order.
+	Workers int
+	// Pool, when set, is the shared worker budget the per-client fan-out
+	// draws from (see core.Config.Pool).
+	Pool *par.Budget
 	// Seed drives client sampling, initialization and batch shuffling.
 	Seed int64
 }
@@ -43,6 +60,9 @@ func (c Config) Validate() error {
 	}
 	if c.ClientsPerRound <= 0 {
 		return fmt.Errorf("fl: ClientsPerRound must be positive, got %d", c.ClientsPerRound)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("fl: Workers must be >= 0, got %d", c.Workers)
 	}
 	if err := c.Arch.Validate(); err != nil {
 		return err
@@ -72,70 +92,175 @@ type Result struct {
 	Final     *nn.MLP
 }
 
-// Run executes FedAvg (or FedProx when cfg.ProxMu > 0) on the federation.
-func Run(fed *dataset.Federation, cfg Config) (*Result, error) {
+// Federated is a running FedAvg/FedProx experiment: the centralized
+// counterpart of core.Simulation, advanced one communication round at a
+// time through the unified run API.
+type Federated struct {
+	cfg     Config
+	fed     *dataset.Federation
+	root    *xrand.RNG
+	sampler *xrand.RNG
+	global  *nn.MLP
+	trainX  [][][]float64
+	trainY  [][]int
+	testX   [][][]float64
+	testY   [][]int
+	res     *Result
+	round   int
+}
+
+var (
+	_ engine.Engine   = (*Federated)(nil)
+	_ engine.PoolUser = (*Federated)(nil)
+)
+
+// NewFederated validates inputs and prepares a FedAvg/FedProx run.
+func NewFederated(fed *dataset.Federation, cfg Config) (*Federated, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if err := fed.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.ClientsPerRound > len(fed.Clients) {
+		return nil, fmt.Errorf("fl: ClientsPerRound %d exceeds the federation's %d clients — a round samples without replacement, so reduce ClientsPerRound or enlarge the federation",
+			cfg.ClientsPerRound, len(fed.Clients))
+	}
 	root := xrand.New(cfg.Seed)
-	global := nn.New(cfg.Arch, root.Split("init"))
-
 	algo := "fedavg"
 	if cfg.ProxMu > 0 {
 		algo = fmt.Sprintf("fedprox(mu=%g)", cfg.ProxMu)
 	}
-	res := &Result{Algorithm: algo}
-
+	f := &Federated{
+		cfg:     cfg,
+		fed:     fed,
+		root:    root,
+		sampler: root.Split("sampler"),
+		global:  nn.New(cfg.Arch, root.Split("init")),
+		res:     &Result{Algorithm: algo},
+	}
 	// Pre-extract feature/label views once.
-	trainX := make([][][]float64, len(fed.Clients))
-	trainY := make([][]int, len(fed.Clients))
-	testX := make([][][]float64, len(fed.Clients))
-	testY := make([][]int, len(fed.Clients))
+	f.trainX = make([][][]float64, len(fed.Clients))
+	f.trainY = make([][]int, len(fed.Clients))
+	f.testX = make([][][]float64, len(fed.Clients))
+	f.testY = make([][]int, len(fed.Clients))
 	for i, c := range fed.Clients {
-		trainX[i], trainY[i] = c.Train.XY()
-		testX[i], testY[i] = c.Test.XY()
+		f.trainX[i], f.trainY[i] = c.Train.XY()
+		f.testX[i], f.testY[i] = c.Test.XY()
 	}
+	return f, nil
+}
 
-	sampler := root.Split("sampler")
-	for round := 0; round < cfg.Rounds; round++ {
-		idxs := sampler.SampleWithoutReplacement(len(fed.Clients), cfg.ClientsPerRound)
+// Name implements engine.Engine ("fedavg" or "fedprox(mu=…)").
+func (f *Federated) Name() string { return f.res.Algorithm }
 
-		updates := make([][]float64, 0, len(idxs))
-		weights := make([]float64, 0, len(idxs))
-		globalParams := global.ParamsCopy()
-		for _, ci := range idxs {
-			local := global.Clone()
-			localCfg := cfg.Local
-			localCfg.Shuffle = true
-			if cfg.ProxMu > 0 {
-				localCfg.ProxMu = cfg.ProxMu
-				localCfg.ProxCenter = globalParams
-			}
-			local.Train(trainX[ci], trainY[ci], localCfg, root.SplitIndex("train", round*1000+ci))
-			updates = append(updates, local.ParamsCopy())
-			weights = append(weights, float64(len(trainY[ci])))
-		}
-		global.SetParams(nn.WeightedAverageParams(updates, weights))
+// SetPool implements engine.PoolUser (see Config.Pool).
+func (f *Federated) SetPool(b *par.Budget) { f.cfg.Pool = b }
 
-		rr := RoundResult{Round: round}
-		for _, ci := range idxs {
-			loss, acc := global.Evaluate(testX[ci], testY[ci])
-			rr.Selected = append(rr.Selected, fed.Clients[ci].ID)
-			rr.Accs = append(rr.Accs, acc)
-			rr.Losses = append(rr.Losses, loss)
-			rr.MeanAcc += acc
-			rr.MeanLoss += loss
-		}
-		n := float64(len(idxs))
-		rr.MeanAcc /= n
-		rr.MeanLoss /= n
-		res.Rounds = append(res.Rounds, rr)
+// Round returns the number of rounds executed so far.
+func (f *Federated) Round() int { return f.round }
+
+// Result returns the run so far: per-round results plus the current global
+// model. It is valid mid-run (partial results after a canceled run) as well
+// as after completion.
+func (f *Federated) Result() *Result {
+	f.res.Final = f.global
+	return f.res
+}
+
+// Step implements engine.Engine: one communication round — sample, local
+// training (fanned over Workers, bit-identical for any count), weighted
+// aggregation, evaluation of the new global model on the selected clients.
+func (f *Federated) Step(ctx context.Context) (*engine.StepResult, bool, error) {
+	if f.round >= f.cfg.Rounds {
+		return nil, true, nil
 	}
-	res.Final = global
-	return res, nil
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	round := f.round
+	idxs := f.sampler.SampleWithoutReplacement(len(f.fed.Clients), f.cfg.ClientsPerRound)
+
+	// Local training: every sampled client trains a private clone of the
+	// global model with its own pure split RNG stream; updates land in
+	// sampling order, so the aggregation below matches the sequential loop.
+	updates := make([][]float64, len(idxs))
+	weights := make([]float64, len(idxs))
+	globalParams := f.global.ParamsCopy()
+	par.ForEachIn(f.cfg.Pool, f.cfg.Workers, len(idxs), func(k int) {
+		ci := idxs[k]
+		local := f.global.Clone()
+		localCfg := f.cfg.Local
+		localCfg.Shuffle = true
+		if f.cfg.ProxMu > 0 {
+			localCfg.ProxMu = f.cfg.ProxMu
+			localCfg.ProxCenter = globalParams
+		}
+		local.Train(f.trainX[ci], f.trainY[ci], localCfg, f.root.SplitIndex("train", round*1000+ci))
+		updates[k] = local.ParamsCopy()
+		weights[k] = float64(len(f.trainY[ci]))
+	})
+	f.global.SetParams(nn.WeightedAverageParams(updates, weights))
+
+	// Evaluate the new global model on every selected client's test split.
+	// A sequential run evaluates on the global model in place; parallel
+	// workers evaluate on private clones (Evaluate reuses scratch buffers,
+	// so the shared model must not run concurrently).
+	rr := RoundResult{Round: round}
+	accs := make([]float64, len(idxs))
+	losses := make([]float64, len(idxs))
+	if par.Workers(f.cfg.Workers) == 1 {
+		for k, ci := range idxs {
+			losses[k], accs[k] = f.global.Evaluate(f.testX[ci], f.testY[ci])
+		}
+	} else {
+		par.ForEachIn(f.cfg.Pool, f.cfg.Workers, len(idxs), func(k int) {
+			model := f.global.Clone()
+			losses[k], accs[k] = model.Evaluate(f.testX[idxs[k]], f.testY[idxs[k]])
+		})
+	}
+	for k, ci := range idxs {
+		rr.Selected = append(rr.Selected, f.fed.Clients[ci].ID)
+		rr.Accs = append(rr.Accs, accs[k])
+		rr.Losses = append(rr.Losses, losses[k])
+		rr.MeanAcc += accs[k]
+		rr.MeanLoss += losses[k]
+	}
+	n := float64(len(idxs))
+	rr.MeanAcc /= n
+	rr.MeanLoss /= n
+	f.res.Rounds = append(f.res.Rounds, rr)
+	f.round++
+
+	return &engine.StepResult{Round: engine.RoundEvent{
+		Engine:   f.Name(),
+		Round:    round,
+		MeanAcc:  rr.MeanAcc,
+		MeanLoss: rr.MeanLoss,
+		Detail:   &f.res.Rounds[len(f.res.Rounds)-1],
+	}}, false, nil
+}
+
+// Run executes FedAvg (or FedProx when cfg.ProxMu > 0) to completion.
+//
+// Deprecated: Run cannot be canceled or observed mid-flight. New code
+// should construct the engine with NewFederated and drive it through the
+// unified run API — specdag.Run(ctx, fedEngine, opts...) — then read
+// Result; Run is kept as a thin convenience wrapper.
+func Run(fed *dataset.Federation, cfg Config) (*Result, error) {
+	f, err := NewFederated(fed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		_, done, err := f.Step(context.Background())
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return f.Result(), nil
+		}
+	}
 }
 
 // MeanAccs returns the per-round mean accuracy curve.

@@ -195,3 +195,60 @@ func BenchmarkFedAvgRound(b *testing.B) {
 		}
 	}
 }
+
+// TestFLOversubscriptionRejected mirrors core's check: sampling more
+// clients than the federation holds fails at construction with an
+// actionable message for both baselines.
+func TestFLOversubscriptionRejected(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ClientsPerRound = 13 // federation has 12
+	if _, err := NewFederated(smallFed(10), cfg); err == nil || !strings.Contains(err.Error(), "12 clients") {
+		t.Fatalf("federated oversubscription not rejected: %v", err)
+	}
+	gcfg := GossipConfig{Rounds: 5, ClientsPerRound: 13, Local: cfg.Local, Arch: cfg.Arch, Seed: 1}
+	if _, err := NewGossip(smallFed(10), gcfg); err == nil || !strings.Contains(err.Error(), "12 clients") {
+		t.Fatalf("gossip oversubscription not rejected: %v", err)
+	}
+}
+
+// TestFedAvgWorkerInvariance: the new per-client training fan-out must be
+// bit-identical for any worker count (each client trains a private clone
+// with a pure split RNG stream; aggregation happens in sampling order).
+func TestFedAvgWorkerInvariance(t *testing.T) {
+	run := func(workers int) *Result {
+		cfg := smallConfig()
+		cfg.Workers = workers
+		cfg.ProxMu = 0.1 // exercise the proximal path too
+		res, err := Run(smallFed(11), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	for i := range a.Rounds {
+		x, y := a.Rounds[i], b.Rounds[i]
+		if x.MeanAcc != y.MeanAcc || x.MeanLoss != y.MeanLoss {
+			t.Fatalf("round %d diverged across worker counts", i)
+		}
+		for j := range x.Accs {
+			if x.Accs[j] != y.Accs[j] || x.Losses[j] != y.Losses[j] || x.Selected[j] != y.Selected[j] {
+				t.Fatalf("round %d client %d diverged across worker counts", i, j)
+			}
+		}
+	}
+	fa, fb := a.Final.ParamsCopy(), b.Final.ParamsCopy()
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatal("final global models diverged across worker counts")
+		}
+	}
+}
+
+func TestFLWorkersValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Workers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative Workers should be rejected")
+	}
+}

@@ -1,9 +1,11 @@
 package fl
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/specdag/specdag/internal/dataset"
+	"github.com/specdag/specdag/internal/engine"
 	"github.com/specdag/specdag/internal/nn"
 	"github.com/specdag/specdag/internal/xrand"
 )
@@ -43,10 +45,32 @@ func (c GossipConfig) Validate() error {
 	return c.Arch.Validate()
 }
 
-// RunGossip executes the gossip-learning baseline and returns per-round
-// results shaped like Run's: the per-client accuracies are those of each
-// active client's *own* local model on its own test split.
-func RunGossip(fed *dataset.Federation, cfg GossipConfig) (*Result, error) {
+// Gossip is a running gossip-learning experiment: the serverless baseline as
+// a stepper for the unified run API. Within a round the receive-merge-train
+// cycles run sequentially — a later client may receive a model its peer
+// updated earlier in the same round, which is inherent to the protocol's
+// semantics, so this engine has no per-round fan-out.
+type Gossip struct {
+	cfg     GossipConfig
+	fed     *dataset.Federation
+	root    *xrand.RNG
+	sampler *xrand.RNG
+	models  [][]float64
+	scratch *nn.MLP
+	trainX  [][][]float64
+	trainY  [][]int
+	testX   [][][]float64
+	testY   [][]int
+	res     *Result
+	round   int
+}
+
+var _ engine.Engine = (*Gossip)(nil)
+
+// NewGossip validates inputs and prepares a gossip-learning run. Every
+// client starts from the same random initialization, as in the DAG's genesis
+// model.
+func NewGossip(fed *dataset.Federation, cfg GossipConfig) (*Gossip, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -56,58 +80,116 @@ func RunGossip(fed *dataset.Federation, cfg GossipConfig) (*Result, error) {
 	if len(fed.Clients) < 2 {
 		return nil, fmt.Errorf("fl: gossip needs at least 2 clients, got %d", len(fed.Clients))
 	}
+	if cfg.ClientsPerRound > len(fed.Clients) {
+		return nil, fmt.Errorf("fl: gossip ClientsPerRound %d exceeds the federation's %d clients — a round samples without replacement, so reduce ClientsPerRound or enlarge the federation",
+			cfg.ClientsPerRound, len(fed.Clients))
+	}
 	root := xrand.New(cfg.Seed)
-
-	// Every client starts from the same random initialization, as in the
-	// DAG's genesis model.
 	init := nn.New(cfg.Arch, root.Split("init"))
-	models := make([][]float64, len(fed.Clients))
-	for i := range models {
-		models[i] = init.ParamsCopy()
+	g := &Gossip{
+		cfg:     cfg,
+		fed:     fed,
+		root:    root,
+		sampler: root.Split("sampler"),
+		scratch: init.Clone(),
+		res:     &Result{Algorithm: "gossip"},
 	}
-	scratch := init.Clone()
-
-	trainX := make([][][]float64, len(fed.Clients))
-	trainY := make([][]int, len(fed.Clients))
-	testX := make([][][]float64, len(fed.Clients))
-	testY := make([][]int, len(fed.Clients))
+	g.models = make([][]float64, len(fed.Clients))
+	for i := range g.models {
+		g.models[i] = init.ParamsCopy()
+	}
+	g.trainX = make([][][]float64, len(fed.Clients))
+	g.trainY = make([][]int, len(fed.Clients))
+	g.testX = make([][][]float64, len(fed.Clients))
+	g.testY = make([][]int, len(fed.Clients))
 	for i, c := range fed.Clients {
-		trainX[i], trainY[i] = c.Train.XY()
-		testX[i], testY[i] = c.Test.XY()
+		g.trainX[i], g.trainY[i] = c.Train.XY()
+		g.testX[i], g.testY[i] = c.Test.XY()
 	}
+	return g, nil
+}
 
-	res := &Result{Algorithm: "gossip"}
-	sampler := root.Split("sampler")
-	for round := 0; round < cfg.Rounds; round++ {
-		idxs := sampler.SampleWithoutReplacement(len(fed.Clients), cfg.ClientsPerRound)
-		rr := RoundResult{Round: round}
-		for _, ci := range idxs {
-			crng := root.SplitIndex("gossip", round*100003+ci)
-			// Receive a random peer's current model and merge by averaging.
-			peer := ci
-			for peer == ci {
-				peer = crng.Intn(len(fed.Clients))
-			}
-			merged := nn.AverageParams(models[ci], models[peer])
-			scratch.SetParams(merged)
-			localCfg := cfg.Local
-			localCfg.Shuffle = true
-			scratch.Train(trainX[ci], trainY[ci], localCfg, crng.Split("train"))
-			models[ci] = scratch.ParamsCopy()
+// Name implements engine.Engine.
+func (g *Gossip) Name() string { return "gossip" }
 
-			loss, acc := scratch.Evaluate(testX[ci], testY[ci])
-			rr.Selected = append(rr.Selected, fed.Clients[ci].ID)
-			rr.Accs = append(rr.Accs, acc)
-			rr.Losses = append(rr.Losses, loss)
-			rr.MeanAcc += acc
-			rr.MeanLoss += loss
+// Round returns the number of rounds executed so far.
+func (g *Gossip) Round() int { return g.round }
+
+// Result returns the run so far, shaped like Federated's: the per-client
+// accuracies are those of each active client's *own* local model on its own
+// test split. Valid mid-run as well as after completion.
+func (g *Gossip) Result() *Result {
+	g.scratch.SetParams(g.models[0])
+	g.res.Final = g.scratch
+	return g.res
+}
+
+// Step implements engine.Engine: one gossip round of receive-merge-train
+// cycles.
+func (g *Gossip) Step(ctx context.Context) (*engine.StepResult, bool, error) {
+	if g.round >= g.cfg.Rounds {
+		return nil, true, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	round := g.round
+	idxs := g.sampler.SampleWithoutReplacement(len(g.fed.Clients), g.cfg.ClientsPerRound)
+	rr := RoundResult{Round: round}
+	for _, ci := range idxs {
+		crng := g.root.SplitIndex("gossip", round*100003+ci)
+		// Receive a random peer's current model and merge by averaging.
+		peer := ci
+		for peer == ci {
+			peer = crng.Intn(len(g.fed.Clients))
 		}
-		n := float64(len(idxs))
-		rr.MeanAcc /= n
-		rr.MeanLoss /= n
-		res.Rounds = append(res.Rounds, rr)
+		merged := nn.AverageParams(g.models[ci], g.models[peer])
+		g.scratch.SetParams(merged)
+		localCfg := g.cfg.Local
+		localCfg.Shuffle = true
+		g.scratch.Train(g.trainX[ci], g.trainY[ci], localCfg, crng.Split("train"))
+		g.models[ci] = g.scratch.ParamsCopy()
+
+		loss, acc := g.scratch.Evaluate(g.testX[ci], g.testY[ci])
+		rr.Selected = append(rr.Selected, g.fed.Clients[ci].ID)
+		rr.Accs = append(rr.Accs, acc)
+		rr.Losses = append(rr.Losses, loss)
+		rr.MeanAcc += acc
+		rr.MeanLoss += loss
 	}
-	scratch.SetParams(models[0])
-	res.Final = scratch
-	return res, nil
+	n := float64(len(idxs))
+	rr.MeanAcc /= n
+	rr.MeanLoss /= n
+	g.res.Rounds = append(g.res.Rounds, rr)
+	g.round++
+
+	return &engine.StepResult{Round: engine.RoundEvent{
+		Engine:   g.Name(),
+		Round:    round,
+		MeanAcc:  rr.MeanAcc,
+		MeanLoss: rr.MeanLoss,
+		Detail:   &g.res.Rounds[len(g.res.Rounds)-1],
+	}}, false, nil
+}
+
+// RunGossip executes the gossip-learning baseline to completion.
+//
+// Deprecated: RunGossip cannot be canceled or observed mid-flight. New code
+// should construct the engine with NewGossip and drive it through the
+// unified run API — specdag.Run(ctx, gossipEngine, opts...) — then read
+// Result; RunGossip is kept as a thin convenience wrapper.
+func RunGossip(fed *dataset.Federation, cfg GossipConfig) (*Result, error) {
+	g, err := NewGossip(fed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		_, done, err := g.Step(context.Background())
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return g.Result(), nil
+		}
+	}
 }

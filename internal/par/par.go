@@ -3,6 +3,17 @@
 // per-event evaluations of the asynchronous simulator, and the sweep cells
 // (preset, seed, variant) of the experiment harness.
 //
+// Two concurrency regimes are offered:
+//
+//   - ForEach/ForEachErr/Do bound each call site independently by a worker
+//     count — two nested fan-outs may together run workers² goroutines.
+//   - A *Budget is one shared pool handed down through nested fan-outs
+//     (sweep cell → round engine): ForEachIn/ForEachErrIn/DoIn draw extra
+//     workers from the budget and fall back to inline execution when it is
+//     exhausted, so the whole tree never exceeds the budget — and never
+//     deadlocks, because a caller runs items on its own goroutine without
+//     waiting for a slot.
+//
 // The helpers deliberately know nothing about determinism; they only bound
 // concurrency. Callers obtain reproducible results by writing each item's
 // output to its own slice index and reducing sequentially afterwards, and by
@@ -15,8 +26,10 @@
 package par
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -30,13 +43,110 @@ func Workers(n int) int {
 	return n
 }
 
+// Budget is a shared worker pool: a fixed number of concurrency slots that
+// nested fan-outs draw from. A goroutine calling ForEachIn always processes
+// items itself (it occupies the slot it already runs on); additional helper
+// goroutines are spawned only while the budget has free slots. Consequently
+// at most Size goroutines execute items concurrently, across every nesting
+// level, and no call can deadlock waiting for slots.
+//
+// Accounting: InUse reports the goroutines currently executing items under
+// this budget, Peak the maximum ever observed — the quantity tests assert to
+// prove that nested fan-outs respect the budget. Both count each goroutine
+// once regardless of nesting depth.
+//
+// A Budget is safe for concurrent use. The accounting assumes the budget has
+// a single root: one goroutine (per budget) that enters ForEachIn from
+// outside any budgeted work. Multiple independent roots sharing one Budget
+// each add one slot of concurrency beyond Size.
+type Budget struct {
+	size   int
+	tokens chan struct{} // capacity size-1: the root supplies the first slot
+	inUse  atomic.Int64
+	peak   atomic.Int64
+	active sync.Map // goroutine id -> struct{}: goroutines inside budgeted loops
+}
+
+// NewBudget creates a shared pool with the given number of slots
+// (size <= 0 selects runtime.NumCPU()).
+func NewBudget(size int) *Budget {
+	size = Workers(size)
+	return &Budget{size: size, tokens: make(chan struct{}, size-1)}
+}
+
+// Size returns the number of concurrency slots.
+func (b *Budget) Size() int { return b.size }
+
+// InUse returns the number of goroutines currently executing budgeted items.
+func (b *Budget) InUse() int { return int(b.inUse.Load()) }
+
+// Peak returns the maximum InUse ever observed.
+func (b *Budget) Peak() int { return int(b.peak.Load()) }
+
+// tryAcquire claims a helper slot without blocking.
+func (b *Budget) tryAcquire() bool {
+	select {
+	case b.tokens <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns a helper slot.
+func (b *Budget) release() { <-b.tokens }
+
+// enterLoop registers the calling goroutine as an active worker. A goroutine
+// already registered (a nested ForEachIn on the same budget) is not counted
+// again; exitLoop must be passed the returned flag.
+func (b *Budget) enterLoop() (fresh bool) {
+	id := goid()
+	if _, loaded := b.active.LoadOrStore(id, struct{}{}); loaded {
+		return false
+	}
+	n := b.inUse.Add(1)
+	for {
+		p := b.peak.Load()
+		if n <= p || b.peak.CompareAndSwap(p, n) {
+			return true
+		}
+	}
+}
+
+// exitLoop undoes enterLoop.
+func (b *Budget) exitLoop(fresh bool) {
+	if !fresh {
+		return
+	}
+	b.active.Delete(goid())
+	b.inUse.Add(-1)
+}
+
+// goid returns the runtime id of the calling goroutine, parsed from the
+// stack header ("goroutine 123 [running]:"). It is the only way to detect
+// nested ForEachIn calls on one goroutine without threading context through
+// every item function; the parse runs once per worker loop, not per item.
+func goid() int64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	fields := bytes.Fields(buf[:n])
+	if len(fields) < 2 {
+		return -1
+	}
+	id, err := strconv.ParseInt(string(fields[1]), 10, 64)
+	if err != nil {
+		return -1
+	}
+	return id
+}
+
 // ForEach invokes fn(i) for every i in [0, n), using at most workers
 // goroutines (workers <= 0 selects runtime.NumCPU()). It returns when all
 // invocations have finished. Items are claimed dynamically, so long items do
 // not serialize behind short ones. A panic inside fn is re-raised on the
 // calling goroutine after the remaining workers drain.
 func ForEach(workers, n int, fn func(i int)) {
-	_ = ForEachErr(workers, n, func(i int) error {
+	_ = forEach(nil, workers, n, func(i int) error {
 		fn(i)
 		return nil
 	})
@@ -47,6 +157,40 @@ func ForEach(workers, n int, fn func(i int)) {
 // lowest-indexed error observed is returned, which keeps the reported error
 // stable when several concurrent items fail.
 func ForEachErr(workers, n int, fn func(i int) error) error {
+	return forEach(nil, workers, n, fn)
+}
+
+// ForEachIn is ForEach drawing helper workers from the shared budget b
+// instead of spawning freely: the caller processes items inline, and up to
+// min(workers, n) - 1 helpers join while b has free slots. A nil budget
+// falls back to ForEach. workers retains its meaning as a per-call cap
+// (and workers == 1 stays strictly sequential regardless of the budget).
+func ForEachIn(b *Budget, workers, n int, fn func(i int)) {
+	_ = forEach(b, workers, n, func(i int) error {
+		fn(i)
+		return nil
+	})
+}
+
+// ForEachErrIn is ForEachErr drawing helper workers from the shared budget.
+func ForEachErrIn(b *Budget, workers, n int, fn func(i int) error) error {
+	return forEach(b, workers, n, fn)
+}
+
+// Do runs the given functions concurrently, bounded by workers, and waits
+// for all of them. It is shorthand for ForEach over a fixed function list.
+func Do(workers int, fns ...func()) {
+	ForEach(workers, len(fns), func(i int) { fns[i]() })
+}
+
+// DoIn is Do drawing helper workers from the shared budget.
+func DoIn(b *Budget, workers int, fns ...func()) {
+	ForEachIn(b, workers, len(fns), func(i int) { fns[i]() })
+}
+
+// forEach is the shared implementation: the calling goroutine always works,
+// helpers are spawned up to workers-1 — gated by the budget when non-nil.
+func forEach(b *Budget, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -54,13 +198,28 @@ func ForEachErr(workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
+	// Accounting wraps worker loops, not items: a goroutine is counted once
+	// for the whole time it processes items, no matter how deeply nested.
+	runLoop := func(loop func()) {
+		if b == nil {
+			loop()
+			return
 		}
-		return nil
+		fresh := b.enterLoop()
+		defer b.exitLoop(fresh)
+		loop()
+	}
+
+	if workers == 1 {
+		var err error
+		runLoop(func() {
+			for i := 0; i < n; i++ {
+				if err = fn(i); err != nil {
+					return
+				}
+			}
+		})
+		return err
 	}
 
 	var (
@@ -81,7 +240,6 @@ func ForEachErr(workers, n int, fn func(i int) error) error {
 		abort.Store(true)
 	}
 	worker := func() {
-		defer wg.Done()
 		for {
 			// Check abort before claiming: an index, once claimed, always
 			// runs, so the first claimed index (0) is always observed.
@@ -112,19 +270,23 @@ func ForEachErr(workers, n int, fn func(i int) error) error {
 			}
 		}
 	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go worker()
+	for w := 1; w < workers; w++ {
+		if b != nil && !b.tryAcquire() {
+			break // budget exhausted: the caller still makes progress inline
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b != nil {
+				defer b.release()
+			}
+			runLoop(worker)
+		}()
 	}
+	runLoop(worker)
 	wg.Wait()
 	if panicked != nil {
 		panic(panicked)
 	}
 	return firstErr
-}
-
-// Do runs the given functions concurrently, bounded by workers, and waits
-// for all of them. It is shorthand for ForEach over a fixed function list.
-func Do(workers int, fns ...func()) {
-	ForEach(workers, len(fns), func(i int) { fns[i]() })
 }

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkersDefaultsToNumCPU(t *testing.T) {
@@ -111,3 +112,120 @@ func TestDoRunsAll(t *testing.T) {
 		t.Fatal("Do skipped a function")
 	}
 }
+
+// ---- Shared worker budget (Budget) ----
+
+func TestBudgetSizeDefaults(t *testing.T) {
+	if NewBudget(0).Size() != Workers(0) {
+		t.Fatal("Budget size 0 should default to NumCPU")
+	}
+	if NewBudget(3).Size() != 3 {
+		t.Fatal("explicit size not kept")
+	}
+}
+
+// TestBudgetBoundsNestedFanOut is the shared-pool guarantee behind the
+// unified run API: a sweep-shaped nested fan-out (outer cells, each running
+// an inner per-client fan-out) must never execute more goroutines than the
+// budget's size, measured by the pool's own accounting.
+func TestBudgetBoundsNestedFanOut(t *testing.T) {
+	const size = 3
+	b := NewBudget(size)
+	var items atomic.Int64
+	ForEachIn(b, size, 5, func(outer int) {
+		ForEachIn(b, size, 8, func(inner int) {
+			items.Add(1)
+			time.Sleep(time.Millisecond)
+		})
+	})
+	if items.Load() != 5*8 {
+		t.Fatalf("ran %d items, want 40", items.Load())
+	}
+	if b.InUse() != 0 {
+		t.Fatalf("in-use %d after completion, want 0", b.InUse())
+	}
+	if p := b.Peak(); p > size {
+		t.Fatalf("peak concurrency %d exceeds budget %d", p, size)
+	}
+	if p := b.Peak(); p < 2 {
+		t.Fatalf("peak concurrency %d: the budget prevented all parallelism", p)
+	}
+}
+
+// TestBudgetSizeOneIsSequential: a one-slot budget degrades every fan-out
+// to the plain sequential loop.
+func TestBudgetSizeOneIsSequential(t *testing.T) {
+	b := NewBudget(1)
+	var cur, peak atomic.Int64
+	ForEachIn(b, 8, 6, func(outer int) {
+		ForEachIn(b, 8, 6, func(inner int) {
+			if n := cur.Add(1); n > peak.Load() {
+				peak.Store(n)
+			}
+			time.Sleep(100 * time.Microsecond)
+			cur.Add(-1)
+		})
+	})
+	if peak.Load() != 1 {
+		t.Fatalf("observed concurrency %d under a 1-slot budget", peak.Load())
+	}
+	if b.Peak() > 1 {
+		t.Fatalf("accounting peak %d under a 1-slot budget", b.Peak())
+	}
+}
+
+// TestBudgetNestedAccountingCountsGoroutinesOnce: a goroutine running an
+// outer item that internally fans out again must not be double-counted.
+func TestBudgetNestedAccountingCountsGoroutinesOnce(t *testing.T) {
+	b := NewBudget(2)
+	ForEachIn(b, 2, 2, func(outer int) {
+		ForEachIn(b, 2, 2, func(inner int) {
+			ForEachIn(b, 2, 2, func(deep int) {
+				time.Sleep(time.Millisecond)
+			})
+		})
+	})
+	if p := b.Peak(); p > 2 {
+		t.Fatalf("triple-nested fan-out peaked at %d goroutines on a 2-slot budget", p)
+	}
+}
+
+func TestForEachErrInPropagatesError(t *testing.T) {
+	b := NewBudget(4)
+	err := ForEachErrIn(b, 4, 100, func(i int) error {
+		if i == 7 {
+			return errSeven
+		}
+		return nil
+	})
+	if err != errSeven {
+		t.Fatalf("err = %v, want errSeven", err)
+	}
+	if b.InUse() != 0 {
+		t.Fatal("slots leaked after error")
+	}
+}
+
+func TestDoInRunsAll(t *testing.T) {
+	b := NewBudget(2)
+	var a, c atomic.Bool
+	DoIn(b, 2,
+		func() { a.Store(true) },
+		func() { c.Store(true) },
+	)
+	if !a.Load() || !c.Load() {
+		t.Fatal("DoIn skipped a function")
+	}
+}
+
+// TestNilBudgetFallsBack: a nil budget behaves exactly like the unbudgeted
+// helpers.
+func TestNilBudgetFallsBack(t *testing.T) {
+	var n atomic.Int64
+	ForEachIn(nil, 4, 10, func(i int) { n.Add(1) })
+	if n.Load() != 10 {
+		t.Fatalf("ran %d items, want 10", n.Load())
+	}
+}
+
+var errSeven = errors.New("seven")

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/specdag/specdag/internal/core"
@@ -21,15 +22,15 @@ type AblationRow struct {
 }
 
 // runVariant runs one FMNIST DAG simulation with cfg customized by mutate.
-func runVariant(p Preset, seed int64, variant string, mutate func(*core.Config)) (AblationRow, error) {
+func runVariant(ctx context.Context, p Preset, seed int64, variant string, mutate func(*core.Config)) (AblationRow, error) {
 	spec := FMNISTSpec(p, seed)
 	cfg := spec.DAGConfig(p, tipselect.AccuracyWalk{Alpha: 10}, seed)
 	mutate(&cfg)
-	sim, err := core.NewSimulation(spec.Fed, cfg)
+	sim, err := runDAG(ctx, spec, cfg)
 	if err != nil {
 		return AblationRow{}, fmt.Errorf("ablation %s: %w", variant, err)
 	}
-	results := sim.Run()
+	results := sim.Results()
 
 	evals := 0
 	accSum, accN := 0.0, 0
@@ -55,13 +56,13 @@ func runVariant(p Preset, seed int64, variant string, mutate func(*core.Config))
 
 // runVariants runs every variant as an independent sweep cell on the
 // harness worker pool; rows come back in variant order.
-func runVariants(p Preset, seed int64, variants []struct {
+func runVariants(ctx context.Context, p Preset, seed int64, variants []struct {
 	name   string
 	mutate func(*core.Config)
 }) ([]AblationRow, error) {
 	rows := make([]AblationRow, len(variants))
-	err := par.ForEachErr(Workers, len(variants), func(i int) error {
-		row, err := runVariant(p, seed, variants[i].name, variants[i].mutate)
+	err := par.ForEachErrIn(Pool(), Workers, len(variants), func(i int) error {
+		row, err := runVariant(ctx, p, seed, variants[i].name, variants[i].mutate)
 		if err != nil {
 			return err
 		}
@@ -76,8 +77,8 @@ func runVariants(p Preset, seed int64, variants []struct {
 
 // AblationNormalization compares Eq. 1 vs Eq. 3 at α = 1, where the paper
 // reports the dynamic normalization helps (pureness 0.51 vs 0.40).
-func AblationNormalization(p Preset, seed int64) ([]AblationRow, error) {
-	return runVariants(p, seed, []struct {
+func AblationNormalization(ctx context.Context, p Preset, seed int64) ([]AblationRow, error) {
+	return runVariants(ctx, p, seed, []struct {
 		name   string
 		mutate func(*core.Config)
 	}{
@@ -90,8 +91,8 @@ func AblationNormalization(p Preset, seed int64) ([]AblationRow, error) {
 
 // AblationPublishGate compares the publish-if-better gate (§4.1) against
 // unconditional publishing.
-func AblationPublishGate(p Preset, seed int64) ([]AblationRow, error) {
-	return runVariants(p, seed, []struct {
+func AblationPublishGate(ctx context.Context, p Preset, seed int64) ([]AblationRow, error) {
+	return runVariants(ctx, p, seed, []struct {
 		name   string
 		mutate func(*core.Config)
 	}{
@@ -102,8 +103,8 @@ func AblationPublishGate(p Preset, seed int64) ([]AblationRow, error) {
 
 // AblationWalkDepth compares genesis-start walks against the depth-15–25
 // entry sampling proposed by Popov and used in §5.3.5.
-func AblationWalkDepth(p Preset, seed int64) ([]AblationRow, error) {
-	return runVariants(p, seed, []struct {
+func AblationWalkDepth(ctx context.Context, p Preset, seed int64) ([]AblationRow, error) {
+	return runVariants(ctx, p, seed, []struct {
 		name   string
 		mutate func(*core.Config)
 	}{
@@ -116,8 +117,8 @@ func AblationWalkDepth(p Preset, seed int64) ([]AblationRow, error) {
 
 // AblationReferenceWalks compares 1 vs 3 walks for the consensus reference
 // model.
-func AblationReferenceWalks(p Preset, seed int64) ([]AblationRow, error) {
-	return runVariants(p, seed, []struct {
+func AblationReferenceWalks(ctx context.Context, p Preset, seed int64) ([]AblationRow, error) {
+	return runVariants(ctx, p, seed, []struct {
 		name   string
 		mutate func(*core.Config)
 	}{
@@ -128,8 +129,8 @@ func AblationReferenceWalks(p Preset, seed int64) ([]AblationRow, error) {
 
 // AblationPartialSharing compares full model sharing against the paper's
 // future-work extension of sharing only the first layer (personal heads).
-func AblationPartialSharing(p Preset, seed int64) ([]AblationRow, error) {
-	return runVariants(p, seed, []struct {
+func AblationPartialSharing(ctx context.Context, p Preset, seed int64) ([]AblationRow, error) {
+	return runVariants(ctx, p, seed, []struct {
 		name   string
 		mutate func(*core.Config)
 	}{
@@ -141,8 +142,8 @@ func AblationPartialSharing(p Preset, seed int64) ([]AblationRow, error) {
 // AblationSelectors compares the three selector families: the paper's
 // accuracy walk, the classic cumulative-weight walk, and uniform random tip
 // selection.
-func AblationSelectors(p Preset, seed int64) ([]AblationRow, error) {
-	return runVariants(p, seed, []struct {
+func AblationSelectors(ctx context.Context, p Preset, seed int64) ([]AblationRow, error) {
+	return runVariants(ctx, p, seed, []struct {
 		name   string
 		mutate func(*core.Config)
 	}{

@@ -1,9 +1,10 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
-	"github.com/specdag/specdag/internal/core"
+	"github.com/specdag/specdag/internal/engine"
 	"github.com/specdag/specdag/internal/fl"
 	"github.com/specdag/specdag/internal/metrics"
 	"github.com/specdag/specdag/internal/par"
@@ -41,56 +42,62 @@ func groupByFives(perRound [][]float64) []Fig9Group {
 	return groups
 }
 
+// runFL builds a FedAvg/FedProx/gossip-shaped engine and drives it through
+// the unified run API, returning the result.
+func runFL(ctx context.Context, eng interface {
+	engine.Engine
+	Result() *fl.Result
+}) (*fl.Result, error) {
+	if _, err := engine.Run(ctx, eng); err != nil {
+		return nil, err
+	}
+	return eng.Result(), nil
+}
+
 // Figure9 reproduces Fig. 9: per-client accuracy distributions, grouped
 // over five consecutive rounds, FedAvg vs the Specializing DAG, for all
 // three datasets. The six underlying runs (three datasets × two algorithms)
-// are independent and execute on the harness worker pool.
-func Figure9(p Preset, seed int64) ([]Fig9Result, error) {
+// are independent cells on the shared worker pool.
+func Figure9(ctx context.Context, p Preset, seed int64) ([]Fig9Result, error) {
 	specs := []Spec{FMNISTSpec(p, seed), PoetsSpec(p, seed+1), CIFARSpec(p, seed+2)}
 	out := make([]Fig9Result, len(specs))
-	err := par.ForEachErr(Workers, len(specs), func(i int) error {
+	err := par.ForEachErrIn(Pool(), Workers, len(specs), func(i int) error {
 		spec := specs[i]
 		res := Fig9Result{Dataset: spec.Name}
 
-		var fedErr, dagErr error
-		par.Do(Workers,
-			func() {
-				flRes, err := fl.Run(spec.Fed, fl.Config{
-					Rounds:          p.Rounds(),
-					ClientsPerRound: p.ClientsPerRound(),
-					Local:           spec.Local,
-					Arch:            spec.Arch,
-					Seed:            seed + int64(20+i),
-				})
+		halves := []func() error{
+			func() error {
+				fedEng, err := fl.NewFederated(spec.Fed, spec.FLConfig(p, 0, seed+int64(20+i)))
 				if err != nil {
-					fedErr = fmt.Errorf("fig9 fedavg %s: %w", spec.Name, err)
-					return
+					return fmt.Errorf("fig9 fedavg %s: %w", spec.Name, err)
+				}
+				flRes, err := runFL(ctx, fedEng)
+				if err != nil {
+					return fmt.Errorf("fig9 fedavg %s: %w", spec.Name, err)
 				}
 				perRound := make([][]float64, len(flRes.Rounds))
 				for r, rr := range flRes.Rounds {
 					perRound[r] = rr.Accs
 				}
 				res.FedAvg = groupByFives(perRound)
+				return nil
 			},
-			func() {
-				sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, spec.Selector, seed+int64(30+i)))
+			func() error {
+				sim, err := runDAG(ctx, spec, spec.DAGConfig(p, spec.Selector, seed+int64(30+i)))
 				if err != nil {
-					dagErr = fmt.Errorf("fig9 dag %s: %w", spec.Name, err)
-					return
+					return fmt.Errorf("fig9 dag %s: %w", spec.Name, err)
 				}
-				dagRounds := sim.Run()
+				dagRounds := sim.Results()
 				perRound := make([][]float64, len(dagRounds))
 				for r, rr := range dagRounds {
 					perRound[r] = rr.TrainedAcc
 				}
 				res.DAG = groupByFives(perRound)
+				return nil
 			},
-		)
-		if fedErr != nil {
-			return fedErr
 		}
-		if dagErr != nil {
-			return dagErr
+		if err := par.ForEachErrIn(Pool(), Workers, len(halves), func(h int) error { return halves[h]() }); err != nil {
+			return err
 		}
 		out[i] = res
 		return nil
@@ -109,16 +116,16 @@ type Fig1011Curve struct {
 }
 
 // dagCurve runs the Specializing DAG on spec and records its per-round mean
-// accuracy/loss curve — the DAG half of every algorithm comparison.
-func dagCurve(p Preset, spec Spec, seed int64) (Fig1011Curve, error) {
-	sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, spec.Selector, seed))
+// accuracy/loss curve — the DAG half of every algorithm comparison — by
+// observing round events.
+func dagCurve(ctx context.Context, p Preset, spec Spec, seed int64) (Fig1011Curve, error) {
+	series := metrics.NewSeries("DAG", "round", "acc", "loss")
+	_, err := runDAG(ctx, spec, spec.DAGConfig(p, spec.Selector, seed),
+		engine.WithHooks(engine.Hooks{OnRound: func(ev engine.RoundEvent) {
+			series.Add(float64(ev.Round+1), ev.MeanAcc, ev.MeanLoss)
+		}}))
 	if err != nil {
 		return Fig1011Curve{}, err
-	}
-	series := metrics.NewSeries("DAG", "round", "acc", "loss")
-	for r := 0; r < p.Rounds(); r++ {
-		rr := sim.RunRound()
-		series.Add(float64(r+1), rr.MeanTrainedAcc(), rr.MeanTrainedLoss())
 	}
 	return Fig1011Curve{Algorithm: "DAG", Series: series}, nil
 }
@@ -126,8 +133,8 @@ func dagCurve(p Preset, spec Spec, seed int64) (Fig1011Curve, error) {
 // Figure10And11 reproduces Figs. 10 and 11: average accuracy and loss per
 // round for FedAvg, FedProx and the Specializing DAG on Synthetic(0.5, 0.5)
 // with 30 clients, 10 active per round. The three algorithm runs are
-// independent cells on the harness worker pool.
-func Figure10And11(p Preset, seed int64) ([]Fig1011Curve, error) {
+// independent cells on the shared worker pool.
+func Figure10And11(ctx context.Context, p Preset, seed int64) ([]Fig1011Curve, error) {
 	spec := FedProxSpec(p, seed)
 
 	algos := []struct {
@@ -136,30 +143,28 @@ func Figure10And11(p Preset, seed int64) ([]Fig1011Curve, error) {
 	}{{"FedAvg", 0}, {"FedProx", 1.0}, {"DAG", 0}}
 
 	out := make([]Fig1011Curve, len(algos))
-	err := par.ForEachErr(Workers, len(algos), func(i int) error {
+	err := par.ForEachErrIn(Pool(), Workers, len(algos), func(i int) error {
 		algo := algos[i]
 		if algo.name == "DAG" {
-			curve, err := dagCurve(p, spec, seed+41)
+			curve, err := dagCurve(ctx, p, spec, seed+41)
 			if err != nil {
 				return fmt.Errorf("fig10/11 dag: %w", err)
 			}
 			out[i] = curve
 			return nil
 		}
-		res, err := fl.Run(spec.Fed, fl.Config{
-			Rounds:          p.Rounds(),
-			ClientsPerRound: p.ClientsPerRound(),
-			Local:           spec.Local,
-			ProxMu:          algo.proxMu,
-			Arch:            spec.Arch,
-			Seed:            seed + 40,
-		})
+		fedEng, err := fl.NewFederated(spec.Fed, spec.FLConfig(p, algo.proxMu, seed+40))
 		if err != nil {
 			return fmt.Errorf("fig10/11 %s: %w", algo.name, err)
 		}
 		series := metrics.NewSeries(algo.name, "round", "acc", "loss")
-		for r, rr := range res.Rounds {
-			series.Add(float64(r+1), rr.MeanAcc, rr.MeanLoss)
+		_, err = engine.Run(ctx, fedEng, engine.WithHooks(engine.Hooks{
+			OnRound: func(ev engine.RoundEvent) {
+				series.Add(float64(ev.Round+1), ev.MeanAcc, ev.MeanLoss)
+			},
+		}))
+		if err != nil {
+			return fmt.Errorf("fig10/11 %s: %w", algo.name, err)
 		}
 		out[i] = Fig1011Curve{Algorithm: algo.name, Series: series}
 		return nil

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/specdag/specdag/internal/core"
@@ -14,28 +15,26 @@ import (
 // decentralized family, §3.2) and FedAvg on the clustered dataset. The DAG's
 // performance-aware merge partner selection should beat gossip's random
 // partners on non-IID data.
-func GossipComparison(p Preset, seed int64) ([]Fig1011Curve, error) {
+func GossipComparison(ctx context.Context, p Preset, seed int64) ([]Fig1011Curve, error) {
 	spec := FMNISTSpec(p, seed)
 	out := make([]Fig1011Curve, 3)
 
 	// The three algorithm runs only read the shared federation; run them as
 	// independent cells.
-	err := par.ForEachErr(Workers, 3, func(i int) error {
+	err := par.ForEachErrIn(Pool(), Workers, 3, func(i int) error {
 		switch i {
 		case 0:
-			flRes, err := fl.Run(spec.Fed, fl.Config{
-				Rounds:          p.Rounds(),
-				ClientsPerRound: p.ClientsPerRound(),
-				Local:           spec.Local,
-				Arch:            spec.Arch,
-				Seed:            seed + 60,
-			})
+			fedEng, err := fl.NewFederated(spec.Fed, spec.FLConfig(p, 0, seed+60))
+			if err != nil {
+				return fmt.Errorf("gossip comparison fedavg: %w", err)
+			}
+			flRes, err := runFL(ctx, fedEng)
 			if err != nil {
 				return fmt.Errorf("gossip comparison fedavg: %w", err)
 			}
 			out[i] = curveFromFL("FedAvg", flRes)
 		case 1:
-			gossip, err := fl.RunGossip(spec.Fed, fl.GossipConfig{
+			gossipEng, err := fl.NewGossip(spec.Fed, fl.GossipConfig{
 				Rounds:          p.Rounds(),
 				ClientsPerRound: p.ClientsPerRound(),
 				Local:           spec.Local,
@@ -45,9 +44,13 @@ func GossipComparison(p Preset, seed int64) ([]Fig1011Curve, error) {
 			if err != nil {
 				return fmt.Errorf("gossip comparison gossip: %w", err)
 			}
+			gossip, err := runFL(ctx, gossipEng)
+			if err != nil {
+				return fmt.Errorf("gossip comparison gossip: %w", err)
+			}
 			out[i] = curveFromFL("Gossip", gossip)
 		case 2:
-			curve, err := dagCurve(p, spec, seed+62)
+			curve, err := dagCurve(ctx, p, spec, seed+62)
 			if err != nil {
 				return fmt.Errorf("gossip comparison dag: %w", err)
 			}
@@ -73,12 +76,12 @@ func curveFromFL(name string, res *fl.Result) Fig1011Curve {
 // assumption the paper makes in §5.3.5: transactions become visible to other
 // clients only RevealDelay rounds after publication. The sweep measures how
 // stale views affect specialization (pureness) and accuracy.
-func VisibilitySweep(p Preset, seed int64) ([]AblationRow, error) {
+func VisibilitySweep(ctx context.Context, p Preset, seed int64) ([]AblationRow, error) {
 	delays := []int{0, 1, 3, 5}
 	rows := make([]AblationRow, len(delays))
-	err := par.ForEachErr(Workers, len(delays), func(i int) error {
+	err := par.ForEachErrIn(Pool(), Workers, len(delays), func(i int) error {
 		d := delays[i]
-		row, err := runVariant(p, seed, fmt.Sprintf("reveal-delay=%d", d), func(c *core.Config) {
+		row, err := runVariant(ctx, p, seed, fmt.Sprintf("reveal-delay=%d", d), func(c *core.Config) {
 			c.RevealDelay = d
 		})
 		if err != nil {

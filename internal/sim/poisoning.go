@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/specdag/specdag/internal/core"
+	"github.com/specdag/specdag/internal/engine"
 	"github.com/specdag/specdag/internal/graphx"
 	"github.com/specdag/specdag/internal/metrics"
 	"github.com/specdag/specdag/internal/par"
@@ -37,8 +39,9 @@ func poisonRounds(p Preset) (clean, attack int) {
 // Figure12And13 reproduces Figs. 12 and 13: the flipped-label attack
 // (labels 3↔8) on the by-writer FMNIST split. Scenarios: p=0.0 baseline,
 // p=0.2 and p=0.3 with the accuracy tip selector, and p=0.2 with the random
-// tip selector.
-func Figure12And13(p Preset, seed int64) ([]PoisonCurve, error) {
+// tip selector. The per-round attack metrics stream out of the run through
+// round events (Detail carries the full core.RoundResult).
+func Figure12And13(ctx context.Context, p Preset, seed int64) ([]PoisonCurve, error) {
 	clean, attack := poisonRounds(p)
 	scenarios := []poisonScenario{
 		{"p=0.0", 0, tipselect.AccuracyWalk{Alpha: 10}},
@@ -50,7 +53,7 @@ func Figure12And13(p Preset, seed int64) ([]PoisonCurve, error) {
 	// Each scenario owns its federation (poisoning flips labels in place on
 	// the simulation's private copies), so the cells are fully independent.
 	out := make([]PoisonCurve, len(scenarios))
-	err := par.ForEachErr(Workers, len(scenarios), func(si int) error {
+	err := par.ForEachErrIn(Pool(), Workers, len(scenarios), func(si int) error {
 		sc := scenarios[si]
 		spec := ByWriterFMNISTSpec(p, seed)
 		cfg := spec.DAGConfig(p, sc.selector, seed+int64(si))
@@ -62,20 +65,21 @@ func Figure12And13(p Preset, seed int64) ([]PoisonCurve, error) {
 			StartRound: clean,
 			Track:      true,
 		}
-		sim, err := core.NewSimulation(spec.Fed, cfg)
+		series := metrics.NewSeries(sc.label, "round", "flippedPct", "flippedBenignPct", "poisonedApprovals")
+		_, err := runDAG(ctx, spec, cfg, engine.WithHooks(engine.Hooks{
+			OnRound: func(ev engine.RoundEvent) {
+				if ev.Round < clean {
+					return // the figures start at the attack round
+				}
+				rr := ev.Detail.(*core.RoundResult)
+				series.Add(float64(ev.Round),
+					100*rr.MeanFlippedFrac(),
+					100*rr.MeanFlippedFracBenign(),
+					rr.MeanRefPoisonedApprovals())
+			},
+		}))
 		if err != nil {
 			return fmt.Errorf("fig12/13 %s: %w", sc.label, err)
-		}
-		series := metrics.NewSeries(sc.label, "round", "flippedPct", "flippedBenignPct", "poisonedApprovals")
-		for r := 0; r < cfg.Rounds; r++ {
-			rr := sim.RunRound()
-			if r < clean {
-				continue // the figures start at the attack round
-			}
-			series.Add(float64(r),
-				100*rr.MeanFlippedFrac(),
-				100*rr.MeanFlippedFracBenign(),
-				rr.MeanRefPoisonedApprovals())
 		}
 		out[si] = PoisonCurve{Label: sc.label, Series: series}
 		return nil
@@ -100,17 +104,16 @@ type Fig14Result struct {
 // Figure14 reproduces Fig. 14: run the p=0.3 flipped-label attack, then
 // cluster G_clients with Louvain and histogram benign vs poisoned clients
 // per inferred community.
-func Figure14(p Preset, seed int64) (*Fig14Result, error) {
+func Figure14(ctx context.Context, p Preset, seed int64) (*Fig14Result, error) {
 	clean, attack := poisonRounds(p)
 	spec := ByWriterFMNISTSpec(p, seed)
 	cfg := spec.DAGConfig(p, tipselect.AccuracyWalk{Alpha: 10}, seed)
 	cfg.Rounds = clean + attack
 	cfg.Poison = core.PoisonConfig{Fraction: 0.3, FlipA: 3, FlipB: 8, StartRound: clean, Track: true}
-	sim, err := core.NewSimulation(spec.Fed, cfg)
+	sim, err := runDAG(ctx, spec, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("fig14: %w", err)
 	}
-	sim.Run()
 
 	g := metrics.BuildClientGraph(sim.DAG())
 	part := graphx.Louvain(g, xrand.New(seed+7))

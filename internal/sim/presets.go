@@ -9,23 +9,57 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"sync"
 
 	"github.com/specdag/specdag/internal/core"
 	"github.com/specdag/specdag/internal/dataset"
+	"github.com/specdag/specdag/internal/fl"
 	"github.com/specdag/specdag/internal/nn"
+	"github.com/specdag/specdag/internal/par"
 	"github.com/specdag/specdag/internal/tipselect"
 )
 
-// Workers bounds the harness's parallelism: the number of independent sweep
-// cells (one figure line, ablation variant, or scenario each) run
-// concurrently, and the Workers setting of every core.Config the harness
-// assembles. 0 (the default) uses runtime.NumCPU(). Every experiment is
-// deterministic for any value — cells write results by index and each DAG
-// simulation is worker-count invariant — so this knob only trades wall clock
-// for CPU. It is read once from the SPECDAG_WORKERS environment variable at
-// startup (how the benchmark snapshots pin a sequential baseline) and can be
-// overridden by cmd/experiments -workers.
+// Workers bounds the harness's parallelism: the total size of the shared
+// worker budget that sweep cells (one figure line, ablation variant, or
+// scenario each) and the round engines inside them draw from, and the
+// Workers setting of every core.Config the harness assembles. 0 (the
+// default) uses runtime.NumCPU(). Every experiment is deterministic for any
+// value — cells write results by index and each DAG simulation is
+// worker-count invariant — so this knob only trades wall clock for CPU. It
+// is read once from the SPECDAG_WORKERS environment variable at startup
+// (how the benchmark snapshots pin a sequential baseline) and can be
+// overridden via SetWorkers (cmd/experiments -workers).
 var Workers = workersFromEnv()
+
+var (
+	poolMu sync.Mutex
+	pool   *par.Budget
+)
+
+// Pool returns the harness-wide shared worker budget, sized par.Workers
+// (Workers) and created on first use. Every sweep cell fan-out and every
+// round engine the harness assembles draws from this one pool, so nested
+// fan-outs (a sweep of simulations, each fanning over its round's clients)
+// never run more than the budget's goroutines in total — the resolution of
+// the ~NumCPU² oversubscription the per-call-site pools allowed.
+func Pool() *par.Budget {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if pool == nil {
+		pool = par.NewBudget(par.Workers(Workers))
+	}
+	return pool
+}
+
+// SetWorkers overrides the harness worker budget and replaces the shared
+// pool. Call it before running experiments (flag parsing time); experiments
+// already in flight keep the pool they started with.
+func SetWorkers(n int) {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	Workers = n
+	pool = par.NewBudget(par.Workers(n))
+}
 
 func workersFromEnv() int {
 	v := os.Getenv("SPECDAG_WORKERS")
@@ -231,7 +265,8 @@ func FedProxSpec(p Preset, seed int64) Spec {
 }
 
 // DAGConfig assembles a core.Config for the spec with the given selector.
-// The simulation inherits the harness-wide Workers setting.
+// The simulation inherits the harness-wide Workers setting and draws its
+// round fan-out from the shared pool.
 func (s Spec) DAGConfig(p Preset, sel tipselect.Selector, seed int64) core.Config {
 	return core.Config{
 		Rounds:          p.Rounds(),
@@ -240,6 +275,22 @@ func (s Spec) DAGConfig(p Preset, sel tipselect.Selector, seed int64) core.Confi
 		Arch:            s.Arch,
 		Selector:        sel,
 		Workers:         Workers,
+		Pool:            Pool(),
+		Seed:            seed,
+	}
+}
+
+// FLConfig assembles an fl.Config for the spec, mirroring the preset's
+// round structure and sharing the harness worker budget.
+func (s Spec) FLConfig(p Preset, proxMu float64, seed int64) fl.Config {
+	return fl.Config{
+		Rounds:          p.Rounds(),
+		ClientsPerRound: p.ClientsPerRound(),
+		Local:           s.Local,
+		ProxMu:          proxMu,
+		Arch:            s.Arch,
+		Workers:         Workers,
+		Pool:            Pool(),
 		Seed:            seed,
 	}
 }

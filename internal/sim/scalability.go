@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/specdag/specdag/internal/core"
+	"github.com/specdag/specdag/internal/engine"
 	"github.com/specdag/specdag/internal/metrics"
 	"github.com/specdag/specdag/internal/par"
 	"github.com/specdag/specdag/internal/tipselect"
@@ -25,7 +27,7 @@ type Fig15Curve struct {
 // Both wall-clock microseconds and the hardware-independent count of model
 // evaluations per client are reported; the paper's claim is that neither
 // grows with concurrency.
-func Figure15(p Preset, seed int64) ([]Fig15Curve, error) {
+func Figure15(ctx context.Context, p Preset, seed int64) ([]Fig15Curve, error) {
 	levels := []int{5, 10, 20, 40}
 	rounds := p.Rounds()
 	if p == Quick {
@@ -35,9 +37,9 @@ func Figure15(p Preset, seed int64) ([]Fig15Curve, error) {
 	// This is a *measurement* experiment: walkMicros is per-walk wall
 	// clock, which oversubscribed cores would contaminate with scheduler
 	// contention. So the cells run sequentially and each simulation runs
-	// its clients on a single worker — timing fidelity over throughput.
-	// (The harness's other sweeps stay parallel; their metrics are
-	// hardware-independent.)
+	// its clients on a single worker, off the shared pool — timing fidelity
+	// over throughput. (The harness's other sweeps stay parallel; their
+	// metrics are hardware-independent.)
 	out := make([]Fig15Curve, len(levels))
 	err := par.ForEachErr(1, len(levels), func(li int) error {
 		active := levels[li]
@@ -51,17 +53,19 @@ func Figure15(p Preset, seed int64) ([]Fig15Curve, error) {
 		cfg.DisableEvalMemo = true
 		cfg.MeasureWalkTime = true
 		cfg.Workers = 1 // uncontended walks: see the fidelity note above
-		sim, err := core.NewSimulation(spec.Fed, cfg)
-		if err != nil {
-			return fmt.Errorf("fig15 active=%d: %w", active, err)
-		}
+		cfg.Pool = nil
 		series := metrics.NewSeries(fmt.Sprintf("%d active clients", active),
 			"round", "walkMicros", "evalsPerClient")
-		for r := 0; r < rounds; r++ {
-			rr := sim.RunRound()
-			series.Add(float64(r+1),
-				float64(rr.MeanWalkDuration().Microseconds()),
-				float64(rr.Walk.Evaluations)/float64(len(rr.Active)))
+		_, err := runDAG(ctx, spec, cfg, engine.WithHooks(engine.Hooks{
+			OnRound: func(ev engine.RoundEvent) {
+				rr := ev.Detail.(*core.RoundResult)
+				series.Add(float64(ev.Round+1),
+					float64(rr.MeanWalkDuration().Microseconds()),
+					float64(rr.Walk.Evaluations)/float64(len(rr.Active)))
+			},
+		}))
+		if err != nil {
+			return fmt.Errorf("fig15 active=%d: %w", active, err)
 		}
 		out[li] = Fig15Curve{ActiveClients: active, Series: series}
 		return nil

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -51,7 +53,7 @@ func TestTable1Rendering(t *testing.T) {
 }
 
 func TestTable2QuickShape(t *testing.T) {
-	rows, err := Table2(Quick, testSeed)
+	rows, err := Table2(context.Background(), Quick, testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +79,7 @@ func TestTable2QuickShape(t *testing.T) {
 }
 
 func TestFigure5Quick(t *testing.T) {
-	results, err := Figure5(Quick, testSeed)
+	results, err := Figure5(context.Background(), Quick, testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +107,7 @@ func TestFigure5Quick(t *testing.T) {
 }
 
 func TestFigure6Quick(t *testing.T) {
-	curves, err := Figure6(Quick, testSeed)
+	curves, err := Figure6(context.Background(), Quick, testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +132,7 @@ func TestFigure6Quick(t *testing.T) {
 }
 
 func TestFigure7Quick(t *testing.T) {
-	r, err := Figure7(Quick, testSeed)
+	r, err := Figure7(context.Background(), Quick, testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +151,7 @@ func TestFigure7Quick(t *testing.T) {
 }
 
 func TestFigure8Quick(t *testing.T) {
-	curves, err := Figure8(Quick, testSeed)
+	curves, err := Figure8(context.Background(), Quick, testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +161,7 @@ func TestFigure8Quick(t *testing.T) {
 }
 
 func TestFigure9Quick(t *testing.T) {
-	results, err := Figure9(Quick, testSeed)
+	results, err := Figure9(context.Background(), Quick, testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +184,7 @@ func TestFigure9Quick(t *testing.T) {
 }
 
 func TestFigure10And11Quick(t *testing.T) {
-	curves, err := Figure10And11(Quick, testSeed)
+	curves, err := Figure10And11(context.Background(), Quick, testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +209,7 @@ func TestFigure10And11Quick(t *testing.T) {
 }
 
 func TestFigure12And13Quick(t *testing.T) {
-	curves, err := Figure12And13(Quick, testSeed)
+	curves, err := Figure12And13(context.Background(), Quick, testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +232,7 @@ func TestFigure12And13Quick(t *testing.T) {
 }
 
 func TestFigure14Quick(t *testing.T) {
-	r, err := Figure14(Quick, testSeed)
+	r, err := Figure14(context.Background(), Quick, testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +255,7 @@ func TestFigure14Quick(t *testing.T) {
 }
 
 func TestFigure15Quick(t *testing.T) {
-	curves, err := Figure15(Quick, testSeed)
+	curves, err := Figure15(context.Background(), Quick, testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +275,7 @@ func TestFigure15Quick(t *testing.T) {
 func TestAblationsQuick(t *testing.T) {
 	type ablation struct {
 		name string
-		run  func(Preset, int64) ([]AblationRow, error)
+		run  func(context.Context, Preset, int64) ([]AblationRow, error)
 		want int
 	}
 	ablations := []ablation{
@@ -285,7 +287,7 @@ func TestAblationsQuick(t *testing.T) {
 	}
 	for _, a := range ablations {
 		t.Run(a.name, func(t *testing.T) {
-			rows, err := a.run(Quick, testSeed)
+			rows, err := a.run(context.Background(), Quick, testSeed)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -308,7 +310,7 @@ func TestAblationsQuick(t *testing.T) {
 }
 
 func TestAblationPublishGateGrowsDAG(t *testing.T) {
-	rows, err := AblationPublishGate(Quick, testSeed)
+	rows, err := AblationPublishGate(context.Background(), Quick, testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,5 +318,41 @@ func TestAblationPublishGateGrowsDAG(t *testing.T) {
 	// least as large as with the gate.
 	if rows[1].DAGSize < rows[0].DAGSize {
 		t.Fatalf("gate-off DAG (%d) smaller than gate-on (%d)", rows[1].DAGSize, rows[0].DAGSize)
+	}
+}
+
+// TestHarnessSharedPoolBoundsNestedFanOut is the oversubscription
+// regression test: a sweep (cells fanning out on the shared pool) whose
+// cells each run a round engine (fanning out over clients on the same pool)
+// must never exceed the configured worker budget, asserted via the pool's
+// accounting. Before the shared pool, cells and round engines each used the
+// full worker count, multiplying to ~NumCPU² goroutines.
+func TestHarnessSharedPoolBoundsNestedFanOut(t *testing.T) {
+	oldWorkers := Workers
+	SetWorkers(2)
+	defer SetWorkers(oldWorkers)
+
+	if _, err := AblationPublishGate(context.Background(), Quick, testSeed); err != nil {
+		t.Fatal(err)
+	}
+	if peak := Pool().Peak(); peak > 2 {
+		t.Fatalf("nested sweep+round fan-out peaked at %d goroutines on a 2-slot budget", peak)
+	}
+	if Pool().InUse() != 0 {
+		t.Fatalf("pool reports %d in use after the sweep", Pool().InUse())
+	}
+}
+
+// TestHarnessRunsAreCancelable: canceling the context aborts a sweep
+// mid-flight with a context error instead of running to completion.
+func TestHarnessRunsAreCancelable(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the sweep must abort before finishing
+	_, err := Table2(ctx, Quick, testSeed)
+	if err == nil {
+		t.Fatal("canceled sweep completed successfully")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
 	}
 }

@@ -1,15 +1,32 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/specdag/specdag/internal/core"
+	"github.com/specdag/specdag/internal/engine"
 	"github.com/specdag/specdag/internal/graphx"
 	"github.com/specdag/specdag/internal/metrics"
 	"github.com/specdag/specdag/internal/par"
 	"github.com/specdag/specdag/internal/tipselect"
 	"github.com/specdag/specdag/internal/xrand"
 )
+
+// runDAG builds a simulation for cfg and drives it through the unified run
+// API with the given options, returning the simulation for post-run metrics.
+// Every DAG cell of the harness goes through here, so each inherits
+// cancellation and the shared worker pool.
+func runDAG(ctx context.Context, spec Spec, cfg core.Config, opts ...engine.Option) (*core.Simulation, error) {
+	sim, err := core.NewSimulation(spec.Fed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := engine.Run(ctx, sim, opts...); err != nil {
+		return nil, err
+	}
+	return sim, nil
+}
 
 // Table2Row is one row of Table 2: the approval pureness in the DAG after
 // training with the accuracy walk, against the random-approval baseline.
@@ -22,16 +39,15 @@ type Table2Row struct {
 
 // Table2 reproduces Table 2: approval pureness after training on all three
 // datasets, each with its spec's headline selector.
-func Table2(p Preset, seed int64) ([]Table2Row, error) {
+func Table2(ctx context.Context, p Preset, seed int64) ([]Table2Row, error) {
 	specs := []Spec{FMNISTSpec(p, seed), PoetsSpec(p, seed+1), CIFARSpec(p, seed+2)}
 	rows := make([]Table2Row, len(specs))
-	err := par.ForEachErr(Workers, len(specs), func(i int) error {
+	err := par.ForEachErrIn(Pool(), Workers, len(specs), func(i int) error {
 		spec := specs[i]
-		sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, spec.Selector, seed+int64(10+i)))
+		sim, err := runDAG(ctx, spec, spec.DAGConfig(p, spec.Selector, seed+int64(10+i)))
 		if err != nil {
 			return fmt.Errorf("table2 %s: %w", spec.Name, err)
 		}
-		sim.Run()
 		rows[i] = Table2Row{
 			Dataset:  spec.Name,
 			Clusters: spec.Fed.NumClusters,
@@ -54,8 +70,10 @@ type Fig5Result struct {
 
 // Figure5 reproduces Fig. 5: modularity, partition count and
 // misclassification fraction of the Louvain partition of G_clients over
-// training rounds, for α ∈ {1, 10, 100} on FMNIST-clustered.
-func Figure5(p Preset, seed int64) ([]Fig5Result, error) {
+// training rounds, for α ∈ {1, 10, 100} on FMNIST-clustered. The periodic
+// G_clients analysis rides the run as an observer hook — a mid-run metric
+// probe over the live DAG.
+func Figure5(ctx context.Context, p Preset, seed int64) ([]Fig5Result, error) {
 	alphas := []float64{1, 10, 100}
 	sampleEvery := 5
 	if p == Quick {
@@ -63,7 +81,7 @@ func Figure5(p Preset, seed int64) ([]Fig5Result, error) {
 	}
 
 	out := make([]Fig5Result, len(alphas))
-	err := par.ForEachErr(Workers, len(alphas), func(ai int) error {
+	err := par.ForEachErrIn(Pool(), Workers, len(alphas), func(ai int) error {
 		alpha := alphas[ai]
 		spec := FMNISTSpec(p, seed)
 		sel := tipselect.AccuracyWalk{Alpha: alpha}
@@ -75,17 +93,21 @@ func Figure5(p Preset, seed int64) ([]Fig5Result, error) {
 		series := metrics.NewSeries(fmt.Sprintf("fig5 alpha=%g", alpha),
 			"round", "modularity", "partitions", "misclassification")
 		lrng := xrand.New(seed + 100 + int64(ai))
-		for r := 0; r < p.Rounds(); r++ {
-			sim.RunRound()
-			if (r+1)%sampleEvery != 0 {
-				continue
-			}
-			g := metrics.BuildClientGraph(sim.DAG())
-			part := graphx.Louvain(g, lrng)
-			series.Add(float64(r+1),
-				graphx.Modularity(g, part),
-				float64(graphx.NumCommunities(part)),
-				metrics.Misclassification(part, truth))
+		_, err = engine.Run(ctx, sim, engine.WithHooks(engine.Hooks{
+			OnRound: func(ev engine.RoundEvent) {
+				if (ev.Round+1)%sampleEvery != 0 {
+					return
+				}
+				g := metrics.BuildClientGraph(sim.DAG())
+				part := graphx.Louvain(g, lrng)
+				series.Add(float64(ev.Round+1),
+					graphx.Modularity(g, part),
+					float64(graphx.NumCommunities(part)),
+					metrics.Misclassification(part, truth))
+			},
+		}))
+		if err != nil {
+			return fmt.Errorf("fig5 alpha=%v: %w", alpha, err)
 		}
 		out[ai] = Fig5Result{Alpha: alpha, Series: series}
 		return nil
@@ -103,22 +125,21 @@ type AccuracyCurve struct {
 }
 
 // accuracySweep runs the DAG once per α and records the mean trained-model
-// accuracy per round.
-func accuracySweep(p Preset, spec func(int) Spec, norm tipselect.Normalization, seed int64) ([]AccuracyCurve, error) {
+// accuracy per round, streamed through round events.
+func accuracySweep(ctx context.Context, p Preset, spec func(int) Spec, norm tipselect.Normalization, seed int64) ([]AccuracyCurve, error) {
 	alphas := []float64{0.1, 1, 10, 100}
 	out := make([]AccuracyCurve, len(alphas))
-	err := par.ForEachErr(Workers, len(alphas), func(ai int) error {
+	err := par.ForEachErrIn(Pool(), Workers, len(alphas), func(ai int) error {
 		alpha := alphas[ai]
 		sp := spec(ai)
 		sel := tipselect.AccuracyWalk{Alpha: alpha, Norm: norm}
-		sim, err := core.NewSimulation(sp.Fed, sp.DAGConfig(p, sel, seed+int64(ai)))
+		series := metrics.NewSeries(fmt.Sprintf("alpha=%g (%s)", alpha, norm), "round", "acc")
+		_, err := runDAG(ctx, sp, sp.DAGConfig(p, sel, seed+int64(ai)),
+			engine.WithHooks(engine.Hooks{OnRound: func(ev engine.RoundEvent) {
+				series.Add(float64(ev.Round+1), ev.MeanAcc)
+			}}))
 		if err != nil {
 			return fmt.Errorf("accuracy sweep alpha=%v: %w", alpha, err)
-		}
-		series := metrics.NewSeries(fmt.Sprintf("alpha=%g (%s)", alpha, norm), "round", "acc")
-		for r := 0; r < p.Rounds(); r++ {
-			rr := sim.RunRound()
-			series.Add(float64(r+1), rr.MeanTrainedAcc())
 		}
 		out[ai] = AccuracyCurve{Label: fmt.Sprintf("alpha=%g", alpha), Series: series}
 		return nil
@@ -131,8 +152,8 @@ func accuracySweep(p Preset, spec func(int) Spec, norm tipselect.Normalization, 
 
 // Figure6 reproduces Fig. 6: accuracy per round on FMNIST-clustered for
 // α ∈ {0.1, 1, 10, 100} with the standard normalization (Eq. 1).
-func Figure6(p Preset, seed int64) ([]AccuracyCurve, error) {
-	return accuracySweep(p, func(int) Spec { return FMNISTSpec(p, seed) }, tipselect.NormStandard, seed)
+func Figure6(ctx context.Context, p Preset, seed int64) ([]AccuracyCurve, error) {
+	return accuracySweep(ctx, p, func(int) Spec { return FMNISTSpec(p, seed) }, tipselect.NormStandard, seed)
 }
 
 // Fig7Result extends the accuracy sweep with the approval pureness achieved
@@ -148,20 +169,19 @@ type Fig7Result struct {
 // Figure7 reproduces Fig. 7: the accuracy sweep with the dynamic
 // normalization (Eq. 3), plus the α=1 pureness comparison against the
 // standard normalization.
-func Figure7(p Preset, seed int64) (*Fig7Result, error) {
-	curves, err := accuracySweep(p, func(int) Spec { return FMNISTSpec(p, seed) }, tipselect.NormDynamic, seed)
+func Figure7(ctx context.Context, p Preset, seed int64) (*Fig7Result, error) {
+	curves, err := accuracySweep(ctx, p, func(int) Spec { return FMNISTSpec(p, seed) }, tipselect.NormDynamic, seed)
 	if err != nil {
 		return nil, err
 	}
 	norms := []tipselect.Normalization{tipselect.NormStandard, tipselect.NormDynamic}
 	vals := make([]float64, len(norms))
-	err = par.ForEachErr(Workers, len(norms), func(i int) error {
+	err = par.ForEachErrIn(Pool(), Workers, len(norms), func(i int) error {
 		spec := FMNISTSpec(p, seed)
-		sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, tipselect.AccuracyWalk{Alpha: 1, Norm: norms[i]}, seed+50))
+		sim, err := runDAG(ctx, spec, spec.DAGConfig(p, tipselect.AccuracyWalk{Alpha: 1, Norm: norms[i]}, seed+50))
 		if err != nil {
 			return err
 		}
-		sim.Run()
 		vals[i] = metrics.ApprovalPureness(sim.DAG(), spec.Fed.ClusterOf())
 		return nil
 	})
@@ -177,6 +197,6 @@ func Figure7(p Preset, seed int64) (*Fig7Result, error) {
 
 // Figure8 reproduces Fig. 8: the α accuracy sweep on the relaxed
 // FMNIST-clustered dataset (15–20 % foreign-cluster data per client).
-func Figure8(p Preset, seed int64) ([]AccuracyCurve, error) {
-	return accuracySweep(p, func(int) Spec { return RelaxedFMNISTSpec(p, seed) }, tipselect.NormStandard, seed)
+func Figure8(ctx context.Context, p Preset, seed int64) ([]AccuracyCurve, error) {
+	return accuracySweep(ctx, p, func(int) Spec { return RelaxedFMNISTSpec(p, seed) }, tipselect.NormStandard, seed)
 }

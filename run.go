@@ -1,0 +1,178 @@
+package specdag
+
+// The unified streaming run API: one cancelable, observable, resumable
+// engine loop behind every experiment. See the package documentation in
+// specdag.go for the quickstart.
+
+import (
+	"context"
+	"io"
+
+	"github.com/specdag/specdag/internal/core"
+	"github.com/specdag/specdag/internal/engine"
+	"github.com/specdag/specdag/internal/fl"
+	"github.com/specdag/specdag/internal/par"
+)
+
+// Engine is a resumable experiment stepper: one unit of work (a round or a
+// client activation) per Step. Implementations in this library:
+//
+//   - *Simulation (NewSimulation): the synchronous Specializing DAG
+//   - *AsyncSimulation (NewAsyncSimulation): the event-driven DAG
+//   - *Federated (NewFederated): FedAvg / FedProx
+//   - *Gossip (NewGossip): gossip learning
+//
+// Any type with the same Step/Name methods plugs into Run, so downstream
+// code can drive custom engines with the same machinery.
+type Engine = engine.Engine
+
+// StepResult is what an Engine reports for one completed unit of work.
+type StepResult = engine.StepResult
+
+// RoundEvent reports one completed round (or, for the asynchronous engine,
+// one client activation).
+type RoundEvent = engine.RoundEvent
+
+// PublishEvent reports one model update entering the DAG.
+type PublishEvent = engine.PublishEvent
+
+// ProbeEvent reports one mid-run metric probe (see WithProbe).
+type ProbeEvent = engine.ProbeEvent
+
+// Hooks receives typed progress events during Run; nil fields are skipped.
+// Hooks run synchronously on Run's goroutine in strict unit order,
+// regardless of the engine's internal worker count.
+type Hooks = engine.Hooks
+
+// Observer is the interface form of Hooks, for stateful observers.
+type Observer = engine.Observer
+
+// Snapshotter is implemented by engines whose full state can be
+// checkpointed mid-run and resumed bit-identically (*Simulation).
+type Snapshotter = engine.Snapshotter
+
+// RunOption configures Run.
+type RunOption = engine.Option
+
+// RunReport summarizes a Run: the engine's name, the number of completed
+// units, and whether the engine reached its natural end (false after a
+// cancellation or error).
+type RunReport = engine.Report
+
+// WorkerPool is a shared worker budget: a fixed number of concurrency slots
+// that nested fan-outs (an experiment sweep running several engines, each
+// fanning over its round's clients) draw from, so the whole tree never runs
+// more goroutines than the pool's size. Hand one pool to related runs via
+// WithPool or the Pool field of Config/AsyncConfig/FedConfig.
+type WorkerPool = par.Budget
+
+// NewWorkerPool creates a shared worker budget with the given number of
+// slots (size <= 0 selects the number of CPUs).
+func NewWorkerPool(size int) *WorkerPool { return par.NewBudget(size) }
+
+// Run drives an engine to completion under ctx — the single entry point
+// behind every experiment in this library. Cancellation (ctx.Done, a
+// deadline) takes effect at round/event granularity: Run returns ctx.Err()
+// and the engine retains the partial results of the units completed so far
+// (read them from the engine, e.g. sim.Results() or fedEngine.Result()).
+//
+//	sim, err := specdag.NewSimulation(fed, cfg)
+//	...
+//	rep, err := specdag.Run(ctx, sim, specdag.WithHooks(specdag.Hooks{
+//		OnRound: func(ev specdag.RoundEvent) { fmt.Println(ev.Round, ev.MeanAcc) },
+//	}))
+func Run(ctx context.Context, e Engine, opts ...RunOption) (*RunReport, error) {
+	return engine.Run(ctx, e, opts...)
+}
+
+// WithHooks registers progress hooks. Multiple WithHooks/WithObserver
+// options compose; each event is delivered to all of them in option order.
+func WithHooks(h Hooks) RunOption { return engine.WithHooks(h) }
+
+// WithObserver registers an Observer (the interface form of WithHooks).
+func WithObserver(o Observer) RunOption { return engine.WithObserver(o) }
+
+// WithPool hands the engine a shared worker budget for its internal
+// fan-out (see WorkerPool).
+func WithPool(p *WorkerPool) RunOption { return engine.WithPool(p) }
+
+// WithProbe evaluates fn after every `every` completed units and delivers
+// the value as a ProbeEvent — mid-run metric probes without stopping the
+// run, e.g. watching specialization emerge:
+//
+//	specdag.WithProbe("pureness", 10, func() float64 {
+//		return specdag.ApprovalPureness(sim.DAG(), fed.ClusterOf())
+//	})
+func WithProbe(name string, every int, fn func() float64) RunOption {
+	return engine.WithProbe(name, every, fn)
+}
+
+// WithCheckpoints writes a full-state checkpoint every `every` completed
+// units; open receives the step count and returns the destination, which
+// Run closes after writing. The engine must implement Snapshotter.
+func WithCheckpoints(every int, open func(step int) (io.WriteCloser, error)) RunOption {
+	return engine.WithCheckpoints(every, open)
+}
+
+// ---- Engine constructors beyond NewSimulation (specdag.go) ----
+
+// AsyncSimulation is the event-driven Specializing DAG engine.
+type AsyncSimulation = core.AsyncSimulation
+
+// AsyncEvent describes one processed client activation — the Detail payload
+// of the asynchronous engine's RoundEvents.
+type AsyncEvent = core.AsyncEvent
+
+// NewAsyncSimulation prepares the event-driven simulation as an Engine for
+// Run. Cancellation applies per client activation; Result reports partial
+// statistics after a canceled run.
+func NewAsyncSimulation(fed *Federation, cfg AsyncConfig) (*AsyncSimulation, error) {
+	return core.NewAsyncSimulation(fed, cfg)
+}
+
+// Federated is the FedAvg/FedProx engine.
+type Federated = fl.Federated
+
+// NewFederated prepares a FedAvg run (or FedProx when cfg.ProxMu > 0) as an
+// Engine for Run.
+func NewFederated(fed *Federation, cfg FedConfig) (*Federated, error) {
+	return fl.NewFederated(fed, cfg)
+}
+
+// GossipConfig parameterizes the gossip-learning baseline.
+type GossipConfig = fl.GossipConfig
+
+// Gossip is the gossip-learning engine.
+type Gossip = fl.Gossip
+
+// NewGossip prepares a gossip-learning run as an Engine for Run.
+func NewGossip(fed *Federation, cfg GossipConfig) (*Gossip, error) {
+	return fl.NewGossip(fed, cfg)
+}
+
+// ResumeSimulation reconstructs a Specializing DAG simulation from a
+// checkpoint written by (*Simulation).WriteCheckpoint (directly or via
+// WithCheckpoints), using the same federation and configuration as the
+// original run. The resumed run's history and DAG are bit-identical to an
+// uninterrupted run's.
+func ResumeSimulation(fed *Federation, cfg Config, r io.Reader) (*Simulation, error) {
+	return core.ResumeSimulation(fed, cfg, r)
+}
+
+// InspectCheckpoint summarizes a checkpoint and returns the embedded tangle
+// without reconstructing the simulation.
+func InspectCheckpoint(r io.Reader) (*CheckpointInfo, *DAG, error) {
+	return core.InspectCheckpoint(r)
+}
+
+// CheckpointInfo summarizes a simulation checkpoint.
+type CheckpointInfo = core.CheckpointInfo
+
+// compile-time guarantees that every engine satisfies the run API.
+var (
+	_ Engine      = (*Simulation)(nil)
+	_ Snapshotter = (*Simulation)(nil)
+	_ Engine      = (*AsyncSimulation)(nil)
+	_ Engine      = (*Federated)(nil)
+	_ Engine      = (*Gossip)(nil)
+)

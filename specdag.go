@@ -7,7 +7,17 @@
 //
 //   - a tangle-style DAG of model updates with accuracy-aware tip selection
 //     (the paper's contribution, [NewSimulation]);
-//   - the centralized FedAvg/FedProx baselines ([RunFederated]);
+//   - the event-driven, round-free variant a real deployment would run
+//     ([NewAsyncSimulation]);
+//   - the centralized FedAvg/FedProx baselines ([NewFederated]) and the
+//     gossip-learning baseline ([NewGossip]);
+//   - one unified run API behind all of them ([Run]): every engine is
+//     cancelable via context, observable mid-flight through typed progress
+//     events ([Hooks], [WithProbe]), and — for the round simulation —
+//     checkpointable and resumable bit-identically ([WithCheckpoints],
+//     [ResumeSimulation]);
+//   - a shared worker budget ([WorkerPool]) so nested fan-outs (sweeps of
+//     engines, each fanning over clients) never oversubscribe the machine;
 //   - synthetic federated datasets with cluster-structured non-IID data
 //     ([FMNISTClustered], [Poets], [CIFAR100PAM], [FedProxSynthetic]);
 //   - the specialization metrics of the paper's evaluation
@@ -25,8 +35,35 @@
 //		Selector:        specdag.AccuracyWalk{Alpha: 10},
 //	})
 //	if err != nil { ... }
-//	results := sim.Run()
-//	pureness := specdag.ApprovalPureness(sim.DAG(), fed.ClusterOf())
+//
+//	// Drive the engine under a context: cancelable at round granularity,
+//	// observable through typed events, probe-able mid-run.
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+//	defer cancel()
+//	_, err = specdag.Run(ctx, sim,
+//		specdag.WithHooks(specdag.Hooks{
+//			OnRound: func(ev specdag.RoundEvent) {
+//				fmt.Printf("round %d: acc %.3f, DAG %d\n", ev.Round, ev.MeanAcc, ev.DAGSize)
+//			},
+//		}),
+//		specdag.WithProbe("pureness", 10, func() float64 {
+//			return specdag.ApprovalPureness(sim.DAG(), fed.ClusterOf())
+//		}),
+//	)
+//	results := sim.Results() // complete, or partial after cancellation
+//
+// Long runs checkpoint and resume bit-identically:
+//
+//	var buf bytes.Buffer
+//	sim.WriteCheckpoint(&buf)                            // after a canceled run
+//	sim2, _ := specdag.ResumeSimulation(fed, cfg, &buf)  // same fed + cfg
+//	specdag.Run(ctx, sim2)                               // history/DAG identical
+//	                                                     // to an uninterrupted run
+//
+// The same [Run] call drives every other engine ([NewAsyncSimulation],
+// [NewFederated], [NewGossip]). The previous fire-and-forget entry points
+// (Simulation.Run, [RunAsync], [RunFederated]) remain as thin deprecated
+// wrappers around the engines.
 //
 // See examples/ for complete programs and cmd/experiments for the harness
 // that regenerates every table and figure of the paper.
@@ -75,7 +112,12 @@ type AsyncResult = core.AsyncResult
 // AsyncClientStats summarizes one client's activity in an async run.
 type AsyncClientStats = core.AsyncClientStats
 
-// RunAsync executes the event-driven Specializing DAG simulation.
+// RunAsync executes the event-driven Specializing DAG simulation to
+// completion.
+//
+// Deprecated: RunAsync cannot be canceled or observed mid-flight. Construct
+// the engine with [NewAsyncSimulation], drive it with [Run], and read
+// Result afterwards.
 func RunAsync(fed *Federation, cfg AsyncConfig) (*AsyncResult, error) {
 	return core.RunAsync(fed, cfg)
 }
@@ -203,7 +245,12 @@ type FedConfig = fl.Config
 // FedResult is a full FedAvg/FedProx run.
 type FedResult = fl.Result
 
-// RunFederated executes FedAvg (or FedProx when cfg.ProxMu > 0).
+// RunFederated executes FedAvg (or FedProx when cfg.ProxMu > 0) to
+// completion.
+//
+// Deprecated: RunFederated cannot be canceled or observed mid-flight.
+// Construct the engine with [NewFederated], drive it with [Run], and read
+// Result afterwards.
 func RunFederated(fed *Federation, cfg FedConfig) (*FedResult, error) { return fl.Run(fed, cfg) }
 
 // ---- Metrics (internal/metrics, internal/graphx) ----
