@@ -1,0 +1,83 @@
+// Command benchgate is the benchmark-aware CI gate: it reads the output of
+// two or more `go test -bench` runs (typically SPECDAG_WORKERS=1 vs
+// SPECDAG_WORKERS=0/max), extracts the experiment metrics reported via
+// b.ReportMetric, and enforces the parallel engine's core contract — the
+// reported metrics must be byte-for-byte identical across worker counts,
+// and byte-for-byte identical to the golden values recorded in
+// BENCH_parallel.json.
+//
+// Timing (ns/op) is explicitly NOT gated: wall clock varies across runners,
+// so benchgate only renders it into a benchstat-style comparison table
+// (-timing) that CI uploads as an advisory artifact.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... | tee bench-w1.txt     # SPECDAG_WORKERS=1
+//	go test -run '^$' -bench ... | tee bench-wmax.txt   # SPECDAG_WORKERS=0
+//	benchgate -golden BENCH_parallel.json -timing timings.txt bench-w1.txt bench-wmax.txt
+//
+// Exit status 0 when every gate holds, 1 with a per-metric diagnosis
+// otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	golden := flag.String("golden", "", "path to BENCH_parallel.json with the golden metric_invariance_check values")
+	timing := flag.String("timing", "", "write a benchstat-style ns/op comparison of the input runs to this file (advisory)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-golden BENCH_parallel.json] [-timing out.txt] bench-output.txt...")
+		os.Exit(2)
+	}
+
+	runs := make([]*Run, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		runs = append(runs, ParseRun(path, string(data)))
+	}
+
+	failures := CompareRuns(runs)
+	if *golden != "" {
+		data, err := os.ReadFile(*golden)
+		if err != nil {
+			fatal(err)
+		}
+		want, err := GoldenMetrics(data)
+		if err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *golden, err))
+		}
+		failures = append(failures, CompareGolden(runs, want)...)
+	}
+
+	if *timing != "" {
+		if err := os.WriteFile(*timing, []byte(TimingTable(runs)), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d metric-invariance violation(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	total := 0
+	for _, r := range runs {
+		total += len(r.Metrics)
+	}
+	fmt.Printf("benchgate: ok — %d run(s), %d metric values byte-identical\n", len(runs), total)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Run is the parsed form of one `go test -bench` output stream.
+type Run struct {
+	// Name labels the run in diagnostics (the input file path).
+	Name string
+	// Metrics maps a custom metric unit (the ReportMetric label, e.g.
+	// "FMNIST-clustered-dag-median") to its value exactly as the benchmark
+	// printed it. Byte-for-byte comparison of these strings is the
+	// invariance gate: equal floats print equally, so any textual
+	// difference is a numeric difference.
+	Metrics map[string]string
+	// NsPerOp maps a benchmark name (GOMAXPROCS suffix stripped) to its
+	// ns/op string, for the advisory timing table.
+	NsPerOp map[string]string
+	// Order preserves first-appearance order of benchmark names.
+	Order []string
+}
+
+// standardUnits are the testing-package metrics that vary run to run and are
+// never part of the invariance gate.
+var standardUnits = map[string]bool{
+	"ns/op": true, "B/op": true, "allocs/op": true, "MB/s": true,
+}
+
+// ParseRun extracts metrics from the raw output of `go test -bench`.
+// Benchmark result lines have the shape
+//
+//	BenchmarkName[-P]  N  <value> <unit>  <value> <unit> ...
+//
+// where the first pair is ns/op and further pairs are custom metrics.
+func ParseRun(name, out string) *Run {
+	r := &Run{Name: name, Metrics: map[string]string{}, NsPerOp: map[string]string{}}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		bench := strings.TrimPrefix(fields[0], "Benchmark")
+		// Strip the -GOMAXPROCS suffix so runs from different runners align.
+		if i := strings.LastIndexByte(bench, '-'); i > 0 && isDigits(bench[i+1:]) {
+			bench = bench[:i]
+		}
+		if _, seen := r.NsPerOp[bench]; !seen {
+			r.Order = append(r.Order, bench)
+		}
+		// fields[1] is the iteration count; then (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			value, unit := fields[i], fields[i+1]
+			if unit == "ns/op" {
+				r.NsPerOp[bench] = value
+				continue
+			}
+			if standardUnits[unit] {
+				continue
+			}
+			r.Metrics[unit] = value
+		}
+	}
+	return r
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// CompareRuns checks that every metric reported by more than one run has the
+// same textual value everywhere, and that all runs report the same metric
+// set as the first run.
+func CompareRuns(runs []*Run) []string {
+	var failures []string
+	if len(runs) < 2 {
+		return nil
+	}
+	base := runs[0]
+	for _, other := range runs[1:] {
+		for _, metric := range sortedKeys(base.Metrics) {
+			got, ok := other.Metrics[metric]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: metric %q missing (present in %s)", other.Name, metric, base.Name))
+				continue
+			}
+			if got != base.Metrics[metric] {
+				failures = append(failures, fmt.Sprintf("metric %q differs across worker counts: %s=%s vs %s=%s",
+					metric, base.Name, base.Metrics[metric], other.Name, got))
+			}
+		}
+		for _, metric := range sortedKeys(other.Metrics) {
+			if _, ok := base.Metrics[metric]; !ok {
+				failures = append(failures, fmt.Sprintf("%s: unexpected extra metric %q (absent in %s)", other.Name, metric, base.Name))
+			}
+		}
+	}
+	return failures
+}
+
+// goldenFile is the slice of BENCH_parallel.json that benchgate understands.
+type goldenFile struct {
+	MetricInvarianceCheck struct {
+		Metrics map[string]string `json:"metrics"`
+	} `json:"metric_invariance_check"`
+}
+
+// GoldenMetrics reads the golden metric strings from BENCH_parallel.json.
+func GoldenMetrics(data []byte) (map[string]string, error) {
+	var g goldenFile
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, err
+	}
+	if len(g.MetricInvarianceCheck.Metrics) == 0 {
+		return nil, fmt.Errorf("no metric_invariance_check.metrics values")
+	}
+	return g.MetricInvarianceCheck.Metrics, nil
+}
+
+// CompareGolden checks every golden metric against every run, byte for byte.
+func CompareGolden(runs []*Run, want map[string]string) []string {
+	var failures []string
+	for _, metric := range sortedKeys(want) {
+		for _, r := range runs {
+			got, ok := r.Metrics[metric]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: golden metric %q not reported — did the bench selection change?", r.Name, metric))
+				continue
+			}
+			if got != want[metric] {
+				failures = append(failures, fmt.Sprintf("%s: metric %q = %s, golden value is %s — experiment numerics changed; if intentional, refresh BENCH_parallel.json",
+					r.Name, metric, got, want[metric]))
+			}
+		}
+	}
+	return failures
+}
+
+// TimingTable renders a benchstat-style ns/op comparison of the runs —
+// advisory output only.
+func TimingTable(runs []*Run) string {
+	var b strings.Builder
+	b.WriteString("Advisory wall-clock comparison (metrics are gated, timings are not).\n")
+	b.WriteString("name")
+	for _, r := range runs {
+		fmt.Fprintf(&b, "\t%s ns/op", r.Name)
+	}
+	if len(runs) == 2 {
+		b.WriteString("\tdelta")
+	}
+	b.WriteString("\n")
+	if len(runs) == 0 {
+		return b.String()
+	}
+	for _, bench := range runs[0].Order {
+		fmt.Fprintf(&b, "%s", bench)
+		for _, r := range runs {
+			v, ok := r.NsPerOp[bench]
+			if !ok {
+				v = "-"
+			}
+			fmt.Fprintf(&b, "\t%s", v)
+		}
+		if len(runs) == 2 {
+			b.WriteString("\t" + delta(runs[0].NsPerOp[bench], runs[1].NsPerOp[bench]))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// delta formats the relative change from a to b in percent.
+func delta(a, b string) string {
+	var x, y float64
+	if _, err := fmt.Sscanf(a, "%g", &x); err != nil || x == 0 {
+		return "-"
+	}
+	if _, err := fmt.Sscanf(b, "%g", &y); err != nil {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", (y-x)/x*100)
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleW1 = `goos: linux
+goarch: amd64
+BenchmarkFigure9FedAvgComparison 	       1	1350590183 ns/op	         0.4667 CIFAR-100-dag-median	         0.8667 FMNIST-clustered-dag-median
+BenchmarkFigure15WalkScalability-4 	       1	2347340819 ns/op	       119.9 evals-active10	       101.8 evals-active5
+PASS
+`
+
+const sampleWMax = `BenchmarkFigure9FedAvgComparison-8 	       1	 420590183 ns/op	         0.4667 CIFAR-100-dag-median	         0.8667 FMNIST-clustered-dag-median
+BenchmarkFigure15WalkScalability 	       1	 800340819 ns/op	       119.9 evals-active10	       101.8 evals-active5
+`
+
+func TestParseRun(t *testing.T) {
+	r := ParseRun("w1", sampleW1)
+	if got := r.Metrics["FMNIST-clustered-dag-median"]; got != "0.8667" {
+		t.Fatalf("metric parse: got %q", got)
+	}
+	if got := r.Metrics["evals-active10"]; got != "119.9" {
+		t.Fatalf("metric parse: got %q", got)
+	}
+	if _, ok := r.Metrics["ns/op"]; ok {
+		t.Fatal("ns/op must not be treated as an invariance metric")
+	}
+	if got := r.NsPerOp["Figure15WalkScalability"]; got != "2347340819" {
+		t.Fatalf("ns/op parse (suffix strip): got %q", got)
+	}
+	if len(r.Order) != 2 {
+		t.Fatalf("order: %v", r.Order)
+	}
+}
+
+func TestCompareRunsAgree(t *testing.T) {
+	a, b := ParseRun("w1", sampleW1), ParseRun("wmax", sampleWMax)
+	if failures := CompareRuns([]*Run{a, b}); len(failures) != 0 {
+		t.Fatalf("identical metrics flagged: %v", failures)
+	}
+}
+
+func TestCompareRunsDiverge(t *testing.T) {
+	a := ParseRun("w1", sampleW1)
+	b := ParseRun("wmax", strings.Replace(sampleWMax, "0.8667", "0.8666", 1))
+	failures := CompareRuns([]*Run{a, b})
+	if len(failures) != 1 || !strings.Contains(failures[0], "FMNIST-clustered-dag-median") {
+		t.Fatalf("divergence not caught: %v", failures)
+	}
+}
+
+func TestCompareRunsMissingMetric(t *testing.T) {
+	a := ParseRun("w1", sampleW1)
+	b := ParseRun("wmax", strings.Replace(sampleWMax, "0.8667 FMNIST-clustered-dag-median", "", 1))
+	if failures := CompareRuns([]*Run{a, b}); len(failures) == 0 {
+		t.Fatal("missing metric not caught")
+	}
+}
+
+func TestCompareGolden(t *testing.T) {
+	golden := []byte(`{
+	  "metric_invariance_check": {
+	    "metrics": {
+	      "FMNIST-clustered-dag-median": "0.8667",
+	      "evals-active5": "101.8"
+	    }
+	  }
+	}`)
+	want, err := GoldenMetrics(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := []*Run{ParseRun("w1", sampleW1), ParseRun("wmax", sampleWMax)}
+	if failures := CompareGolden(runs, want); len(failures) != 0 {
+		t.Fatalf("golden match flagged: %v", failures)
+	}
+	want["evals-active5"] = "999"
+	failures := CompareGolden(runs, want)
+	if len(failures) != 2 || !strings.Contains(failures[0], "evals-active5") {
+		t.Fatalf("golden divergence not caught per run: %v", failures)
+	}
+}
+
+func TestGoldenMetricsRejectsEmpty(t *testing.T) {
+	if _, err := GoldenMetrics([]byte(`{}`)); err == nil {
+		t.Fatal("golden file without metrics accepted")
+	}
+}
+
+func TestTimingTable(t *testing.T) {
+	runs := []*Run{ParseRun("w1", sampleW1), ParseRun("wmax", sampleWMax)}
+	table := TimingTable(runs)
+	for _, want := range []string{"Figure9FedAvgComparison", "1350590183", "420590183", "-68.9%"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("timing table missing %q:\n%s", want, table)
+		}
+	}
+}

@@ -144,9 +144,10 @@ func run() error {
 	}
 
 	cfg := spec.DAGConfig(preset, sel, *seed)
-	if *workers > 0 {
+	if *workers != 0 {
 		// Only the explicit flag overrides; DAGConfig already applied the
-		// SPECDAG_WORKERS-derived default.
+		// SPECDAG_WORKERS-derived default. Negative values flow through to
+		// config validation, which rejects them with a clear error.
 		cfg.Workers = *workers
 	}
 	if *rounds > 0 {

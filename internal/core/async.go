@@ -198,6 +198,7 @@ func NewAsyncSimulation(fed *dataset.Federation, cfg AsyncConfig) (*AsyncSimulat
 		trainCfg: cfg.Local,
 	}
 	a.trainCfg.Shuffle = true
+	a.tangle.SetParallelism(cfg.Pool, cfg.Workers)
 
 	for i, fc := range fed.Clients {
 		c := &asyncClient{client: &client{
@@ -209,10 +210,13 @@ func NewAsyncSimulation(fed *dataset.Federation, cfg AsyncConfig) (*AsyncSimulat
 		c.testX, c.testY = fc.Test.XY()
 		c.origTestY = append([]int(nil), c.testY...)
 		crng := root.SplitIndex("async-client", fc.ID)
-		c.eval = tipselect.NewMemoEvaluator(func(params []float64) float64 {
-			_, acc := c.scoreParams(params)
-			return acc
-		})
+		c.eval = tipselect.NewEvalCache(
+			func(params []float64) float64 {
+				_, acc := c.scoreParams(params)
+				return acc
+			},
+			c.scoreParamsBatch,
+		)
 		c.cycleTime = cfg.MinCycle + crng.Float64()*(cfg.MaxCycle-cfg.MinCycle)
 		c.stats = AsyncClientStats{ID: fc.ID, CycleTime: c.cycleTime}
 		a.clients = append(a.clients, c)
@@ -275,20 +279,15 @@ func (a *AsyncSimulation) step() *AsyncEvent {
 
 	// The two post-training evaluations are independent pure functions
 	// over the client's test split; run them on separate scratch models
-	// in parallel. Each closure writes only its own locals.
-	//
-	// Note this also fixes a bug the sequential code had: evaluating the
-	// reference via c.scoreParams left the reference params in c.model,
-	// so the publish below copied the *reference* model while stamping
-	// it with the *trained* model's accuracy. Evaluating the reference
-	// on evalModel keeps c.model holding the trained params, which is
-	// what the protocol publishes (step 4 of Fig. 1, as in RunRound).
+	// in parallel. Each closure writes only its own locals. (The separate
+	// evalModel also fixed a seed-era bug where evaluating the reference
+	// through c.model clobbered the trained params the publish below
+	// ships — see TestAsyncPublishesTrainedModel.)
 	var trainedLoss, trainedAcc, refLoss, refAcc float64
 	par.DoIn(a.cfg.Pool, a.cfg.Workers,
 		func() { trainedLoss, trainedAcc = c.model.Evaluate(c.testX, c.testY) },
 		func() {
-			c.evalModel.SetParams(refParams)
-			refLoss, refAcc = c.evalModel.Evaluate(c.testX, c.testY)
+			refLoss, refAcc = c.evalModel.EvaluateParams(refParams, c.testX, c.testY)
 		},
 	)
 

@@ -167,6 +167,10 @@ func ResumeSimulation(fed *dataset.Federation, cfg Config, r io.Reader) (*Simula
 	}
 
 	s.tangle = d
+	// The restored tangle replaces the one NewSimulation configured: re-wire
+	// its cumulative-weight sweep to the configured budget, as NewSimulation
+	// did for the original.
+	s.tangle.SetParallelism(cfg.Pool, cfg.Workers)
 	s.round = st.Round
 	s.results = st.Results
 	for i, cc := range st.Clients {

@@ -57,6 +57,41 @@ func (p PoisonConfig) Enabled() bool {
 	return p.Track || p.Fraction > 0 || p.RandomAttackers > 0
 }
 
+// EvalScope selects the lifetime of the per-client shared evaluation cache
+// that the tip-walk/ReferenceWalks fan-out scores transactions through.
+// Accuracies are pure per-transaction values, so the scope never changes
+// results — it trades evaluation work against memory.
+type EvalScope int
+
+const (
+	// EvalScopeRun (the default) keeps cached accuracies for the whole run:
+	// a transaction is scored at most once per client, ever.
+	EvalScopeRun EvalScope = iota
+	// EvalScopeRound drops the cache at the start of each of the client's
+	// activations — the per-(client, round) cache. Within a round the
+	// tip walks and reference walks still share every score; across rounds
+	// memory stays bounded by the DAG's working set instead of its history.
+	EvalScopeRound
+	// EvalScopeNone disables caching entirely: every lookup re-evaluates,
+	// matching the cost profile of the paper's prototype (the Fig. 15
+	// scalability experiment uses this).
+	EvalScopeNone
+)
+
+// String returns the scope's name.
+func (e EvalScope) String() string {
+	switch e {
+	case EvalScopeRun:
+		return "run"
+	case EvalScopeRound:
+		return "round"
+	case EvalScopeNone:
+		return "none"
+	default:
+		return "unknown"
+	}
+}
+
 // Config parameterizes a Specializing DAG simulation.
 type Config struct {
 	// Rounds and ClientsPerRound follow Table 1 (100 rounds, 10 clients).
@@ -84,9 +119,16 @@ type Config struct {
 	// client's own previous model, making them persistently personal.
 	// 0 (default) shares the whole model as in the paper's evaluation.
 	SharedLayers int
-	// DisableEvalMemo turns off per-client accuracy memoization so every
-	// walk re-evaluates children, matching the cost profile of the paper's
+	// EvalScope bounds the lifetime of the per-client evaluation cache (see
+	// the EvalScope constants). The default, EvalScopeRun, caches for the
+	// whole run. Results are identical for every scope.
+	EvalScope EvalScope
+	// DisableEvalMemo turns off per-client accuracy caching so every walk
+	// re-evaluates children, matching the cost profile of the paper's
 	// prototype (used by the Fig. 15 scalability experiment).
+	//
+	// Deprecated: set EvalScope to EvalScopeNone instead; DisableEvalMemo
+	// is kept as an alias and forces that scope.
 	DisableEvalMemo bool
 	// MeasureWalkTime records wall-clock durations of each client's walks.
 	MeasureWalkTime bool
@@ -140,6 +182,9 @@ func (c Config) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("core: Workers must be >= 0, got %d", c.Workers)
 	}
+	if c.EvalScope < EvalScopeRun || c.EvalScope > EvalScopeNone {
+		return fmt.Errorf("core: unknown EvalScope %d", c.EvalScope)
+	}
 	if p := c.Poison; p.Fraction < 0 || p.Fraction > 1 {
 		return fmt.Errorf("core: poison fraction %v outside [0,1]", p.Fraction)
 	}
@@ -152,6 +197,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReferenceWalks == 0 {
 		c.ReferenceWalks = 1
+	}
+	if c.DisableEvalMemo {
+		c.EvalScope = EvalScopeNone
 	}
 	return c
 }
@@ -170,7 +218,7 @@ type client struct {
 	origTestY []int
 
 	model    *nn.MLP // scratch model reused for training and evaluation
-	eval     *tipselect.MemoEvaluator
+	eval     *tipselect.EvalCache
 	poisoned bool
 	// lastParams is the client's most recently trained model, used as the
 	// source of the personal head under partial-layer sharing.
@@ -180,10 +228,18 @@ type client struct {
 	view *dag.View
 }
 
-// scoreParams evaluates arbitrary parameters on the client's test split.
+// scoreParams evaluates arbitrary parameters on the client's test split,
+// using the scratch model's buffers without copying the parameters in (the
+// model's own weights are untouched).
 func (c *client) scoreParams(params []float64) (loss, acc float64) {
-	c.model.SetParams(params)
-	return c.model.Evaluate(c.testX, c.testY)
+	return c.model.EvaluateParams(params, c.testX, c.testY)
+}
+
+// scoreParamsBatch evaluates several parameter vectors on the client's test
+// split in one pass — the batched walk-evaluation path.
+func (c *client) scoreParamsBatch(params [][]float64) []float64 {
+	_, accs := c.model.EvaluateMany(params, c.testX, c.testY)
+	return accs
 }
 
 // RoundResult records everything the evaluation needs about one round.
@@ -318,6 +374,10 @@ func NewSimulation(fed *dataset.Federation, cfg Config) (*Simulation, error) {
 		tangle: dag.New(genesis.ParamsCopy()),
 		rng:    root,
 	}
+	// The tangle's cumulative-weight sweep (WeightedWalk's bias) fans out
+	// over the same budget as the round engine; results are worker-count
+	// invariant, so this only affects wall clock.
+	s.tangle.SetParallelism(cfg.Pool, cfg.Workers)
 
 	for _, fc := range fed.Clients {
 		c := &client{
@@ -337,13 +397,16 @@ func NewSimulation(fed *dataset.Federation, cfg Config) (*Simulation, error) {
 	return s, nil
 }
 
-func (s *Simulation) newEvalFor(c *client) *tipselect.MemoEvaluator {
-	m := tipselect.NewMemoEvaluator(func(params []float64) float64 {
-		_, acc := c.scoreParams(params)
-		return acc
-	})
-	m.Disable = s.cfg.DisableEvalMemo
-	return m
+func (s *Simulation) newEvalFor(c *client) *tipselect.EvalCache {
+	e := tipselect.NewEvalCache(
+		func(params []float64) float64 {
+			_, acc := c.scoreParams(params)
+			return acc
+		},
+		c.scoreParamsBatch,
+	)
+	e.Disable = s.cfg.EvalScope == EvalScopeNone
+	return e
 }
 
 // DAG exposes the underlying tangle (read-only use intended).
@@ -417,6 +480,11 @@ type clientOutcome struct {
 func (s *Simulation) runClient(c *client, round int) clientOutcome {
 	crng := s.rng.SplitIndex("client-round", round*100003+c.id)
 	graph := s.graphFor(c, round)
+	if s.cfg.EvalScope == EvalScopeRound {
+		// Per-(client, round) cache: this activation's walks share every
+		// score, earlier rounds' entries are dropped.
+		c.eval.Reset()
+	}
 
 	start := time.Now()
 	// (1) Biased random walk, twice, to select two tips.

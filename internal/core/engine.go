@@ -24,9 +24,12 @@ var (
 // Name implements engine.Engine.
 func (s *Simulation) Name() string { return "specdag" }
 
-// SetPool implements engine.PoolUser: the round fan-out draws helper
-// goroutines from b (see Config.Pool).
-func (s *Simulation) SetPool(b *par.Budget) { s.cfg.Pool = b }
+// SetPool implements engine.PoolUser: the round fan-out and the tangle's
+// cumulative-weight sweep draw helper goroutines from b (see Config.Pool).
+func (s *Simulation) SetPool(b *par.Budget) {
+	s.cfg.Pool = b
+	s.tangle.SetParallelism(b, s.cfg.Workers)
+}
 
 // Step implements engine.Engine: it runs one round and reports it, with one
 // PublishEvent per transaction that entered the tangle (honest clients and
@@ -67,7 +70,10 @@ func (s *Simulation) Step(ctx context.Context) (*engine.StepResult, bool, error)
 func (a *AsyncSimulation) Name() string { return "specdag-async" }
 
 // SetPool implements engine.PoolUser (see AsyncConfig.Pool).
-func (a *AsyncSimulation) SetPool(b *par.Budget) { a.cfg.Pool = b }
+func (a *AsyncSimulation) SetPool(b *par.Budget) {
+	a.cfg.Pool = b
+	a.tangle.SetParallelism(b, a.cfg.Workers)
+}
 
 // Step implements engine.Engine at event granularity: one Step is one client
 // activation, so cancellation takes effect between events. The RoundEvent's

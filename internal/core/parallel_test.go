@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/specdag/specdag/internal/par"
 	"github.com/specdag/specdag/internal/tipselect"
 )
 
@@ -140,6 +141,18 @@ func TestWorkerCountInvariance(t *testing.T) {
 		{"gate-off-measure-time", func(c *Config) { c.DisablePublishGate = true; c.MeasureWalkTime = true }},
 		{"weighted-walk", func(c *Config) { c.Selector = tipselect.WeightedWalk{Alpha: 0.1} }},
 		{"memo-disabled", func(c *Config) { c.DisableEvalMemo = true }},
+		{"eval-scope-round", func(c *Config) { c.EvalScope = EvalScopeRound }},
+		{"eval-scope-none", func(c *Config) { c.EvalScope = EvalScopeNone }},
+		// Grow the tangle past the parallel cumulative-weight threshold with
+		// a shared budget, so the Workers=8 run exercises the level-parallel
+		// sweep (and the nested budget accounting) while Workers=1 stays on
+		// the sequential sweep — the sweeps must agree bit for bit.
+		{"weighted-walk-parallel-sweep", func(c *Config) {
+			c.Selector = tipselect.WeightedWalk{Alpha: 0.1}
+			c.DisablePublishGate = true
+			c.Rounds = 23
+			c.Pool = par.NewBudget(4)
+		}},
 	}
 	for i, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,144 @@
+package dag
+
+import "sync/atomic"
+
+// childIndex is the DAG's approval index: for every transaction, the IDs of
+// the transactions that approve it directly. It replaces the old
+// RWMutex-guarded map[ID][]ID with a sharded, append-mostly structure whose
+// readers are lock-free — the tip-selection hot path calls Children and
+// NumChildren on every walk step from many walker goroutines at once, and
+// under the old design every one of those calls serialized on the same
+// RWMutex cache line.
+//
+// Layout: IDs are dense sequential integers, so the index is an array, not a
+// map. It is split into childShards stripes by the low bits of the ID
+// (shard = id mod childShards); stripe s stores the rows of IDs s,
+// s+childShards, s+2·childShards, … in a dense slice indexed by id /
+// childShards. Sharding keeps each stripe's row slice — the only thing that
+// has to be copied when the index grows — 1/childShards of the total, and
+// spreads consecutive IDs (which the round engine appends together) across
+// stripes.
+//
+// Concurrency contract (single writer, lock-free readers):
+//
+//   - All mutations (appendChild) happen under the owning DAG's write lock,
+//     so there is exactly one writer at a time.
+//   - Readers never take a lock. Every mutable cell is published through an
+//     atomic.Pointer: the writer prepares the new state (possibly writing
+//     into spare capacity beyond the published length, which no reader can
+//     observe) and then atomically stores a new slice header. The atomic
+//     store/load pair gives the happens-before edge that makes the freshly
+//     written elements visible.
+//   - Published slices are immutable: an element below a published length is
+//     never rewritten. Readers may therefore retain and iterate a returned
+//     snapshot without copying, indefinitely.
+type childIndex struct {
+	shards [childShards]childShard
+}
+
+const (
+	childShardBits = 5
+	childShards    = 1 << childShardBits
+)
+
+// childShard holds the child rows of one ID stripe.
+type childShard struct {
+	// rows[slot] is the row of ID slot·childShards + shardIndex. Grown
+	// copy-on-write by the single writer; every published element is non-nil
+	// and never replaced.
+	rows atomic.Pointer[[]*childRow]
+}
+
+// childRow is the child list of one transaction.
+type childRow struct {
+	// snap is the immutable child-ID snapshot. Appends publish a new header
+	// over the same backing array while spare capacity lasts.
+	snap atomic.Pointer[[]ID]
+}
+
+func childShardOf(id ID) (shard, slot int) {
+	return int(id) & (childShards - 1), int(id) >> childShardBits
+}
+
+// appendChild records child as a direct approver of parent. Caller must hold
+// the DAG's write lock (single-writer contract).
+func (x *childIndex) appendChild(parent, child ID) {
+	shard, slot := childShardOf(parent)
+	x.shards[shard].ensure(slot).append(child)
+}
+
+// children returns the immutable child snapshot of id (nil when id has no
+// children yet). Lock-free; safe to call concurrently with appendChild.
+func (x *childIndex) children(id ID) []ID {
+	shard, slot := childShardOf(id)
+	rows := x.shards[shard].rows.Load()
+	if rows == nil || slot >= len(*rows) {
+		return nil
+	}
+	snap := (*rows)[slot].snap.Load()
+	if snap == nil {
+		return nil
+	}
+	return *snap
+}
+
+// numChildren returns len(children(id)) without materializing anything.
+func (x *childIndex) numChildren(id ID) int {
+	return len(x.children(id))
+}
+
+// ensure returns the row for slot, growing the stripe as needed. Writer-only.
+func (s *childShard) ensure(slot int) *childRow {
+	var rs []*childRow
+	if cur := s.rows.Load(); cur != nil {
+		rs = *cur
+	}
+	if slot < len(rs) {
+		return rs[slot]
+	}
+	if slot < cap(rs) {
+		// Extend in place: the new cells are invisible to readers holding
+		// the old header, and the Store below publishes them.
+		ext := rs[:slot+1]
+		for i := len(rs); i <= slot; i++ {
+			ext[i] = &childRow{}
+		}
+		s.rows.Store(&ext)
+		return ext[slot]
+	}
+	newCap := 2 * cap(rs)
+	if newCap <= slot {
+		newCap = slot + 1
+	}
+	grown := make([]*childRow, slot+1, newCap)
+	copy(grown, rs)
+	for i := len(rs); i <= slot; i++ {
+		grown[i] = &childRow{}
+	}
+	s.rows.Store(&grown)
+	return grown[slot]
+}
+
+// append adds one child ID to the row. Writer-only.
+func (r *childRow) append(c ID) {
+	var ids []ID
+	if cur := r.snap.Load(); cur != nil {
+		ids = *cur
+	}
+	if len(ids) < cap(ids) {
+		// The cell beyond the published length is unobservable until the
+		// Store publishes the longer header.
+		ids = ids[:len(ids)+1]
+		ids[len(ids)-1] = c
+	} else {
+		newCap := 2 * cap(ids)
+		if newCap < 2 {
+			newCap = 2
+		}
+		grown := make([]ID, len(ids)+1, newCap)
+		copy(grown, ids)
+		grown[len(ids)] = c
+		ids = grown
+	}
+	r.snap.Store(&ids)
+}

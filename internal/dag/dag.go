@@ -8,19 +8,27 @@
 // construction because a transaction may only approve transactions that
 // already exist.
 //
-// The DAG is safe for concurrent use: all accessors take an internal
-// RWMutex, so any number of readers (the parallel round engine's walkers)
-// proceed in parallel, and Add serializes against them. Transactions are
+// The DAG is safe for concurrent use, and the read side of the walk hot path
+// is lock-free: the transaction list and the children index are published
+// through atomic snapshots (see childIndex), so Get/MustGet/Genesis/Size/
+// All/Ancestors/Children/NumChildren/CumulativeWeights never block — any
+// number of walker goroutines proceed without touching a lock, even while
+// Add is running. Add serializes writers behind an internal mutex; only the
+// tip set (Tips, IsTip, and the depth helpers that start from it) still
+// reads under an RLock, off the per-step hot path. Transactions are
 // immutable after insertion and returned by pointer, so reads of a
 // Transaction's fields need no lock at all.
 package dag
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"github.com/specdag/specdag/internal/par"
 	"github.com/specdag/specdag/internal/xrand"
 )
 
@@ -60,30 +68,71 @@ func (t *Transaction) IsGenesis() bool { return t.Issuer == GenesisIssuer }
 
 // DAG is a thread-safe tangle of model-update transactions.
 type DAG struct {
-	mu       sync.RWMutex
-	txs      []*Transaction // index = ID; insertion order is topological
-	children map[ID][]ID
-	tips     map[ID]struct{}
+	mu   sync.RWMutex   // serializes Add; guards tips
+	txs  []*Transaction // writer's working slice (index = ID; insertion order is topological)
+	snap atomic.Pointer[[]*Transaction]
+	kids childIndex
+	tips map[ID]struct{}
+
+	// cwPool/cwWorkers parameterize CumulativeWeights' parallel sweep (see
+	// SetParallelism). Written before the DAG is shared; read-only afterwards.
+	cwPool    *par.Budget
+	cwWorkers int
+	// cwCache memoizes the last CumulativeWeights result. The DAG is
+	// append-only, so the size of the snapshot fully determines the weights:
+	// within a simulation round (tangle frozen) every walker reuses one
+	// sweep instead of recomputing an identical map per walk.
+	cwCache atomic.Pointer[cwCacheEntry]
+}
+
+// cwCacheEntry pairs a weights map with the snapshot size it was computed
+// for. The map is shared by all readers and must not be modified.
+type cwCacheEntry struct {
+	n       int
+	weights map[ID]int
 }
 
 // New creates a DAG containing only a genesis transaction that carries the
 // given initial model parameters.
 func New(genesisParams []float64) *DAG {
 	d := &DAG{
-		children: make(map[ID][]ID),
-		tips:     make(map[ID]struct{}),
+		tips: make(map[ID]struct{}),
 	}
 	g := &Transaction{ID: 0, Issuer: GenesisIssuer, Round: -1, Params: genesisParams}
 	d.txs = append(d.txs, g)
+	d.publish()
 	d.tips[0] = struct{}{}
 	return d
 }
 
+// SetParallelism configures the worker budget CumulativeWeights' sweep draws
+// helper goroutines from: pool is the shared budget (nil spawns freely) and
+// workers the per-call cap (0 selects runtime.NumCPU(), 1 forces the
+// sequential sweep). Results are bit-identical for every setting — the sweep
+// is a bitset union, which is order-independent — so this only trades wall
+// clock for CPU. Call it while the DAG is still owned by a single goroutine
+// (engine construction time); it is not synchronized against concurrent
+// readers.
+func (d *DAG) SetParallelism(pool *par.Budget, workers int) {
+	d.cwPool = pool
+	d.cwWorkers = workers
+}
+
+// publish makes the current txs slice visible to lock-free readers. Caller
+// must hold d.mu (or own the DAG exclusively, as in New).
+func (d *DAG) publish() {
+	s := d.txs
+	d.snap.Store(&s)
+}
+
+// snapshot returns the current immutable transaction list without locking.
+func (d *DAG) snapshot() []*Transaction {
+	return *d.snap.Load()
+}
+
 // Genesis returns the genesis transaction.
 func (d *DAG) Genesis() *Transaction {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.txs[0]
+	return d.snapshot()[0]
 }
 
 // Add publishes a new transaction approving the given parents and returns
@@ -111,31 +160,31 @@ func (d *DAG) Add(issuer, round int, parents []ID, params []float64, meta Meta) 
 		Meta:    meta,
 	}
 	d.txs = append(d.txs, t)
+	d.publish()
 	seen := map[ID]bool{}
 	for _, p := range parents {
 		if seen[p] {
 			continue // approving the same parent twice adds one child edge
 		}
 		seen[p] = true
-		d.children[p] = append(d.children[p], t.ID)
+		d.kids.appendChild(p, t.ID)
 		delete(d.tips, p)
 	}
 	d.tips[t.ID] = struct{}{}
 	return t, nil
 }
 
-// Get returns the transaction with the given ID.
+// Get returns the transaction with the given ID. Lock-free.
 func (d *DAG) Get(id ID) (*Transaction, bool) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if id < 0 || int(id) >= len(d.txs) {
+	txs := d.snapshot()
+	if id < 0 || int(id) >= len(txs) {
 		return nil, false
 	}
-	return d.txs[id], true
+	return txs[id], true
 }
 
 // MustGet returns the transaction with the given ID and panics if absent.
-// Use only with IDs previously returned by this DAG.
+// Use only with IDs previously returned by this DAG. Lock-free.
 func (d *DAG) MustGet(id ID) *Transaction {
 	t, ok := d.Get(id)
 	if !ok {
@@ -144,26 +193,21 @@ func (d *DAG) MustGet(id ID) *Transaction {
 	return t
 }
 
-// Size returns the number of transactions including genesis.
+// Size returns the number of transactions including genesis. Lock-free.
 func (d *DAG) Size() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return len(d.txs)
+	return len(d.snapshot())
 }
 
 // Children returns the IDs of transactions approving id, in insertion order.
-// The returned slice is a copy.
+// The returned slice is an immutable snapshot: it never changes, even if id
+// acquires more children later, and callers must not modify it. Lock-free.
 func (d *DAG) Children(id ID) []ID {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return append([]ID(nil), d.children[id]...)
+	return d.kids.children(id)
 }
 
-// NumChildren returns the number of direct approvers of id without copying.
+// NumChildren returns the number of direct approvers of id. Lock-free.
 func (d *DAG) NumChildren(id ID) int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return len(d.children[id])
+	return d.kids.numChildren(id)
 }
 
 // IsTip reports whether id has no approvers yet.
@@ -177,30 +221,27 @@ func (d *DAG) IsTip(id ID) bool {
 // Tips returns the current tip IDs in ascending order.
 func (d *DAG) Tips() []ID {
 	d.mu.RLock()
-	defer d.mu.RUnlock()
 	out := make([]ID, 0, len(d.tips))
 	for id := range d.tips {
 		out = append(out, id)
 	}
+	d.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // All returns all transactions in insertion (topological) order.
-// The returned slice is a copy; the transactions are shared.
+// The returned slice is a copy; the transactions are shared. Lock-free.
 func (d *DAG) All() []*Transaction {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return append([]*Transaction(nil), d.txs...)
+	return append([]*Transaction(nil), d.snapshot()...)
 }
 
 // Ancestors returns the set of all transactions reachable from id via
-// parent (approval) edges, excluding id itself.
+// parent (approval) edges, excluding id itself. Lock-free.
 func (d *DAG) Ancestors(id ID) map[ID]struct{} {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	txs := d.snapshot()
 	out := make(map[ID]struct{})
-	stack := append([]ID(nil), d.txs[id].Parents...)
+	stack := append([]ID(nil), txs[id].Parents...)
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -208,28 +249,53 @@ func (d *DAG) Ancestors(id ID) map[ID]struct{} {
 			continue
 		}
 		out[cur] = struct{}{}
-		stack = append(stack, d.txs[cur].Parents...)
+		stack = append(stack, txs[cur].Parents...)
 	}
 	return out
 }
 
+// cumWeightsParallelMin is the DAG size below which CumulativeWeights always
+// uses the sequential sweep: under ~a hundred transactions the level
+// bookkeeping costs more than the bitset ORs it parallelizes.
+const cumWeightsParallelMin = 128
+
 // CumulativeWeights returns, for every transaction, the number of
 // transactions that approve it directly or indirectly, plus one for itself —
 // the classic tangle weight of Fig. 3. Computed in O(V*E/64) with bitsets.
+// The returned map is shared between callers and must not be modified.
+//
+// The result is memoized per snapshot size (the DAG is append-only, so the
+// size determines the weights): the many walkers of one frozen-tangle round
+// share a single sweep. A cache miss sweeps the consistent snapshot taken
+// at call time and, for DAGs past cumWeightsParallelMin, fans out
+// level-by-level across the worker budget configured via SetParallelism:
+// transactions whose children are all in earlier levels are independent,
+// and bitset union is order-independent, so the parallel and sequential
+// sweeps are bit-identical.
 func (d *DAG) CumulativeWeights() map[ID]int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-
-	n := len(d.txs)
-	words := (n + 63) / 64
-	// approvers[i] = bitset of transactions that (transitively) approve i.
-	approvers := make([][]uint64, n)
-	for i := range approvers {
-		approvers[i] = make([]uint64, words)
+	txs := d.snapshot()
+	n := len(txs)
+	if e := d.cwCache.Load(); e != nil && e.n == n {
+		return e.weights
 	}
+	var weights map[ID]int
+	if n >= cumWeightsParallelMin && par.Workers(d.cwWorkers) > 1 {
+		weights = d.cumulativeWeightsParallel(txs)
+	} else {
+		weights = d.cumulativeWeightsSeq(txs)
+	}
+	// Concurrent fillers compute identical maps; last store wins.
+	d.cwCache.Store(&cwCacheEntry{n: n, weights: weights})
+	return weights
+}
+
+// cumulativeWeightsSeq is the single-goroutine reverse-topological sweep.
+func (d *DAG) cumulativeWeightsSeq(txs []*Transaction) map[ID]int {
+	n := len(txs)
+	approvers := newBitsets(n)
 	// Iterate in reverse topological (insertion) order: children first.
 	for i := n - 1; i >= 0; i-- {
-		t := d.txs[i]
+		t := txs[i]
 		for _, p := range t.Parents {
 			dst := approvers[p]
 			src := approvers[t.ID]
@@ -241,20 +307,139 @@ func (d *DAG) CumulativeWeights() map[ID]int {
 	}
 	weights := make(map[ID]int, n)
 	for i := 0; i < n; i++ {
-		c := 1 // self-approving
-		for _, w := range approvers[i] {
-			c += popcount(w)
-		}
-		weights[ID(i)] = c
+		weights[ID(i)] = 1 + popcountSet(approvers[i])
 	}
 	return weights
 }
 
-func popcount(x uint64) int {
+// cumulativeWeightsParallel partitions the snapshot into levels — level g
+// holds the transactions whose longest child-chain within the snapshot has
+// length g — and computes each level's bitsets concurrently: a transaction
+// only reads the (completed) bitsets of its children, which all live in
+// strictly earlier levels. The formulation is parent-centric (each worker
+// writes exactly one transaction's bitset), so workers share no mutable
+// state within a level.
+//
+// The child adjacency is rebuilt from the snapshot's Parents edges rather
+// than read from the live child index: the index trails the published
+// transaction list during an in-flight Add, while Parents are part of the
+// snapshot itself — so the parallel sweep sees exactly the edge set the
+// sequential sweep sees, and the bit-identical guarantee holds even with
+// writers running.
+func (d *DAG) cumulativeWeightsParallel(txs []*Transaction) map[ID]int {
+	n := len(txs)
+	approvers := newBitsets(n)
+
+	// Snapshot-consistent CSR adjacency. Parents may repeat (a transaction
+	// approving the same parent twice); dedup to one child edge, as Add
+	// does for the live index. The loop handles any parent count so the two
+	// sweeps stay structurally equivalent if the 2-parent cap ever moves.
+	forEachUniqueParent := func(ps []ID, fn func(p ID)) {
+		for j, p := range ps {
+			dup := false
+			for _, q := range ps[:j] {
+				if q == p {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				fn(p)
+			}
+		}
+	}
+	degree := make([]int32, n+1)
+	for i := 1; i < n; i++ {
+		forEachUniqueParent(txs[i].Parents, func(p ID) { degree[p+1]++ })
+	}
+	for i := 0; i < n; i++ {
+		degree[i+1] += degree[i]
+	}
+	offsets := degree // prefix sums: children of p live in adj[offsets[p]:offsets[p+1]]
+	adj := make([]ID, offsets[n])
+	next := make([]int32, n)
+	copy(next, offsets[:n])
+	for i := 1; i < n; i++ {
+		forEachUniqueParent(txs[i].Parents, func(p ID) {
+			adj[next[p]] = ID(i)
+			next[p]++
+		})
+	}
+	children := func(p ID) []ID { return adj[offsets[p]:offsets[p+1]] }
+
+	// Assign levels bottom-up. Children always have larger IDs than their
+	// parents, so a single descending pass sees every child before its
+	// parent.
+	gen := make([]int32, n)
+	maxGen := int32(0)
+	counts := make([]int32, 1, 8) // counts[g] = number of transactions at level g
+	for i := n - 1; i >= 0; i-- {
+		g := int32(0)
+		for _, c := range children(ID(i)) {
+			if gen[c]+1 > g {
+				g = gen[c] + 1
+			}
+		}
+		gen[i] = g
+		if g > maxGen {
+			maxGen = g
+			counts = append(counts, 0)
+		}
+		counts[g]++
+	}
+	levels := make([][]ID, maxGen+1)
+	for g := range levels {
+		levels[g] = make([]ID, 0, counts[g])
+	}
+	for i := 0; i < n; i++ {
+		levels[gen[i]] = append(levels[gen[i]], ID(i))
+	}
+
+	// Level 0 is the childless frontier: its bitsets stay empty. Every later
+	// level unions the finished bitsets of strictly earlier levels.
+	for g := int32(1); g <= maxGen; g++ {
+		lvl := levels[g]
+		par.ForEachIn(d.cwPool, d.cwWorkers, len(lvl), func(k int) {
+			p := lvl[k]
+			dst := approvers[p]
+			for _, c := range children(p) {
+				src := approvers[c]
+				for w := range dst {
+					dst[w] |= src[w]
+				}
+				dst[int(c)/64] |= 1 << (uint(c) % 64)
+			}
+		})
+	}
+
+	popcounts := make([]int, n)
+	par.ForEachIn(d.cwPool, d.cwWorkers, n, func(i int) {
+		popcounts[i] = popcountSet(approvers[i])
+	})
+	weights := make(map[ID]int, n)
+	for i := 0; i < n; i++ {
+		weights[ID(i)] = 1 + popcounts[i]
+	}
+	return weights
+}
+
+// newBitsets allocates n bitsets of n bits each, backed by one flat slice
+// for locality.
+func newBitsets(n int) [][]uint64 {
+	words := (n + 63) / 64
+	flat := make([]uint64, n*words)
+	sets := make([][]uint64, n)
+	for i := range sets {
+		sets[i] = flat[i*words : (i+1)*words : (i+1)*words]
+	}
+	return sets
+}
+
+// popcountSet counts the set bits of a bitset.
+func popcountSet(set []uint64) int {
 	c := 0
-	for x != 0 {
-		x &= x - 1
-		c++
+	for _, w := range set {
+		c += bits.OnesCount64(w)
 	}
 	return c
 }
@@ -262,19 +447,24 @@ func popcount(x uint64) int {
 // Depths returns, for every transaction, its shortest distance (in approval
 // hops) to any tip, following child edges. Tips have depth 0.
 func (d *DAG) Depths() map[ID]int {
+	// Snapshot under the same RLock that reads the tip set: Add updates
+	// both under the write lock, so every tip ID is covered by txs.
 	d.mu.RLock()
-	defer d.mu.RUnlock()
-	depths := make(map[ID]int, len(d.txs))
+	txs := d.snapshot()
 	queue := make([]ID, 0, len(d.tips))
 	for id := range d.tips {
-		depths[id] = 0
 		queue = append(queue, id)
 	}
+	d.mu.RUnlock()
 	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+	depths := make(map[ID]int, len(txs))
+	for _, id := range queue {
+		depths[id] = 0
+	}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, p := range d.txs[cur].Parents {
+		for _, p := range txs[cur].Parents {
 			if _, seen := depths[p]; !seen {
 				depths[p] = depths[cur] + 1
 				queue = append(queue, p)
@@ -291,8 +481,7 @@ func (d *DAG) Depths() map[ID]int {
 // from the tips, as proposed by Popov").
 func (d *DAG) SampleAtDepth(rng *xrand.RNG, minDepth, maxDepth int) *Transaction {
 	depths := d.Depths()
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	txs := d.snapshot()
 	var candidates []ID
 	for id, depth := range depths {
 		if depth >= minDepth && depth <= maxDepth {
@@ -300,22 +489,27 @@ func (d *DAG) SampleAtDepth(rng *xrand.RNG, minDepth, maxDepth int) *Transaction
 		}
 	}
 	if len(candidates) == 0 {
-		return d.txs[0]
+		return txs[0]
 	}
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
-	return d.txs[candidates[rng.Intn(len(candidates))]]
+	return txs[candidates[rng.Intn(len(candidates))]]
 }
 
 // DOT renders the DAG in Graphviz format, coloring tips gray and poisoned
 // transactions red. Intended for debugging and small visual checks.
 func (d *DAG) DOT() string {
 	d.mu.RLock()
-	defer d.mu.RUnlock()
+	txs := d.snapshot()
+	tips := make(map[ID]bool, len(d.tips))
+	for id := range d.tips {
+		tips[id] = true
+	}
+	d.mu.RUnlock()
 	var b strings.Builder
 	b.WriteString("digraph tangle {\n  rankdir=RL;\n")
-	for _, t := range d.txs {
+	for _, t := range txs {
 		attrs := fmt.Sprintf("label=\"%d\\nc%d r%d\"", t.ID, t.Issuer, t.Round)
-		if _, isTip := d.tips[t.ID]; isTip {
+		if tips[t.ID] {
 			attrs += ", style=filled, fillcolor=gray"
 		}
 		if t.Meta.Poisoned {
@@ -323,7 +517,7 @@ func (d *DAG) DOT() string {
 		}
 		fmt.Fprintf(&b, "  t%d [%s];\n", t.ID, attrs)
 	}
-	for _, t := range d.txs {
+	for _, t := range txs {
 		for _, p := range t.Parents {
 			fmt.Fprintf(&b, "  t%d -> t%d;\n", t.ID, p)
 		}
@@ -342,13 +536,17 @@ type Stats struct {
 // Stats returns summary statistics.
 func (d *DAG) Stats() Stats {
 	depths := d.Depths()
+	// Transaction and tip counts from one instant: both under the RLock
+	// that Add's updates are atomic against.
 	d.mu.RLock()
-	defer d.mu.RUnlock()
+	txs := len(d.snapshot())
+	tips := len(d.tips)
+	d.mu.RUnlock()
 	maxDepth := 0
 	for _, dep := range depths {
 		if dep > maxDepth {
 			maxDepth = dep
 		}
 	}
-	return Stats{Transactions: len(d.txs), Tips: len(d.tips), MaxDepth: maxDepth}
+	return Stats{Transactions: txs, Tips: tips, MaxDepth: maxDepth}
 }

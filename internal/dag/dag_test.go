@@ -338,8 +338,10 @@ func BenchmarkAdd(b *testing.B) {
 func BenchmarkCumulativeWeights1000(b *testing.B) {
 	rng := xrand.New(2)
 	d := buildRandom(rng, 1000)
+	txs := d.snapshot()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d.CumulativeWeights()
+		// Measure the sequential sweep itself, not the per-size memo.
+		d.cumulativeWeightsSeq(txs)
 	}
 }

@@ -223,11 +223,7 @@ func (v *View) CumulativeWeights() map[ID]int {
 	}
 	weights := make(map[ID]int, n)
 	for i, id := range ids {
-		c := 1
-		for _, w := range approvers[i] {
-			c += popcount(w)
-		}
-		weights[id] = c
+		weights[id] = 1 + popcountSet(approvers[i])
 	}
 	return weights
 }

@@ -107,6 +107,11 @@ type Federated struct {
 	testY   [][]int
 	res     *Result
 	round   int
+	// evalScratch holds one lazily created scratch model per parallel
+	// evaluation slot, so the per-round fan-out evaluates the new global
+	// model via zero-copy parameter aliasing (nn.EvaluateParams) instead of
+	// cloning the model once per client per round.
+	evalScratch []*nn.MLP
 }
 
 var (
@@ -204,8 +209,9 @@ func (f *Federated) Step(ctx context.Context) (*engine.StepResult, bool, error) 
 
 	// Evaluate the new global model on every selected client's test split.
 	// A sequential run evaluates on the global model in place; parallel
-	// workers evaluate on private clones (Evaluate reuses scratch buffers,
-	// so the shared model must not run concurrently).
+	// workers alias the new parameters from per-slot scratch models
+	// (Evaluate reuses scratch buffers, so the shared model must not run
+	// concurrently) — no per-round model clones.
 	rr := RoundResult{Round: round}
 	accs := make([]float64, len(idxs))
 	losses := make([]float64, len(idxs))
@@ -214,9 +220,15 @@ func (f *Federated) Step(ctx context.Context) (*engine.StepResult, bool, error) 
 			losses[k], accs[k] = f.global.Evaluate(f.testX[ci], f.testY[ci])
 		}
 	} else {
+		if f.evalScratch == nil {
+			f.evalScratch = make([]*nn.MLP, len(idxs))
+		}
+		newParams := f.global.Params() // read-only during the fan-out
 		par.ForEachIn(f.cfg.Pool, f.cfg.Workers, len(idxs), func(k int) {
-			model := f.global.Clone()
-			losses[k], accs[k] = model.Evaluate(f.testX[idxs[k]], f.testY[idxs[k]])
+			if f.evalScratch[k] == nil {
+				f.evalScratch[k] = f.global.Clone()
+			}
+			losses[k], accs[k] = f.evalScratch[k].EvaluateParams(newParams, f.testX[idxs[k]], f.testY[idxs[k]])
 		})
 	}
 	for k, ci := range idxs {

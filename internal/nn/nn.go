@@ -252,6 +252,59 @@ func (m *MLP) Accuracy(xs [][]float64, ys []int) float64 {
 	return acc
 }
 
+// alias re-points the model's parameter storage and per-layer views at p
+// without copying. The caller must restore the original storage before the
+// model is used as a value holder again.
+func (m *MLP) alias(p []float64) {
+	m.params = p
+	off := 0
+	for i := range m.layers {
+		l := &m.layers[i]
+		l.w = p[off : off+l.in*l.out]
+		off += l.in * l.out
+		l.b = p[off : off+l.out]
+		off += l.out
+	}
+}
+
+// EvaluateParams scores an arbitrary flat parameter vector on the given
+// samples, using the receiver only for its scratch buffers: the layers
+// temporarily alias p — no O(P) copy, unlike SetParams — and the model's own
+// weights are untouched afterwards. p must stay unmodified for the duration
+// of the call (the DAG's published transaction parameters are immutable, so
+// the tip-selection hot path satisfies this for free). Results are
+// bit-identical to SetParams(p) followed by Evaluate.
+func (m *MLP) EvaluateParams(p []float64, xs [][]float64, ys []int) (loss, acc float64) {
+	if len(p) != len(m.params) {
+		panic(fmt.Sprintf("nn: EvaluateParams length %d, want %d", len(p), len(m.params)))
+	}
+	saved := m.params
+	defer m.alias(saved)
+	m.alias(p)
+	return m.Evaluate(xs, ys)
+}
+
+// EvaluateMany is the batched evaluation path of the walk engine: it scores
+// every parameter vector in paramsList on one (xs, ys) set, reusing the
+// receiver's scratch buffers across the whole batch and aliasing each vector
+// in turn (no per-vector parameter copies). Each (losses[i], accs[i]) is
+// bit-identical to SetParams(paramsList[i]) followed by Evaluate; the
+// model's own weights are untouched.
+func (m *MLP) EvaluateMany(paramsList [][]float64, xs [][]float64, ys []int) (losses, accs []float64) {
+	losses = make([]float64, len(paramsList))
+	accs = make([]float64, len(paramsList))
+	saved := m.params
+	defer m.alias(saved)
+	for i, p := range paramsList {
+		if len(p) != len(saved) {
+			panic(fmt.Sprintf("nn: EvaluateMany params[%d] length %d, want %d", i, len(p), len(saved)))
+		}
+		m.alias(p)
+		losses[i], accs[i] = m.Evaluate(xs, ys)
+	}
+	return losses, accs
+}
+
 // SGDConfig controls local training.
 type SGDConfig struct {
 	// LR is the learning rate.

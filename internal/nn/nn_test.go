@@ -433,3 +433,87 @@ func BenchmarkTrainBatch(b *testing.B) {
 		m.Train(xs, ys, cfg, rng)
 	}
 }
+
+// TestEvaluateParamsMatchesSetParams pins the zero-copy evaluation path: it
+// must be bit-identical to SetParams+Evaluate and must leave the model's own
+// weights untouched.
+func TestEvaluateParamsMatchesSetParams(t *testing.T) {
+	rng := xrand.New(3)
+	arch := Arch{In: 6, Hidden: []int{5, 4}, Out: 3}
+	m := New(arch, rng)
+	other := New(arch, rng.Split("other"))
+	xs, ys := randomSamples(rng, 40, arch.In, arch.Out)
+
+	own := m.ParamsCopy()
+	wantLoss, wantAcc := func() (float64, float64) {
+		c := m.Clone()
+		c.SetParams(other.Params())
+		return c.Evaluate(xs, ys)
+	}()
+	gotLoss, gotAcc := m.EvaluateParams(other.Params(), xs, ys)
+	if gotLoss != wantLoss || gotAcc != wantAcc {
+		t.Fatalf("EvaluateParams = (%v, %v), want (%v, %v)", gotLoss, gotAcc, wantLoss, wantAcc)
+	}
+	for i, p := range m.Params() {
+		if p != own[i] {
+			t.Fatalf("EvaluateParams mutated model weights at %d", i)
+		}
+	}
+	// The model must still evaluate its own weights after the aliasing round
+	// trip.
+	selfLoss, selfAcc := m.Evaluate(xs, ys)
+	c := m.Clone()
+	cLoss, cAcc := c.Evaluate(xs, ys)
+	if selfLoss != cLoss || selfAcc != cAcc {
+		t.Fatalf("model state corrupted after EvaluateParams: (%v, %v) vs (%v, %v)", selfLoss, selfAcc, cLoss, cAcc)
+	}
+}
+
+// TestEvaluateManyMatchesLoop: the batched path must equal per-vector
+// SetParams+Evaluate bit for bit, in order.
+func TestEvaluateManyMatchesLoop(t *testing.T) {
+	rng := xrand.New(9)
+	arch := Arch{In: 5, Hidden: []int{7}, Out: 4}
+	m := New(arch, rng)
+	xs, ys := randomSamples(rng, 30, arch.In, arch.Out)
+
+	var batch [][]float64
+	for i := 0; i < 6; i++ {
+		batch = append(batch, New(arch, rng.SplitIndex("b", i)).ParamsCopy())
+	}
+	losses, accs := m.EvaluateMany(batch, xs, ys)
+	if len(losses) != len(batch) || len(accs) != len(batch) {
+		t.Fatalf("EvaluateMany returned %d/%d results for %d vectors", len(losses), len(accs), len(batch))
+	}
+	scratch := m.Clone()
+	for i, p := range batch {
+		scratch.SetParams(p)
+		wantLoss, wantAcc := scratch.Evaluate(xs, ys)
+		if losses[i] != wantLoss || accs[i] != wantAcc {
+			t.Fatalf("vector %d: batched (%v, %v) vs sequential (%v, %v)", i, losses[i], accs[i], wantLoss, wantAcc)
+		}
+	}
+}
+
+// TestEvaluateParamsLengthMismatchPanics: aliasing a wrong-shaped vector
+// must fail loudly, exactly like SetParams.
+func TestEvaluateParamsLengthMismatchPanics(t *testing.T) {
+	m := New(Arch{In: 3, Out: 2}, xrand.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EvaluateParams with short vector did not panic")
+		}
+	}()
+	m.EvaluateParams([]float64{1, 2}, nil, nil)
+}
+
+// randomSamples draws labeled samples for the evaluation tests.
+func randomSamples(rng *xrand.RNG, n, in, classes int) ([][]float64, []int) {
+	xs := make([][]float64, n)
+	ys := make([]int, n)
+	for i := range xs {
+		xs[i] = rng.NormalVec(in, 0, 1)
+		ys[i] = rng.Intn(classes)
+	}
+	return xs, ys
+}

@@ -50,7 +50,7 @@ func Figure15(ctx context.Context, p Preset, seed int64) ([]Fig15Curve, error) {
 		cfg := spec.DAGConfig(p, tipselect.AccuracyWalk{Alpha: 10, DepthMin: 15, DepthMax: 25}, seed+int64(li))
 		cfg.Rounds = rounds
 		cfg.ClientsPerRound = active
-		cfg.DisableEvalMemo = true
+		cfg.EvalScope = core.EvalScopeNone // re-evaluate on every walk, like the prototype
 		cfg.MeasureWalkTime = true
 		cfg.Workers = 1 // uncontended walks: see the fidelity note above
 		cfg.Pool = nil

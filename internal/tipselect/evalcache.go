@@ -1,0 +1,206 @@
+package tipselect
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/specdag/specdag/internal/dag"
+)
+
+// BatchEvaluator is an Evaluator that can score several transactions in one
+// call. The walk engines prefer this interface when the evaluator provides
+// it: at every step of an accuracy walk all children of the current
+// transaction are scored together, so a batch-aware evaluator can resolve
+// cache hits in one lookup pass and amortize the misses through a single
+// batched model-evaluation call (nn.EvaluateMany) instead of per-child
+// SetParams+Evaluate round trips.
+type BatchEvaluator interface {
+	Evaluator
+	// AccuracyMany returns the accuracy of each transaction, aligned with
+	// txs. It must be equivalent to calling Accuracy per transaction.
+	AccuracyMany(txs []*dag.Transaction) []float64
+}
+
+// EvalCache is the shared evaluation cache of the walk hot path: one cache
+// per (client, scope) holds the accuracies of every transaction the client's
+// walkers have scored, so the tip-walk/ReferenceWalks fan-out of a round
+// never evaluates the same transaction twice. It replaces MemoEvaluator in
+// the engines (which keep MemoEvaluator's semantics available through the
+// Scope knob on core.Config).
+//
+// Unlike MemoEvaluator, an EvalCache is safe for concurrent use: lookups
+// take a read lock, misses are inserted under the write lock, and the
+// hit/miss counters are atomic. Scoring itself is serialized — at most one
+// goroutine runs Score/ScoreBatch at a time, with a cache re-check after
+// acquiring the scoring lock — because the engines' scorers close over the
+// client's single scratch model, which is not safe for concurrent use. Hits
+// never touch the scoring lock, so concurrent walkers only serialize on
+// genuinely new transactions.
+//
+// Accuracies are pure per-transaction values (published parameters are
+// immutable, local test data fixed), so a cache may live as long as the test
+// split it scores against; Reset drops all entries when the owner shortens
+// that lifetime (per-round scope, poisoned test data).
+type EvalCache struct {
+	// Score evaluates one parameter vector. Required.
+	Score func(params []float64) float64
+	// ScoreBatch evaluates several parameter vectors at once, aligned with
+	// the input. Optional: when nil, misses fall back to Score in a loop.
+	ScoreBatch func(params [][]float64) []float64
+	// Disable turns caching off: every call scores afresh (the paper
+	// prototype's cost profile, used by the Fig. 15 scalability experiment).
+	Disable bool
+
+	mu    sync.RWMutex
+	cache map[dag.ID]float64
+	// scoreMu serializes Score/ScoreBatch calls: the scorers the engines
+	// install share one scratch model per client.
+	scoreMu sync.Mutex
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+var _ BatchEvaluator = (*EvalCache)(nil)
+
+// NewEvalCache returns an EvalCache around the given scorers. scoreBatch may
+// be nil.
+func NewEvalCache(score func(params []float64) float64, scoreBatch func(params [][]float64) []float64) *EvalCache {
+	return &EvalCache{Score: score, ScoreBatch: scoreBatch, cache: make(map[dag.ID]float64)}
+}
+
+// Hits returns the number of cache hits so far.
+func (e *EvalCache) Hits() int { return int(e.hits.Load()) }
+
+// Misses returns the number of scoring calls (cache misses) so far.
+func (e *EvalCache) Misses() int { return int(e.misses.Load()) }
+
+// Reset drops all cached accuracies (counters are kept). Call it when the
+// data the scores depend on changes (label poisoning) or when the owner
+// scopes the cache to a shorter lifetime than the run (per-round caching).
+func (e *EvalCache) Reset() {
+	e.mu.Lock()
+	e.cache = make(map[dag.ID]float64)
+	e.mu.Unlock()
+}
+
+// Accuracy implements Evaluator.
+func (e *EvalCache) Accuracy(tx *dag.Transaction) float64 {
+	if e.Disable {
+		e.scoreMu.Lock()
+		defer e.scoreMu.Unlock()
+		e.misses.Add(1)
+		return e.Score(tx.Params)
+	}
+	e.mu.RLock()
+	acc, ok := e.cache[tx.ID]
+	e.mu.RUnlock()
+	if ok {
+		e.hits.Add(1)
+		return acc
+	}
+	e.scoreMu.Lock()
+	defer e.scoreMu.Unlock()
+	// Re-check: a concurrent walker may have scored tx while we waited.
+	e.mu.RLock()
+	acc, ok = e.cache[tx.ID]
+	e.mu.RUnlock()
+	if ok {
+		e.hits.Add(1)
+		return acc
+	}
+	e.misses.Add(1)
+	acc = e.Score(tx.Params)
+	e.mu.Lock()
+	e.cache[tx.ID] = acc
+	e.mu.Unlock()
+	return acc
+}
+
+// AccuracyMany implements BatchEvaluator: one lookup pass under a single
+// read lock, then one batched scoring call for the misses (serialized, with
+// a re-check, like Accuracy).
+func (e *EvalCache) AccuracyMany(txs []*dag.Transaction) []float64 {
+	accs := make([]float64, len(txs))
+	if e.Disable {
+		e.scoreMu.Lock()
+		defer e.scoreMu.Unlock()
+		e.misses.Add(int64(len(txs)))
+		e.scoreInto(accs, txs, nil)
+		return accs
+	}
+
+	// Lookup pass. missIdx collects the positions still unscored.
+	missIdx := e.lookup(accs, txs, nil)
+	e.hits.Add(int64(len(txs) - len(missIdx)))
+	if len(missIdx) == 0 {
+		return accs
+	}
+	e.scoreMu.Lock()
+	defer e.scoreMu.Unlock()
+	// Re-check: a concurrent walker may have scored some misses while we
+	// waited for the scoring lock.
+	stillMissing := e.lookup(accs, txs, missIdx)
+	e.hits.Add(int64(len(missIdx) - len(stillMissing)))
+	if len(stillMissing) == 0 {
+		return accs
+	}
+	e.misses.Add(int64(len(stillMissing)))
+	e.scoreInto(accs, txs, stillMissing)
+	e.mu.Lock()
+	for _, i := range stillMissing {
+		e.cache[txs[i].ID] = accs[i]
+	}
+	e.mu.Unlock()
+	return accs
+}
+
+// lookup fills accs from the cache for the given positions (all when idx is
+// nil) and returns the positions still missing.
+func (e *EvalCache) lookup(accs []float64, txs []*dag.Transaction, idx []int) []int {
+	var missing []int
+	e.mu.RLock()
+	if idx == nil {
+		for i, tx := range txs {
+			if acc, ok := e.cache[tx.ID]; ok {
+				accs[i] = acc
+			} else {
+				missing = append(missing, i)
+			}
+		}
+	} else {
+		for _, i := range idx {
+			if acc, ok := e.cache[txs[i].ID]; ok {
+				accs[i] = acc
+			} else {
+				missing = append(missing, i)
+			}
+		}
+	}
+	e.mu.RUnlock()
+	return missing
+}
+
+// scoreInto fills accs for the given positions (all positions when idx is
+// nil) using the batch scorer when available.
+func (e *EvalCache) scoreInto(accs []float64, txs []*dag.Transaction, idx []int) {
+	if idx == nil {
+		idx = make([]int, len(txs))
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	if e.ScoreBatch != nil && len(idx) > 1 {
+		params := make([][]float64, len(idx))
+		for k, i := range idx {
+			params[k] = txs[i].Params
+		}
+		for k, acc := range e.ScoreBatch(params) {
+			accs[idx[k]] = acc
+		}
+		return
+	}
+	for _, i := range idx {
+		accs[i] = e.Score(txs[i].Params)
+	}
+}

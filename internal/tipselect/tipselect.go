@@ -73,11 +73,10 @@ func (f EvaluatorFunc) Accuracy(tx *dag.Transaction) float64 { return f(tx) }
 // experiment (Fig. 15) disables memoization to reproduce its cost profile.
 //
 // MemoEvaluator is NOT safe for concurrent use (unsynchronized map and
-// counters). The parallel round engine respects this by giving each client
-// its own MemoEvaluator and running all of one client's walks within a round
-// on a single worker goroutine; only distinct clients' evaluators run
-// concurrently. Anyone sharing one evaluator across goroutines must add
-// external locking.
+// counters): all of one evaluator's walks must run on a single goroutine,
+// and only distinct evaluators may run concurrently. The engines have moved
+// to the concurrency-safe, batch-aware EvalCache; MemoEvaluator remains for
+// single-goroutine callers that want zero synchronization overhead.
 type MemoEvaluator struct {
 	Score func(params []float64) float64
 	// Disable turns the memo off (every call is a miss).
@@ -107,6 +106,37 @@ func (m *MemoEvaluator) Accuracy(tx *dag.Transaction) float64 {
 		m.cache[tx.ID] = acc
 	}
 	return acc
+}
+
+// AccuracyMany implements BatchEvaluator (a per-transaction loop; the
+// batched fast path lives in EvalCache).
+func (m *MemoEvaluator) AccuracyMany(txs []*dag.Transaction) []float64 {
+	accs := make([]float64, len(txs))
+	for i, tx := range txs {
+		accs[i] = m.Accuracy(tx)
+	}
+	return accs
+}
+
+// childAccuracies scores all children of one walk step, preferring the
+// batched evaluator path. It accounts one evaluation per child in stats —
+// the walk-cost quantity of Fig. 15 counts accuracy lookups, not cache
+// misses, so the count is identical whether or not the evaluator caches or
+// batches.
+func childAccuracies(d Graph, eval Evaluator, children []dag.ID, stats *WalkStats) []float64 {
+	stats.Evaluations += len(children)
+	if be, ok := eval.(BatchEvaluator); ok && len(children) > 1 {
+		txs := make([]*dag.Transaction, len(children))
+		for i, id := range children {
+			txs[i] = d.MustGet(id)
+		}
+		return be.AccuracyMany(txs)
+	}
+	accs := make([]float64, len(children))
+	for i, id := range children {
+		accs[i] = eval.Accuracy(d.MustGet(id))
+	}
+	return accs
 }
 
 // WalkStats accounts for the cost of one tip selection, the quantity behind
@@ -229,11 +259,7 @@ func (w AccuracyWalk) SelectTip(d Graph, eval Evaluator, rng *xrand.RNG) (*dag.T
 			return cur, stats
 		}
 		stats.Steps++
-		accs := make([]float64, len(children))
-		for i, id := range children {
-			accs[i] = eval.Accuracy(d.MustGet(id))
-			stats.Evaluations++
-		}
+		accs := childAccuracies(d, eval, children, &stats)
 		weights := Weights(accs, w.Alpha, w.Norm)
 		next := children[rng.WeightedChoice(weights)]
 		cur = d.MustGet(next)
