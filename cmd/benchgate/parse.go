@@ -21,6 +21,12 @@ type Run struct {
 	// NsPerOp maps a benchmark name (GOMAXPROCS suffix stripped) to its
 	// ns/op string, for the advisory timing table.
 	NsPerOp map[string]string
+	// BytesPerOp and AllocsPerOp carry the -benchmem columns per benchmark
+	// name, also advisory: allocation regressions on the training hot path
+	// (nn.Train's zero-allocs-per-batch contract) show up in the timing
+	// artifact without gating wall clock.
+	BytesPerOp  map[string]string
+	AllocsPerOp map[string]string
 	// Order preserves first-appearance order of benchmark names.
 	Order []string
 }
@@ -38,7 +44,13 @@ var standardUnits = map[string]bool{
 //
 // where the first pair is ns/op and further pairs are custom metrics.
 func ParseRun(name, out string) *Run {
-	r := &Run{Name: name, Metrics: map[string]string{}, NsPerOp: map[string]string{}}
+	r := &Run{
+		Name:        name,
+		Metrics:     map[string]string{},
+		NsPerOp:     map[string]string{},
+		BytesPerOp:  map[string]string{},
+		AllocsPerOp: map[string]string{},
+	}
 	sc := bufio.NewScanner(strings.NewReader(out))
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -57,8 +69,15 @@ func ParseRun(name, out string) *Run {
 		// fields[1] is the iteration count; then (value, unit) pairs.
 		for i := 2; i+1 < len(fields); i += 2 {
 			value, unit := fields[i], fields[i+1]
-			if unit == "ns/op" {
+			switch unit {
+			case "ns/op":
 				r.NsPerOp[bench] = value
+				continue
+			case "B/op":
+				r.BytesPerOp[bench] = value
+				continue
+			case "allocs/op":
+				r.AllocsPerOp[bench] = value
 				continue
 			}
 			if standardUnits[unit] {
@@ -150,11 +169,12 @@ func CompareGolden(runs []*Run, want map[string]string) []string {
 	return failures
 }
 
-// TimingTable renders a benchstat-style ns/op comparison of the runs —
-// advisory output only.
+// TimingTable renders a benchstat-style comparison of the runs — ns/op
+// plus, when the benches ran with -benchmem, B/op and allocs/op — advisory
+// output only.
 func TimingTable(runs []*Run) string {
 	var b strings.Builder
-	b.WriteString("Advisory wall-clock comparison (metrics are gated, timings are not).\n")
+	b.WriteString("Advisory wall-clock and allocation comparison (metrics are gated, timings are not).\n")
 	b.WriteString("name")
 	for _, r := range runs {
 		fmt.Fprintf(&b, "\t%s ns/op", r.Name)
@@ -179,6 +199,50 @@ func TimingTable(runs []*Run) string {
 			b.WriteString("\t" + delta(runs[0].NsPerOp[bench], runs[1].NsPerOp[bench]))
 		}
 		b.WriteString("\n")
+	}
+	if table := memTable(runs); table != "" {
+		b.WriteString("\nAllocations (-benchmem; advisory — nn.Train's steady state is 0 allocs/op per batch).\n")
+		b.WriteString("name")
+		for _, r := range runs {
+			fmt.Fprintf(&b, "\t%s", r.Name)
+		}
+		b.WriteString("\n")
+		b.WriteString(table)
+	}
+	return b.String()
+}
+
+// memTable renders the B/op / allocs/op columns for every benchmark that
+// reported them; empty when no run used -benchmem.
+func memTable(runs []*Run) string {
+	var b strings.Builder
+	any := false
+	for _, bench := range runs[0].Order {
+		row := bench
+		seen := false
+		for _, r := range runs {
+			bytes, okB := r.BytesPerOp[bench]
+			allocs, okA := r.AllocsPerOp[bench]
+			if !okB && !okA {
+				row += "\t-"
+				continue
+			}
+			seen = true
+			if !okB {
+				bytes = "?"
+			}
+			if !okA {
+				allocs = "?"
+			}
+			row += fmt.Sprintf("\t%s B/op, %s allocs/op", bytes, allocs)
+		}
+		if seen {
+			any = true
+			b.WriteString(row + "\n")
+		}
+	}
+	if !any {
+		return ""
 	}
 	return b.String()
 }

@@ -7,7 +7,7 @@ import (
 
 const sampleW1 = `goos: linux
 goarch: amd64
-BenchmarkFigure9FedAvgComparison 	       1	1350590183 ns/op	         0.4667 CIFAR-100-dag-median	         0.8667 FMNIST-clustered-dag-median
+BenchmarkFigure9FedAvgComparison 	       1	1350590183 ns/op	         0.4667 CIFAR-100-dag-median	         0.8667 FMNIST-clustered-dag-median	  123456 B/op	     789 allocs/op
 BenchmarkFigure15WalkScalability-4 	       1	2347340819 ns/op	       119.9 evals-active10	       101.8 evals-active5
 PASS
 `
@@ -32,6 +32,17 @@ func TestParseRun(t *testing.T) {
 	}
 	if len(r.Order) != 2 {
 		t.Fatalf("order: %v", r.Order)
+	}
+	if got := r.BytesPerOp["Figure9FedAvgComparison"]; got != "123456" {
+		t.Fatalf("B/op parse: got %q", got)
+	}
+	if got := r.AllocsPerOp["Figure9FedAvgComparison"]; got != "789" {
+		t.Fatalf("allocs/op parse: got %q", got)
+	}
+	for _, unit := range []string{"B/op", "allocs/op"} {
+		if _, ok := r.Metrics[unit]; ok {
+			t.Fatalf("%s must not be treated as an invariance metric", unit)
+		}
 	}
 }
 
@@ -92,9 +103,18 @@ func TestGoldenMetricsRejectsEmpty(t *testing.T) {
 func TestTimingTable(t *testing.T) {
 	runs := []*Run{ParseRun("w1", sampleW1), ParseRun("wmax", sampleWMax)}
 	table := TimingTable(runs)
-	for _, want := range []string{"Figure9FedAvgComparison", "1350590183", "420590183", "-68.9%"} {
+	for _, want := range []string{"Figure9FedAvgComparison", "1350590183", "420590183", "-68.9%",
+		"123456 B/op", "789 allocs/op", "Allocations", "name\tw1\twmax"} {
 		if !strings.Contains(table, want) {
 			t.Fatalf("timing table missing %q:\n%s", want, table)
 		}
+	}
+}
+
+func TestTimingTableWithoutBenchmem(t *testing.T) {
+	runs := []*Run{ParseRun("wmax", sampleWMax)}
+	table := TimingTable(runs)
+	if strings.Contains(table, "Allocations") {
+		t.Fatalf("allocation section should be omitted without -benchmem data:\n%s", table)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/specdag/specdag/internal/profiling"
 	"github.com/specdag/specdag/internal/sim"
 )
 
@@ -35,12 +36,29 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table1, table2, fig5..fig15, ablations, all)")
-		full    = flag.Bool("full", false, "paper-scale runs (100 rounds, full federations)")
-		seed    = flag.Int64("seed", 42, "root random seed")
-		workers = flag.Int("workers", 0, "total worker budget shared by sweep cells and round engines (0 = NumCPU); results are identical for any value")
+		exp        = flag.String("exp", "all", "experiment id (table1, table2, fig5..fig15, ablations, all)")
+		full       = flag.Bool("full", false, "paper-scale runs (100 rounds, full federations)")
+		seed       = flag.Int64("seed", 42, "root random seed")
+		workers    = flag.Int("workers", 0, "total worker budget shared by sweep cells and round engines (0 = NumCPU); results are identical for any value")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		stop, err := profiling.StartCPU(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := profiling.WriteHeap(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 
 	if *workers > 0 {
 		sim.SetWorkers(*workers)

@@ -30,6 +30,7 @@ import (
 	"github.com/specdag/specdag/internal/engine"
 	"github.com/specdag/specdag/internal/graphx"
 	"github.com/specdag/specdag/internal/metrics"
+	"github.com/specdag/specdag/internal/profiling"
 	"github.com/specdag/specdag/internal/sim"
 	"github.com/specdag/specdag/internal/tipselect"
 	"github.com/specdag/specdag/internal/xrand"
@@ -93,8 +94,25 @@ func run() error {
 		ckptFile       = flag.String("checkpoint", "", "write a full simulation checkpoint to this file every -checkpoint-every rounds and at exit (resume with -resume)")
 		ckptEvery      = flag.Int("checkpoint-every", 10, "rounds between periodic checkpoints (with -checkpoint)")
 		resumeFile     = flag.String("resume", "", "resume from a checkpoint written by -checkpoint (requires the same dataset/config flags)")
+		cpuProfile     = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile     = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		stop, err := profiling.StartCPU(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := profiling.WriteHeap(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "specdag:", err)
+			}
+		}()
+	}
 
 	preset := sim.Quick
 	if *full {

@@ -206,14 +206,13 @@ func NewAsyncSimulation(fed *dataset.Federation, cfg AsyncConfig) (*AsyncSimulat
 			cluster: fc.Cluster,
 			model:   genesis.Clone(),
 		}, evalModel: genesis.Clone()}
-		c.trainX, c.trainY = fc.Train.XY()
-		c.testX, c.testY = fc.Test.XY()
+		c.trainX, c.trainY = fc.Train.X, fc.Train.CopyLabels()
+		c.testX, c.testY = fc.Test.X, fc.Test.CopyLabels()
 		c.origTestY = append([]int(nil), c.testY...)
 		crng := root.SplitIndex("async-client", fc.ID)
 		c.eval = tipselect.NewEvalCache(
 			func(params []float64) float64 {
-				_, acc := c.scoreParams(params)
-				return acc
+				return c.model.AccuracyParams(params, c.testX, c.testY)
 			},
 			c.scoreParamsBatch,
 		)

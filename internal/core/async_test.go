@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/specdag/specdag/internal/dataset"
+	"github.com/specdag/specdag/internal/mathx"
 	"github.com/specdag/specdag/internal/nn"
 	"github.com/specdag/specdag/internal/tipselect"
 	"github.com/specdag/specdag/internal/xrand"
@@ -164,10 +165,10 @@ func TestAsyncPublishesTrainedModel(t *testing.T) {
 	}
 	// Regenerate the identical federation to recover per-client test splits.
 	fed := smallFed(fedSeed)
-	testX := make(map[int][][]float64)
+	testX := make(map[int]mathx.Matrix)
 	testY := make(map[int][]int)
 	for _, fc := range fed.Clients {
-		testX[fc.ID], testY[fc.ID] = fc.Test.XY()
+		testX[fc.ID], testY[fc.ID] = fc.Test.X, fc.Test.Y
 	}
 	model := nn.New(cfg.Arch, xrand.New(99))
 	checked := 0

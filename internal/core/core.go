@@ -24,6 +24,7 @@ import (
 
 	"github.com/specdag/specdag/internal/dag"
 	"github.com/specdag/specdag/internal/dataset"
+	"github.com/specdag/specdag/internal/mathx"
 	"github.com/specdag/specdag/internal/nn"
 	"github.com/specdag/specdag/internal/par"
 	"github.com/specdag/specdag/internal/tipselect"
@@ -204,14 +205,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// client is the in-simulation state of one participant.
+// client is the in-simulation state of one participant. Feature matrices
+// are zero-copy views of the federation's flat storage (training never
+// mutates inputs); labels are private copies because the poisoning attack
+// flips them per client.
 type client struct {
 	id      int
 	cluster int
 
-	trainX [][]float64
+	trainX mathx.Matrix
 	trainY []int
-	testX  [][]float64
+	testX  mathx.Matrix
 	testY  []int
 	// origTestY preserves pre-poisoning test labels for the
 	// flipped-prediction metric (Fig. 12 counts true 3s predicted as 8s).
@@ -236,10 +240,11 @@ func (c *client) scoreParams(params []float64) (loss, acc float64) {
 }
 
 // scoreParamsBatch evaluates several parameter vectors on the client's test
-// split in one pass — the batched walk-evaluation path.
+// split in one pass — the batched walk-evaluation path. The walk only
+// consumes accuracies, so the loss reduction is skipped (accuracy values
+// are bit-identical to EvaluateMany's).
 func (c *client) scoreParamsBatch(params [][]float64) []float64 {
-	_, accs := c.model.EvaluateMany(params, c.testX, c.testY)
-	return accs
+	return c.model.AccuracyManyInto(nil, params, c.testX, c.testY)
 }
 
 // RoundResult records everything the evaluation needs about one round.
@@ -385,8 +390,8 @@ func NewSimulation(fed *dataset.Federation, cfg Config) (*Simulation, error) {
 			cluster: fc.Cluster,
 			model:   genesis.Clone(),
 		}
-		c.trainX, c.trainY = fc.Train.XY()
-		c.testX, c.testY = fc.Test.XY()
+		c.trainX, c.trainY = fc.Train.X, fc.Train.CopyLabels()
+		c.testX, c.testY = fc.Test.X, fc.Test.CopyLabels()
 		c.origTestY = append([]int(nil), c.testY...)
 		c.eval = s.newEvalFor(c)
 		if cfg.RevealDelay > 0 {
@@ -400,8 +405,7 @@ func NewSimulation(fed *dataset.Federation, cfg Config) (*Simulation, error) {
 func (s *Simulation) newEvalFor(c *client) *tipselect.EvalCache {
 	e := tipselect.NewEvalCache(
 		func(params []float64) float64 {
-			_, acc := c.scoreParams(params)
-			return acc
+			return c.model.AccuracyParams(params, c.testX, c.testY)
 		},
 		c.scoreParamsBatch,
 	)
@@ -693,13 +697,13 @@ func (c *client) flippedFraction(params []float64, p PoisonConfig) float64 {
 	}
 	c.model.SetParams(params)
 	flipped, total := 0, 0
-	for i, x := range c.testX {
+	for i := 0; i < c.testX.Rows; i++ {
 		orig := c.origTestY[i]
 		if orig != p.FlipA && orig != p.FlipB {
 			continue
 		}
 		total++
-		pred := c.model.Predict(x)
+		pred := c.model.Predict(c.testX.Row(i))
 		if (orig == p.FlipA && pred == p.FlipB) || (orig == p.FlipB && pred == p.FlipA) {
 			flipped++
 		}

@@ -123,7 +123,7 @@ func CIFAR100PAM(cfg CIFARConfig) *Federation {
 		leafDists := make([][]float64, cfg.Superclasses)
 
 		total := cfg.TrainPerClient + cfg.TestPerClient
-		data := make(Dataset, 0, total)
+		bld := NewBuilder(cfg.Dim, total)
 		superCounts := make([]int, cfg.Superclasses)
 		for i := 0; i < total; i++ {
 			super := crng.WeightedChoice(rootDist)
@@ -132,13 +132,13 @@ func CIFAR100PAM(cfg CIFARConfig) *Federation {
 			}
 			sub := crng.WeightedChoice(leafDists[super])
 			class := super*cfg.SubPerSuper + sub
-			data = append(data, Sample{X: sampleAround(crng, protos[class], cfg.NoiseStd), Y: class})
+			sampleAroundInto(crng, protos[class], cfg.NoiseStd, bld.Grow(class))
 			superCounts[super]++
 		}
 
 		// Cluster label: the majority superclass, ties broken randomly.
 		cluster := majorityWithRandomTies(superCounts, crng.Split("tie"))
-		train, test := data.Split(float64(cfg.TestPerClient)/float64(total), crng.Split("split"))
+		train, test := bld.Dataset().Split(float64(cfg.TestPerClient)/float64(total), crng.Split("split"))
 		fed.Clients = append(fed.Clients, &Client{ID: id, Cluster: cluster, Train: train, Test: test})
 	}
 	if err := fed.Validate(); err != nil {

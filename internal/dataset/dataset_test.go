@@ -9,7 +9,7 @@ import (
 )
 
 func TestXY(t *testing.T) {
-	d := Dataset{{X: []float64{1, 2}, Y: 0}, {X: []float64{3, 4}, Y: 1}}
+	d := FromSamples(Sample{X: []float64{1, 2}, Y: 0}, Sample{X: []float64{3, 4}, Y: 1})
 	xs, ys := d.XY()
 	if len(xs) != 2 || len(ys) != 2 {
 		t.Fatal("XY lengths wrong")
@@ -17,56 +17,172 @@ func TestXY(t *testing.T) {
 	if xs[1][0] != 3 || ys[1] != 1 {
 		t.Fatal("XY content wrong")
 	}
+	// Feature slices view the flat storage; labels are copied.
+	xs[0][0] = 42
+	if d.Row(0)[0] != 42 {
+		t.Fatal("XY feature slices should alias the flat storage")
+	}
+	ys[0] = 9
+	if d.Y[0] != 0 {
+		t.Fatal("XY labels should be copies")
+	}
+}
+
+func TestFlatStorageIsContiguous(t *testing.T) {
+	d := FromSamples(Sample{X: []float64{1, 2}, Y: 0}, Sample{X: []float64{3, 4}, Y: 1})
+	if d.X.Rows != 2 || d.X.Cols != 2 || len(d.X.Data) != 4 {
+		t.Fatalf("flat storage has wrong shape: %dx%d over %d values", d.X.Rows, d.X.Cols, len(d.X.Data))
+	}
+	if &d.Row(1)[0] != &d.X.Data[2] {
+		t.Fatal("Row(1) is not a view into the flat backing store")
+	}
+	s := d.At(1)
+	if s.Y != 1 || &s.X[0] != &d.X.Data[2] {
+		t.Fatal("At must return a zero-copy sample view")
+	}
+}
+
+func TestBuilderGrowAndRelabel(t *testing.T) {
+	b := NewBuilder(3, 2)
+	row := b.Grow(7)
+	if len(row) != 3 || row[0] != 0 || row[1] != 0 || row[2] != 0 {
+		t.Fatalf("Grow should hand out a zeroed row, got %v", row)
+	}
+	row[1] = 5
+	b.Relabel(1)
+	b.Append([]float64{9, 9, 9}, 2)
+	d := b.Dataset()
+	if d.Len() != 2 || d.Y[0] != 1 || d.Y[1] != 2 {
+		t.Fatalf("builder labels wrong: %v", d.Y)
+	}
+	if d.Row(0)[1] != 5 || d.Row(1)[0] != 9 {
+		t.Fatal("builder rows wrong")
+	}
+	// Growing past the pre-sized capacity must still produce zeroed rows.
+	extra := b.Grow(3)
+	for _, v := range extra {
+		if v != 0 {
+			t.Fatal("Grow past capacity returned a dirty row")
+		}
+	}
+}
+
+func TestBuilderAppendPanicsOnWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong row width")
+		}
+	}()
+	NewBuilder(2, 1).Append([]float64{1}, 0)
 }
 
 func TestCloneIsDeep(t *testing.T) {
-	d := Dataset{{X: []float64{1}, Y: 0}}
+	d := FromSamples(Sample{X: []float64{1}, Y: 0})
 	c := d.Clone()
-	c[0].X[0] = 99
-	c[0].Y = 5
-	if d[0].X[0] != 1 || d[0].Y != 0 {
+	c.Row(0)[0] = 99
+	c.Y[0] = 5
+	if d.Row(0)[0] != 1 || d.Y[0] != 0 {
 		t.Fatal("Clone aliases original")
 	}
 }
 
+func TestGather(t *testing.T) {
+	d := FromSamples(
+		Sample{X: []float64{0}, Y: 0},
+		Sample{X: []float64{1}, Y: 1},
+		Sample{X: []float64{2}, Y: 2},
+	)
+	g := d.Gather([]int{2, 0})
+	if g.Len() != 2 || g.Row(0)[0] != 2 || g.Y[1] != 0 {
+		t.Fatalf("Gather wrong: %+v", g)
+	}
+	// Gathered storage is fresh.
+	g.Row(0)[0] = 77
+	if d.Row(2)[0] != 2 {
+		t.Fatal("Gather must copy rows")
+	}
+}
+
+func makeIota(n int) Dataset {
+	b := NewBuilder(1, n)
+	for i := 0; i < n; i++ {
+		b.Grow(i % 3)[0] = float64(i)
+	}
+	return b.Dataset()
+}
+
 func TestSplitRatios(t *testing.T) {
 	rng := xrand.New(1)
-	d := make(Dataset, 100)
-	for i := range d {
-		d[i] = Sample{X: []float64{float64(i)}, Y: i % 3}
-	}
+	d := makeIota(100)
 	train, test := d.Split(0.1, rng)
-	if len(test) != 10 || len(train) != 90 {
-		t.Fatalf("90:10 split got %d:%d", len(train), len(test))
+	if test.Len() != 10 || train.Len() != 90 {
+		t.Fatalf("90:10 split got %d:%d", train.Len(), test.Len())
 	}
 	// No sample lost or duplicated.
 	seen := map[float64]bool{}
-	for _, s := range append(append(Dataset{}, train...), test...) {
-		if seen[s.X[0]] {
-			t.Fatal("duplicate sample after split")
+	for _, part := range []Dataset{train, test} {
+		for i := 0; i < part.Len(); i++ {
+			v := part.Row(i)[0]
+			if seen[v] {
+				t.Fatal("duplicate sample after split")
+			}
+			seen[v] = true
 		}
-		seen[s.X[0]] = true
 	}
 	if len(seen) != 100 {
 		t.Fatalf("split lost samples: %d", len(seen))
 	}
 }
 
+// TestSplitMatchesSampleSliceReference pins the storage refactor's
+// order-preservation contract: Split must visit the identical rng.Shuffle
+// call and emit the identical sample order as the historical []Sample
+// implementation (shuffle the samples, test = first nTest, train = rest).
+func TestSplitMatchesSampleSliceReference(t *testing.T) {
+	d := makeIota(23)
+	train, test := d.Split(0.3, xrand.New(7))
+
+	// Reference: shuffle a sample slice with an identically seeded stream.
+	ref := make([]Sample, d.Len())
+	for i := range ref {
+		ref[i] = Sample{X: []float64{d.Row(i)[0]}, Y: d.Y[i]}
+	}
+	rng := xrand.New(7)
+	rng.Shuffle(len(ref), func(i, j int) { ref[i], ref[j] = ref[j], ref[i] })
+	nTest := int(float64(len(ref)) * 0.3)
+	refTrain, refTest := ref[nTest:], ref[:nTest]
+
+	if train.Len() != len(refTrain) || test.Len() != len(refTest) {
+		t.Fatalf("split sizes diverge from reference: %d/%d vs %d/%d",
+			train.Len(), test.Len(), len(refTrain), len(refTest))
+	}
+	for i := range refTrain {
+		if train.Row(i)[0] != refTrain[i].X[0] || train.Y[i] != refTrain[i].Y {
+			t.Fatalf("train sample %d diverges from the sample-slice reference", i)
+		}
+	}
+	for i := range refTest {
+		if test.Row(i)[0] != refTest[i].X[0] || test.Y[i] != refTest[i].Y {
+			t.Fatalf("test sample %d diverges from the sample-slice reference", i)
+		}
+	}
+}
+
 func TestSplitNeverEmptyParts(t *testing.T) {
 	rng := xrand.New(2)
-	d := Dataset{{X: []float64{1}, Y: 0}, {X: []float64{2}, Y: 1}}
+	d := FromSamples(Sample{X: []float64{1}, Y: 0}, Sample{X: []float64{2}, Y: 1})
 	train, test := d.Split(0.0, rng)
-	if len(test) == 0 || len(train) == 0 {
-		t.Fatalf("both parts should be non-empty for n>=2: %d/%d", len(train), len(test))
+	if test.Len() == 0 || train.Len() == 0 {
+		t.Fatalf("both parts should be non-empty for n>=2: %d/%d", train.Len(), test.Len())
 	}
 	train, test = d.Split(1.0, rng)
-	if len(test) == 0 || len(train) == 0 {
-		t.Fatalf("both parts should be non-empty for n>=2: %d/%d", len(train), len(test))
+	if test.Len() == 0 || train.Len() == 0 {
+		t.Fatalf("both parts should be non-empty for n>=2: %d/%d", train.Len(), test.Len())
 	}
 }
 
 func TestCountLabels(t *testing.T) {
-	d := Dataset{{Y: 0}, {Y: 2}, {Y: 2}, {Y: 7}}
+	d := FromSamples(Sample{Y: 0}, Sample{Y: 2}, Sample{Y: 2}, Sample{Y: 7})
 	counts := d.CountLabels(3)
 	if counts[0] != 1 || counts[1] != 0 || counts[2] != 2 {
 		t.Fatalf("CountLabels got %v", counts)
@@ -74,17 +190,17 @@ func TestCountLabels(t *testing.T) {
 }
 
 func TestFlipLabels(t *testing.T) {
-	d := Dataset{{Y: 3}, {Y: 8}, {Y: 5}, {Y: 3}}
+	d := FromSamples(Sample{Y: 3}, Sample{Y: 8}, Sample{Y: 5}, Sample{Y: 3})
 	FlipLabels(d, 3, 8)
 	want := []int{8, 3, 5, 8}
 	for i := range want {
-		if d[i].Y != want[i] {
-			t.Fatalf("FlipLabels got %v at %d, want %v", d[i].Y, i, want[i])
+		if d.Y[i] != want[i] {
+			t.Fatalf("FlipLabels got %v at %d, want %v", d.Y[i], i, want[i])
 		}
 	}
 	// Flipping twice is the identity.
 	FlipLabels(d, 3, 8)
-	if d[0].Y != 3 || d[1].Y != 8 {
+	if d.Y[0] != 3 || d.Y[1] != 8 {
 		t.Fatal("double flip should restore labels")
 	}
 }
@@ -110,9 +226,11 @@ func TestFMNISTClusteredStructure(t *testing.T) {
 		2: {7: true, 8: true, 9: true},
 	}
 	for _, c := range fed.Clients {
-		for _, s := range append(append(Dataset{}, c.Train...), c.Test...) {
-			if !clusterClasses[c.Cluster][s.Y] {
-				t.Fatalf("client %d (cluster %d) holds foreign class %d", c.ID, c.Cluster, s.Y)
+		for _, part := range []Dataset{c.Train, c.Test} {
+			for _, y := range part.Y {
+				if !clusterClasses[c.Cluster][y] {
+					t.Fatalf("client %d (cluster %d) holds foreign class %d", c.ID, c.Cluster, y)
+				}
 			}
 		}
 	}
@@ -128,11 +246,13 @@ func TestFMNISTRelaxedHasForeignSamples(t *testing.T) {
 		}
 		foreign := 0
 		total := 0
-		for _, s := range append(append(Dataset{}, c.Train...), c.Test...) {
-			if !own[s.Y] {
-				foreign++
+		for _, part := range []Dataset{c.Train, c.Test} {
+			for _, y := range part.Y {
+				if !own[y] {
+					foreign++
+				}
+				total++
 			}
-			total++
 		}
 		frac := float64(foreign) / float64(total)
 		if frac < 0.05 || frac > 0.35 {
@@ -166,17 +286,17 @@ func TestFMNISTDeterminism(t *testing.T) {
 	b := FMNISTClustered(FMNISTConfig{Clients: 6, Seed: 42})
 	for i := range a.Clients {
 		at, bt := a.Clients[i].Train, b.Clients[i].Train
-		if len(at) != len(bt) {
+		if at.Len() != bt.Len() {
 			t.Fatal("determinism broken: lengths differ")
 		}
-		for j := range at {
-			if at[j].Y != bt[j].Y || at[j].X[0] != bt[j].X[0] {
+		for j := 0; j < at.Len(); j++ {
+			if at.Y[j] != bt.Y[j] || at.Row(j)[0] != bt.Row(j)[0] {
 				t.Fatal("determinism broken: content differs")
 			}
 		}
 	}
 	c := FMNISTClustered(FMNISTConfig{Clients: 6, Seed: 43})
-	if c.Clients[0].Train[0].X[0] == a.Clients[0].Train[0].X[0] {
+	if c.Clients[0].Train.Row(0)[0] == a.Clients[0].Train.Row(0)[0] {
 		t.Fatal("different seeds should give different data")
 	}
 }
@@ -196,11 +316,11 @@ func TestPoetsStructure(t *testing.T) {
 		t.Fatalf("input dim %d, want %d", fed.InputDim, 3*27)
 	}
 	// One-hot structure: every window position has exactly one hot unit.
-	s := fed.Clients[0].Train[0]
+	x := fed.Clients[0].Train.Row(0)
 	for w := 0; w < 3; w++ {
 		sum := 0.0
 		for j := 0; j < 27; j++ {
-			sum += s.X[w*27+j]
+			sum += x[w*27+j]
 		}
 		if sum != 1 {
 			t.Fatalf("window %d is not one-hot (sum %v)", w, sum)
@@ -215,8 +335,8 @@ func TestPoetsLanguagesDiffer(t *testing.T) {
 	counts := make([][]float64, 2)
 	for li, c := range fed.Clients {
 		hist := make([]float64, 27)
-		for _, s := range c.Train {
-			hist[s.Y]++
+		for _, y := range c.Train.Y {
+			hist[y]++
 		}
 		counts[li] = hist
 	}
@@ -242,8 +362,8 @@ func TestCIFARStructure(t *testing.T) {
 	// PAM with a low root alpha concentrates clients on few superclasses.
 	for _, c := range fed.Clients {
 		supers := map[int]bool{}
-		for _, s := range c.Train {
-			supers[s.Y/5] = true
+		for _, y := range c.Train.Y {
+			supers[y/5] = true
 		}
 		if len(supers) > 15 {
 			t.Fatalf("client %d spread over %d superclasses; root alpha not concentrating", c.ID, len(supers))
@@ -255,8 +375,10 @@ func TestCIFARClusterIsMajoritySuperclass(t *testing.T) {
 	fed := CIFAR100PAM(CIFARConfig{Clients: 10, TrainPerClient: 200, TestPerClient: 20, Seed: 7})
 	for _, c := range fed.Clients {
 		counts := make([]int, 20)
-		for _, s := range append(append(Dataset{}, c.Train...), c.Test...) {
-			counts[s.Y/5]++
+		for _, part := range []Dataset{c.Train, c.Test} {
+			for _, y := range part.Y {
+				counts[y/5]++
+			}
 		}
 		maxCount := 0
 		for _, n := range counts {
@@ -280,7 +402,7 @@ func TestFedProxSyntheticStructure(t *testing.T) {
 	}
 	// Sample counts include the +50 floor and respect the cap.
 	for _, c := range fed.Clients {
-		n := len(c.Train) + len(c.Test)
+		n := c.Train.Len() + c.Test.Len()
 		if n < 50 || n > 600 {
 			t.Fatalf("client %d has %d samples, want [50, 600]", c.ID, n)
 		}
@@ -293,10 +415,10 @@ func TestFedProxHeterogeneity(t *testing.T) {
 	means := make([]float64, len(fed.Clients))
 	for i, c := range fed.Clients {
 		sum := 0.0
-		for _, s := range c.Train {
-			sum += s.X[0]
+		for j := 0; j < c.Train.Len(); j++ {
+			sum += c.Train.Row(j)[0]
 		}
-		means[i] = sum / float64(len(c.Train))
+		means[i] = sum / float64(c.Train.Len())
 	}
 	allSame := true
 	for i := 1; i < len(means); i++ {
@@ -327,7 +449,7 @@ func TestBasePureness(t *testing.T) {
 
 func TestValidateCatchesCorruption(t *testing.T) {
 	fed := FMNISTClustered(FMNISTConfig{Clients: 3, Seed: 10})
-	fed.Clients[0].Train[0].Y = 99
+	fed.Clients[0].Train.Y[0] = 99
 	if err := fed.Validate(); err == nil {
 		t.Fatal("Validate should reject out-of-range labels")
 	}
@@ -339,9 +461,15 @@ func TestValidateCatchesCorruption(t *testing.T) {
 	}
 
 	fed = FMNISTClustered(FMNISTConfig{Clients: 3, Seed: 10})
-	fed.Clients[0].Test = nil
+	fed.Clients[0].Test = Dataset{}
 	if err := fed.Validate(); err == nil {
 		t.Fatal("Validate should reject empty test sets")
+	}
+
+	fed = FMNISTClustered(FMNISTConfig{Clients: 3, Seed: 10})
+	fed.Clients[0].Train.Y = fed.Clients[0].Train.Y[:3] // rows/labels mismatch
+	if err := fed.Validate(); err == nil {
+		t.Fatal("Validate should reject inconsistent flat storage")
 	}
 
 	if err := (&Federation{}).Validate(); err == nil {
@@ -366,12 +494,9 @@ func TestSplitPreservesAllSamplesQuick(t *testing.T) {
 			return true
 		}
 		frac = math.Mod(math.Abs(frac), 1)
-		d := make(Dataset, int(n))
-		for i := range d {
-			d[i] = Sample{X: []float64{float64(i)}, Y: 0}
-		}
+		d := makeIota(int(n))
 		train, test := d.Split(frac, rng)
-		return len(train)+len(test) == int(n)
+		return train.Len()+test.Len() == int(n)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)

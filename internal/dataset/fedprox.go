@@ -103,20 +103,20 @@ func FedProxSynthetic(cfg FedProxConfig) *Federation {
 		vk := crng.NormalVec(cfg.Dim, bk, 1)
 
 		n := crng.LogNormalInt(4, 2, 0, cfg.MaxSamples-50) + 50
-		data := make(Dataset, 0, n)
+		bld := NewBuilder(cfg.Dim, n)
 		logits := make([]float64, cfg.Classes)
 		for s := 0; s < n; s++ {
-			x := make([]float64, cfg.Dim)
+			x := bld.Grow(0)
 			for j := range x {
 				x[j] = crng.Normal(vk[j], math.Sqrt(sigma[j]))
 			}
 			for i := range logits {
 				logits[i] = mathx.Dot(w[i], x) + bias[i]
 			}
-			data = append(data, Sample{X: x, Y: mathx.ArgMax(logits)})
+			bld.Relabel(mathx.ArgMax(logits))
 		}
 
-		train, test := data.Split(0.1, crng.Split("split"))
+		train, test := bld.Dataset().Split(0.1, crng.Split("split"))
 		fed.Clients = append(fed.Clients, &Client{ID: id, Cluster: 0, Train: train, Test: test})
 	}
 	if err := fed.Validate(); err != nil {

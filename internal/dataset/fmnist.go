@@ -107,18 +107,17 @@ func FMNISTClustered(cfg FMNISTConfig) *Federation {
 		crng := rng.SplitIndex("client", id)
 		total := cfg.TrainPerClient + cfg.TestPerClient
 		var cluster int
-		var data Dataset
+		bld := NewBuilder(cfg.Dim, total)
 		if cfg.ByWriter {
 			cluster = 0
 			style := crng.Split("style").NormalVec(cfg.Dim, 0, cfg.WriterStd)
-			data = make(Dataset, 0, total)
 			for i := 0; i < total; i++ {
 				class := crng.Intn(numClasses)
-				x := sampleAround(crng, protos[class], cfg.NoiseStd)
+				x := bld.Grow(class)
+				sampleAroundInto(crng, protos[class], cfg.NoiseStd, x)
 				for d := range x {
 					x[d] += style[d]
 				}
-				data = append(data, Sample{X: x, Y: class})
 			}
 		} else {
 			cluster = id % numClusters
@@ -128,7 +127,6 @@ func FMNISTClustered(cfg FMNISTConfig) *Federation {
 				lo, hi := cfg.RelaxedMin, cfg.RelaxedMax
 				foreignFrac = lo + crng.Float64()*(hi-lo)
 			}
-			data = make(Dataset, 0, total)
 			for i := 0; i < total; i++ {
 				var class int
 				if foreignFrac > 0 && crng.Bool(foreignFrac) {
@@ -142,10 +140,10 @@ func FMNISTClustered(cfg FMNISTConfig) *Federation {
 				} else {
 					class = classes[crng.Intn(len(classes))]
 				}
-				data = append(data, Sample{X: sampleAround(crng, protos[class], cfg.NoiseStd), Y: class})
+				sampleAroundInto(crng, protos[class], cfg.NoiseStd, bld.Grow(class))
 			}
 		}
-		train, test := data.Split(float64(cfg.TestPerClient)/float64(total), crng.Split("split"))
+		train, test := bld.Dataset().Split(float64(cfg.TestPerClient)/float64(total), crng.Split("split"))
 		fed.Clients = append(fed.Clients, &Client{ID: id, Cluster: cluster, Train: train, Test: test})
 	}
 	if err := fed.Validate(); err != nil {
@@ -163,11 +161,11 @@ func classPrototypes(rng *xrand.RNG, classes, dim int) [][]float64 {
 	return protos
 }
 
-// sampleAround returns prototype + N(0, std^2) noise.
-func sampleAround(rng *xrand.RNG, proto []float64, std float64) []float64 {
-	x := make([]float64, len(proto))
+// sampleAroundInto fills dst with prototype + N(0, std^2) noise, drawing
+// the per-dimension noise in the same order as the old allocating variant so
+// generated federations are byte-identical.
+func sampleAroundInto(rng *xrand.RNG, proto []float64, std float64, dst []float64) {
 	for i, p := range proto {
-		x[i] = p + rng.Normal(0, std)
+		dst[i] = p + rng.Normal(0, std)
 	}
-	return x
 }

@@ -118,15 +118,18 @@ func sampleChain(rng *xrand.RNG, chain [][]float64, length int) []int {
 }
 
 // windows converts a character stream into (window -> next char) samples
-// with one-hot encoded inputs.
+// with one-hot encoded inputs, filled directly into flat storage.
 func windows(text []int, window int) Dataset {
-	var data Dataset
+	n := len(text) - window
+	if n < 0 {
+		n = 0
+	}
+	bld := NewBuilder(window*poetsAlphabet, n)
 	for i := window; i < len(text); i++ {
-		x := make([]float64, window*poetsAlphabet)
+		x := bld.Grow(text[i])
 		for w := 0; w < window; w++ {
 			x[w*poetsAlphabet+text[i-window+w]] = 1
 		}
-		data = append(data, Sample{X: x, Y: text[i]})
 	}
-	return data
+	return bld.Dataset()
 }

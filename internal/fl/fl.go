@@ -20,6 +20,7 @@ import (
 
 	"github.com/specdag/specdag/internal/dataset"
 	"github.com/specdag/specdag/internal/engine"
+	"github.com/specdag/specdag/internal/mathx"
 	"github.com/specdag/specdag/internal/nn"
 	"github.com/specdag/specdag/internal/par"
 	"github.com/specdag/specdag/internal/xrand"
@@ -101,12 +102,14 @@ type Federated struct {
 	root    *xrand.RNG
 	sampler *xrand.RNG
 	global  *nn.MLP
-	trainX  [][][]float64
-	trainY  [][]int
-	testX   [][][]float64
-	testY   [][]int
-	res     *Result
-	round   int
+	// Per-client train/test data: zero-copy views of the federation's flat
+	// storage (this engine never mutates features or labels).
+	trainX []mathx.Matrix
+	trainY [][]int
+	testX  []mathx.Matrix
+	testY  [][]int
+	res    *Result
+	round  int
 	// evalScratch holds one lazily created scratch model per parallel
 	// evaluation slot, so the per-round fan-out evaluates the new global
 	// model via zero-copy parameter aliasing (nn.EvaluateParams) instead of
@@ -144,14 +147,14 @@ func NewFederated(fed *dataset.Federation, cfg Config) (*Federated, error) {
 		global:  nn.New(cfg.Arch, root.Split("init")),
 		res:     &Result{Algorithm: algo},
 	}
-	// Pre-extract feature/label views once.
-	f.trainX = make([][][]float64, len(fed.Clients))
+	// Wire up the flat per-client views once; nothing is copied.
+	f.trainX = make([]mathx.Matrix, len(fed.Clients))
 	f.trainY = make([][]int, len(fed.Clients))
-	f.testX = make([][][]float64, len(fed.Clients))
+	f.testX = make([]mathx.Matrix, len(fed.Clients))
 	f.testY = make([][]int, len(fed.Clients))
 	for i, c := range fed.Clients {
-		f.trainX[i], f.trainY[i] = c.Train.XY()
-		f.testX[i], f.testY[i] = c.Test.XY()
+		f.trainX[i], f.trainY[i] = c.Train.X, c.Train.Y
+		f.testX[i], f.testY[i] = c.Test.X, c.Test.Y
 	}
 	return f, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"github.com/specdag/specdag/internal/dataset"
 	"github.com/specdag/specdag/internal/engine"
+	"github.com/specdag/specdag/internal/mathx"
 	"github.com/specdag/specdag/internal/nn"
 	"github.com/specdag/specdag/internal/xrand"
 )
@@ -57,12 +58,15 @@ type Gossip struct {
 	sampler *xrand.RNG
 	models  [][]float64
 	scratch *nn.MLP
-	trainX  [][][]float64
-	trainY  [][]int
-	testX   [][][]float64
-	testY   [][]int
-	res     *Result
-	round   int
+	// Per-client train/test data: zero-copy views of the federation's flat
+	// storage (this engine never mutates features or labels) instead of
+	// re-materialized per-sample slice headers.
+	trainX []mathx.Matrix
+	trainY [][]int
+	testX  []mathx.Matrix
+	testY  [][]int
+	res    *Result
+	round  int
 }
 
 var _ engine.Engine = (*Gossip)(nil)
@@ -98,13 +102,13 @@ func NewGossip(fed *dataset.Federation, cfg GossipConfig) (*Gossip, error) {
 	for i := range g.models {
 		g.models[i] = init.ParamsCopy()
 	}
-	g.trainX = make([][][]float64, len(fed.Clients))
+	g.trainX = make([]mathx.Matrix, len(fed.Clients))
 	g.trainY = make([][]int, len(fed.Clients))
-	g.testX = make([][][]float64, len(fed.Clients))
+	g.testX = make([]mathx.Matrix, len(fed.Clients))
 	g.testY = make([][]int, len(fed.Clients))
 	for i, c := range fed.Clients {
-		g.trainX[i], g.trainY[i] = c.Train.XY()
-		g.testX[i], g.testY[i] = c.Test.XY()
+		g.trainX[i], g.trainY[i] = c.Train.X, c.Train.Y
+		g.testX[i], g.testY[i] = c.Test.X, c.Test.Y
 	}
 	return g, nil
 }

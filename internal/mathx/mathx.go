@@ -1,10 +1,20 @@
 // Package mathx provides the dense float64 kernels used by the neural-network
 // substrate and the metrics code: vector arithmetic, softmax/log-sum-exp,
-// and basic summary statistics.
+// basic summary statistics, and the batched matrix kernels of the training
+// and evaluation hot paths.
 //
-// All functions operate on plain []float64 slices. Matrices are row-major
-// slices with explicit dimensions, which keeps the hot training loops free of
-// interface dispatch and bounds-check-friendly.
+// Vector functions operate on plain []float64 slices. Batched kernels
+// operate on Matrix — contiguous row-major storage with zero-copy row views
+// (matrix.go, kernels.go) — which keeps the hot loops free of interface
+// dispatch and pointer chasing.
+//
+// Accumulation order is part of this package's API: every kernel documents
+// the exact order in which each output element consumes its contributions,
+// and the batched kernels are bit-identical to the scalar loops they
+// replace (see the float-determinism contract in kernels.go). Callers
+// throughout the repository — worker-count invariance, checkpoint resume,
+// the CI metric gate — depend on that, so reordering a reduction is a
+// breaking change even when it is algebraically neutral.
 package mathx
 
 import (
@@ -29,6 +39,7 @@ func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("mathx: Axpy length mismatch")
 	}
+	y = y[:len(x)] // bounds-check elimination
 	for i, v := range x {
 		y[i] += alpha * v
 	}
@@ -46,6 +57,7 @@ func AddTo(dst, src []float64) {
 	if len(dst) != len(src) {
 		panic("mathx: AddTo length mismatch")
 	}
+	dst = dst[:len(src)] // bounds-check elimination
 	for i, v := range src {
 		dst[i] += v
 	}
@@ -200,19 +212,43 @@ func Clip(v, lo, hi float64) float64 {
 
 // MeanVecs returns the element-wise mean of the given equal-length vectors.
 // It panics if vecs is empty or lengths differ.
+//
+// Each output element sums its contributions in argument order starting from
+// zero and scales by 1/len once at the end — the historical
+// AddTo-then-Scale sequence, fused into one pass per element, so results
+// are bit-identical to it.
 func MeanVecs(vecs ...[]float64) []float64 {
 	if len(vecs) == 0 {
 		panic("mathx: MeanVecs of no vectors")
 	}
 	n := len(vecs[0])
-	out := make([]float64, n)
 	for _, v := range vecs {
 		if len(v) != n {
 			panic("mathx: MeanVecs length mismatch")
 		}
-		AddTo(out, v)
 	}
-	Scale(1/float64(len(vecs)), out)
+	out := make([]float64, n)
+	inv := 1 / float64(len(vecs))
+	if len(vecs) == 2 {
+		// The model-averaging fast path: every DAG client averages exactly
+		// two tip models per round. The sum still starts from zero so even
+		// signed-zero inputs reduce exactly like the generic loop.
+		a, b := vecs[0], vecs[1][:n]
+		for i, av := range a {
+			t := 0.0
+			t += av
+			t += b[i]
+			out[i] = t * inv
+		}
+		return out
+	}
+	for i := range out {
+		t := 0.0
+		for _, v := range vecs {
+			t += v[i]
+		}
+		out[i] = t * inv
+	}
 	return out
 }
 

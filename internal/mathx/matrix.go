@@ -1,0 +1,99 @@
+package mathx
+
+import "fmt"
+
+// Matrix is contiguous row-major float64 storage: Rows rows of Cols values
+// in one flat backing slice, so iterating rows walks memory sequentially and
+// a whole sample set is a single allocation. Row i occupies
+// Data[i*Cols : (i+1)*Cols] — the stride equals Cols, with no padding.
+//
+// A Matrix is a view: copying the struct aliases the backing slice. Use
+// Clone for a deep copy, Top/RowRange for zero-copy sub-views, and
+// GatherRows to materialize an arbitrary row subset (the shuffled-minibatch
+// path of the training loop).
+//
+// The zero value is an empty matrix.
+type Matrix struct {
+	Data []float64
+	Rows int
+	Cols int
+}
+
+// NewMatrix allocates a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mathx: NewMatrix(%d, %d) with negative dimension", rows, cols))
+	}
+	return Matrix{Data: make([]float64, rows*cols), Rows: rows, Cols: cols}
+}
+
+// MatrixFromRows copies the given equal-length rows into fresh contiguous
+// storage. It panics on ragged input. An empty input yields an empty matrix.
+func MatrixFromRows(rows [][]float64) Matrix {
+	if len(rows) == 0 {
+		return Matrix{}
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("mathx: MatrixFromRows row %d has %d values, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Row returns the zero-copy view of row i.
+func (m Matrix) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Top returns the zero-copy view of the first rows rows. It is the scratch
+// idiom of the batched kernels: buffers are allocated at capacity once and
+// narrowed per batch.
+func (m Matrix) Top(rows int) Matrix {
+	return m.RowRange(0, rows)
+}
+
+// RowRange returns the zero-copy view of rows [i, j).
+func (m Matrix) RowRange(i, j int) Matrix {
+	if i < 0 || j < i || j > m.Rows {
+		panic(fmt.Sprintf("mathx: RowRange(%d, %d) outside matrix with %d rows", i, j, m.Rows))
+	}
+	return Matrix{Data: m.Data[i*m.Cols : j*m.Cols], Rows: j - i, Cols: m.Cols}
+}
+
+// Clone returns a deep copy sharing no storage with the receiver.
+func (m Matrix) Clone() Matrix {
+	out := Matrix{Data: make([]float64, len(m.Data)), Rows: m.Rows, Cols: m.Cols}
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Grow returns a matrix with at least rows x cols capacity, reusing the
+// receiver's backing storage when it is large enough. Contents are
+// unspecified; the returned matrix has exactly rows x cols shape. This keeps
+// steady-state scratch buffers allocation-free once they have reached their
+// working size.
+func (m Matrix) Grow(rows, cols int) Matrix {
+	need := rows * cols
+	if cap(m.Data) < need {
+		return Matrix{Data: make([]float64, need), Rows: rows, Cols: cols}
+	}
+	return Matrix{Data: m.Data[:need], Rows: rows, Cols: cols}
+}
+
+// GatherRows copies src rows idx[0], idx[1], ... into dst's rows, in order:
+// the batched gather that materializes a shuffled minibatch from contiguous
+// dataset storage. dst must have len(idx) rows of src.Cols values; values
+// are copied bit-exactly, so downstream kernels see exactly the samples the
+// per-sample loop would have visited.
+func GatherRows(dst Matrix, src Matrix, idx []int) {
+	if dst.Rows != len(idx) || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("mathx: GatherRows into %dx%d from %d indices of width %d",
+			dst.Rows, dst.Cols, len(idx), src.Cols))
+	}
+	for k, i := range idx {
+		copy(dst.Row(k), src.Row(i))
+	}
+}

@@ -8,6 +8,22 @@
 // vector that can be averaged and (b) exhibit per-cluster loss landscapes on
 // non-IID data; both hold for the MLPs built here.
 //
+// Training and evaluation are batched: sample sets are mathx.Matrix values
+// (contiguous row-major storage), whole minibatches flow through the blocked
+// kernels of internal/mathx, and all working memory lives in scratch buffers
+// the model reuses across calls — steady-state training performs zero
+// allocations per batch.
+//
+// # Float-determinism contract
+//
+// The batched paths are bit-identical to the per-sample loops they replaced
+// (retained in reference.go and pinned by the differential tests): every
+// accumulator consumes its contributions in the documented per-sample order,
+// so accuracies, losses and trained parameters are byte-for-byte unchanged
+// across the batching boundary — the invariant the engines' worker-count
+// guarantee and the CI metric gate build on. Treat any reordering of these
+// loops as a numerics change.
+//
 // Models are deliberately not safe for concurrent mutation; the simulator
 // clones models per client before training.
 package nn
@@ -92,6 +108,19 @@ type layer struct {
 	w, b    []float64
 }
 
+// batchScratch is the reusable working memory of the batched forward and
+// backward passes. Buffers are grown to the largest row count seen and then
+// reused — the zero-allocations-per-batch property BenchmarkTrainEpoch
+// verifies. Scratch is never cloned and never part of a model's value.
+type batchScratch struct {
+	actRows   int            // row capacity of acts
+	trainRows int            // row capacity of deltas/in/ys
+	in        mathx.Matrix   // gathered minibatch inputs
+	ys        []int          // gathered minibatch labels
+	acts      []mathx.Matrix // post-activation per layer
+	deltas    []mathx.Matrix // error terms per layer
+}
+
 // MLP is a feed-forward network with ReLU hidden activations and a softmax
 // output. The zero value is not usable; construct with New.
 type MLP struct {
@@ -99,10 +128,18 @@ type MLP struct {
 	params []float64 // single flat backing store; layers view into it
 	layers []layer
 
-	// scratch buffers reused across Forward/backward calls to avoid
-	// allocating in the training hot loop.
+	// scratch buffers reused across per-sample Forward calls (Predict and
+	// the retained reference path in reference.go).
 	acts   [][]float64 // post-activation per layer (len = len(layers)+1); acts[0] aliases the input
 	deltas [][]float64 // error terms per layer
+
+	// bs is the batched-path scratch (forward/backward over whole
+	// minibatches); grads/velocity/order persist across Train calls so
+	// steady-state training allocates nothing.
+	bs       batchScratch
+	grads    []float64
+	velocity []float64
+	order    []int
 }
 
 // New constructs an MLP with Glorot-uniform initial weights drawn from rng.
@@ -119,7 +156,7 @@ func New(arch Arch, rng *xrand.RNG) *MLP {
 }
 
 // bindLayers slices the flat parameter vector into per-layer views and
-// allocates scratch buffers.
+// allocates the per-sample scratch buffers.
 func (m *MLP) bindLayers() {
 	dims := make([]int, 0, len(m.arch.Hidden)+2)
 	dims = append(dims, m.arch.In)
@@ -143,6 +180,41 @@ func (m *MLP) bindLayers() {
 		m.acts[i+1] = make([]float64, l.out)
 		m.deltas[i] = make([]float64, l.out)
 	}
+}
+
+// growActs sizes the batched activation scratch for rows samples.
+func (m *MLP) growActs(rows int) {
+	bs := &m.bs
+	if bs.acts == nil {
+		bs.acts = make([]mathx.Matrix, len(m.layers))
+	}
+	if bs.actRows >= rows {
+		return
+	}
+	for i, l := range m.layers {
+		bs.acts[i] = bs.acts[i].Grow(rows, l.out)
+	}
+	bs.actRows = rows
+}
+
+// growTrain sizes the gather buffer, gathered labels and delta scratch for
+// minibatches of rows samples.
+func (m *MLP) growTrain(rows int) {
+	bs := &m.bs
+	if bs.deltas == nil {
+		bs.deltas = make([]mathx.Matrix, len(m.layers))
+	}
+	if bs.trainRows >= rows {
+		return
+	}
+	for i, l := range m.layers {
+		bs.deltas[i] = bs.deltas[i].Grow(rows, l.out)
+	}
+	bs.in = bs.in.Grow(rows, m.arch.In)
+	if cap(bs.ys) < rows {
+		bs.ys = make([]int, rows)
+	}
+	bs.trainRows = rows
 }
 
 // init applies Glorot-uniform initialization to weights; biases start at 0.
@@ -178,7 +250,8 @@ func (m *MLP) SetParams(p []float64) {
 	copy(m.params, p)
 }
 
-// Clone returns a deep copy sharing nothing with the receiver.
+// Clone returns a deep copy sharing nothing with the receiver. Scratch
+// buffers are not copied; the clone grows its own on first use.
 func (m *MLP) Clone() *MLP {
 	c := &MLP{arch: m.arch}
 	c.params = mathx.CloneVec(m.params)
@@ -218,38 +291,109 @@ func (m *MLP) Predict(x []float64) int {
 	return mathx.ArgMax(m.Forward(x))
 }
 
+// forwardBatch runs the network over every row of x through the batched
+// kernels, returning the probability matrix (a view of model scratch, valid
+// until the next batched call). Bit-identical per row to Forward.
+func (m *MLP) forwardBatch(x mathx.Matrix) mathx.Matrix {
+	if x.Cols != m.arch.In {
+		panic(fmt.Sprintf("nn: Forward input length %d, want %d", x.Cols, m.arch.In))
+	}
+	m.growActs(x.Rows)
+	in := x
+	last := len(m.layers) - 1
+	for li := range m.layers {
+		l := &m.layers[li]
+		out := m.bs.acts[li].Top(x.Rows)
+		if li == last {
+			mathx.AffineRows(in, l.w, l.b, out)
+			mathx.SoftmaxRows(out)
+		} else {
+			mathx.AffineRowsReLU(in, l.w, l.b, out)
+		}
+		in = out
+	}
+	return in
+}
+
 // lossEps floors probabilities inside log() to keep losses finite.
 const lossEps = 1e-12
 
-// Evaluate returns the mean cross-entropy loss and accuracy of the model on
-// the given samples. An empty input yields (0, 0).
-func (m *MLP) Evaluate(xs [][]float64, ys []int) (loss, acc float64) {
-	if len(xs) != len(ys) {
-		panic("nn: Evaluate xs/ys length mismatch")
+// score is the shared body of Evaluate and Accuracy: one batched forward
+// pass, then a per-row reduction in ascending sample order (bit-identical
+// to the per-sample reference loop). The loss term is computed only when
+// withLoss is set — the walk engines' selection weights never consume
+// losses, so their scorers skip the log reduction; accuracy is identical
+// either way. name labels panics with the public entry point.
+func (m *MLP) score(name string, x mathx.Matrix, ys []int, withLoss bool) (loss, acc float64) {
+	if x.Rows != len(ys) {
+		panic("nn: " + name + " xs/ys length mismatch")
 	}
-	if len(xs) == 0 {
+	if len(ys) == 0 {
 		return 0, 0
 	}
+	probs := m.forwardBatch(x)
 	correct := 0
-	for i, x := range xs {
-		probs := m.Forward(x)
-		y := ys[i]
-		if y < 0 || y >= len(probs) {
-			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, len(probs)))
+	for r := 0; r < probs.Rows; r++ {
+		pr := probs.Row(r)
+		y := ys[r]
+		if y < 0 || y >= len(pr) {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, len(pr)))
 		}
-		loss += -math.Log(math.Max(probs[y], lossEps))
-		if mathx.ArgMax(probs) == y {
+		if withLoss {
+			loss += -math.Log(math.Max(pr[y], lossEps))
+		}
+		if mathx.ArgMax(pr) == y {
 			correct++
 		}
 	}
-	n := float64(len(xs))
+	n := float64(len(ys))
 	return loss / n, float64(correct) / n
 }
 
-// Accuracy returns just the accuracy on the given samples.
-func (m *MLP) Accuracy(xs [][]float64, ys []int) float64 {
-	_, acc := m.Evaluate(xs, ys)
+// Evaluate returns the mean cross-entropy loss and accuracy of the model on
+// the given samples (one row of x per label). An empty input yields (0, 0).
+func (m *MLP) Evaluate(x mathx.Matrix, ys []int) (loss, acc float64) {
+	return m.score("Evaluate", x, ys, true)
+}
+
+// Accuracy returns just the accuracy on the given samples: Evaluate with
+// the loss reduction skipped, bit-identical in its accuracy.
+func (m *MLP) Accuracy(x mathx.Matrix, ys []int) float64 {
+	_, acc := m.score("Accuracy", x, ys, false)
 	return acc
+}
+
+// AccuracyParams is the accuracy-only EvaluateParams: zero-copy parameter
+// aliasing, loss reduction skipped, result bit-identical to EvaluateParams'
+// accuracy.
+func (m *MLP) AccuracyParams(p []float64, x mathx.Matrix, ys []int) float64 {
+	if len(p) != len(m.params) {
+		panic(fmt.Sprintf("nn: AccuracyParams length %d, want %d", len(p), len(m.params)))
+	}
+	saved := m.params
+	defer m.alias(saved)
+	m.alias(p)
+	_, acc := m.score("AccuracyParams", x, ys, false)
+	return acc
+}
+
+// AccuracyManyInto is the accuracy-only EvaluateMany: it scores every
+// parameter vector on one (x, ys) set via aliasing, appending to dst (which
+// may be nil) and returning it — the walk engines reuse one buffer across
+// steps. Each appended value is bit-identical to the corresponding
+// EvaluateMany accuracy.
+func (m *MLP) AccuracyManyInto(dst []float64, paramsList [][]float64, x mathx.Matrix, ys []int) []float64 {
+	saved := m.params
+	defer m.alias(saved)
+	for i, p := range paramsList {
+		if len(p) != len(saved) {
+			panic(fmt.Sprintf("nn: AccuracyManyInto params[%d] length %d, want %d", i, len(p), len(saved)))
+		}
+		m.alias(p)
+		_, acc := m.score("AccuracyManyInto", x, ys, false)
+		dst = append(dst, acc)
+	}
+	return dst
 }
 
 // alias re-points the model's parameter storage and per-layer views at p
@@ -274,23 +418,23 @@ func (m *MLP) alias(p []float64) {
 // of the call (the DAG's published transaction parameters are immutable, so
 // the tip-selection hot path satisfies this for free). Results are
 // bit-identical to SetParams(p) followed by Evaluate.
-func (m *MLP) EvaluateParams(p []float64, xs [][]float64, ys []int) (loss, acc float64) {
+func (m *MLP) EvaluateParams(p []float64, x mathx.Matrix, ys []int) (loss, acc float64) {
 	if len(p) != len(m.params) {
 		panic(fmt.Sprintf("nn: EvaluateParams length %d, want %d", len(p), len(m.params)))
 	}
 	saved := m.params
 	defer m.alias(saved)
 	m.alias(p)
-	return m.Evaluate(xs, ys)
+	return m.Evaluate(x, ys)
 }
 
 // EvaluateMany is the batched evaluation path of the walk engine: it scores
-// every parameter vector in paramsList on one (xs, ys) set, reusing the
+// every parameter vector in paramsList on one (x, ys) set, reusing the
 // receiver's scratch buffers across the whole batch and aliasing each vector
 // in turn (no per-vector parameter copies). Each (losses[i], accs[i]) is
 // bit-identical to SetParams(paramsList[i]) followed by Evaluate; the
 // model's own weights are untouched.
-func (m *MLP) EvaluateMany(paramsList [][]float64, xs [][]float64, ys []int) (losses, accs []float64) {
+func (m *MLP) EvaluateMany(paramsList [][]float64, x mathx.Matrix, ys []int) (losses, accs []float64) {
 	losses = make([]float64, len(paramsList))
 	accs = make([]float64, len(paramsList))
 	saved := m.params
@@ -300,7 +444,7 @@ func (m *MLP) EvaluateMany(paramsList [][]float64, xs [][]float64, ys []int) (lo
 			panic(fmt.Sprintf("nn: EvaluateMany params[%d] length %d, want %d", i, len(p), len(saved)))
 		}
 		m.alias(p)
-		losses[i], accs[i] = m.Evaluate(xs, ys)
+		losses[i], accs[i] = m.Evaluate(x, ys)
 	}
 	return losses, accs
 }
@@ -334,14 +478,20 @@ type SGDConfig struct {
 	Shuffle bool
 }
 
-// Train runs mini-batch SGD on (xs, ys) according to cfg. rng is used only
+// Train runs mini-batch SGD on (x, ys) according to cfg. rng is used only
 // for shuffling and may be nil when cfg.Shuffle is false. It returns the
 // number of batches processed.
-func (m *MLP) Train(xs [][]float64, ys []int, cfg SGDConfig, rng *xrand.RNG) int {
-	if len(xs) != len(ys) {
+//
+// Each minibatch is gathered from the contiguous sample matrix into reusable
+// scratch and runs through the batched forward/backward kernels; gradients,
+// momentum state and the visit order also persist on the model, so
+// steady-state training performs zero allocations per batch. Updates are
+// bit-identical to the retained per-sample reference (reference.go).
+func (m *MLP) Train(x mathx.Matrix, ys []int, cfg SGDConfig, rng *xrand.RNG) int {
+	if x.Rows != len(ys) {
 		panic("nn: Train xs/ys length mismatch")
 	}
-	if len(xs) == 0 || cfg.Epochs <= 0 {
+	if len(ys) == 0 || cfg.Epochs <= 0 {
 		return 0
 	}
 	if cfg.BatchSize <= 0 {
@@ -351,15 +501,31 @@ func (m *MLP) Train(xs [][]float64, ys []int, cfg SGDConfig, rng *xrand.RNG) int
 		panic("nn: ProxMu set without a matching ProxCenter")
 	}
 
-	grads := make([]float64, len(m.params))
+	n := x.Rows
+	if m.grads == nil {
+		m.grads = make([]float64, len(m.params))
+	}
+	grads := m.grads
 	var velocity []float64
 	if cfg.Momentum > 0 {
-		velocity = make([]float64, len(m.params))
+		if m.velocity == nil {
+			m.velocity = make([]float64, len(m.params))
+		}
+		velocity = m.velocity
+		mathx.Fill(velocity, 0)
 	}
-	order := make([]int, len(xs))
+	if cap(m.order) < n {
+		m.order = make([]int, n)
+	}
+	order := m.order[:n]
 	for i := range order {
 		order[i] = i
 	}
+	maxBatch := cfg.BatchSize
+	if maxBatch > n {
+		maxBatch = n
+	}
+	m.growTrain(maxBatch)
 
 	batches := 0
 	for e := 0; e < cfg.Epochs; e++ {
@@ -367,19 +533,26 @@ func (m *MLP) Train(xs [][]float64, ys []int, cfg SGDConfig, rng *xrand.RNG) int
 			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		}
 		inEpoch := 0
-		for start := 0; start < len(order); start += cfg.BatchSize {
+		for start := 0; start < n; start += cfg.BatchSize {
 			if cfg.MaxBatches > 0 && inEpoch >= cfg.MaxBatches {
 				break
 			}
 			end := start + cfg.BatchSize
-			if end > len(order) {
-				end = len(order)
+			if end > n {
+				end = n
 			}
+			rows := end - start
+			batch := m.bs.in.Top(rows)
+			mathx.GatherRows(batch, x, order[start:end])
+			bys := m.bs.ys[:rows]
+			for k, idx := range order[start:end] {
+				bys[k] = ys[idx]
+			}
+
 			mathx.Fill(grads, 0)
-			for _, idx := range order[start:end] {
-				m.backward(xs[idx], ys[idx], grads)
-			}
-			invBatch := 1 / float64(end-start)
+			m.backwardBatch(batch, bys, grads)
+
+			invBatch := 1 / float64(rows)
 			if cfg.WeightDecay > 0 {
 				// L2 term on the mean-gradient scale.
 				k := cfg.WeightDecay / invBatch
@@ -407,61 +580,36 @@ func (m *MLP) Train(xs [][]float64, ys []int, cfg SGDConfig, rng *xrand.RNG) int
 	return batches
 }
 
-// backward accumulates the gradient of the cross-entropy loss for one sample
-// into grads (laid out identically to the flat parameter vector).
-func (m *MLP) backward(x []float64, y int, grads []float64) {
-	probs := m.Forward(x) // fills m.acts
-	if y < 0 || y >= len(probs) {
-		panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, len(probs)))
+// backwardBatch accumulates the cross-entropy gradient of a whole gathered
+// minibatch into grads (laid out identically to the flat parameter vector).
+// Per destination element the contributions arrive in ascending sample
+// order with exact-zero deltas skipped — the accumulation order of the
+// per-sample backward, so the summed gradient is bit-identical to it.
+func (m *MLP) backwardBatch(x mathx.Matrix, ys []int, grads []float64) {
+	probs := m.forwardBatch(x)
+	for _, y := range ys {
+		if y < 0 || y >= probs.Cols {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, probs.Cols))
+		}
 	}
-
-	// Output delta for softmax + cross-entropy: p - onehot(y).
+	rows := x.Rows
 	last := len(m.layers) - 1
-	outDelta := m.deltas[last]
-	copy(outDelta, probs)
-	outDelta[y] -= 1
+	mathx.SoftmaxCEDelta(probs, ys, m.bs.deltas[last].Top(rows))
 
-	// Walk layers backwards, accumulating weight/bias gradients and
-	// propagating deltas through the ReLUs.
 	off := len(grads)
 	for li := last; li >= 0; li-- {
 		l := m.layers[li]
-		in := m.acts[li]
-		delta := m.deltas[li]
-
+		act := x
+		if li > 0 {
+			act = m.bs.acts[li-1].Top(rows)
+		}
 		off -= l.out // bias block
 		bg := grads[off : off+l.out]
 		off -= l.in * l.out // weight block
 		wg := grads[off : off+l.in*l.out]
-
-		for o := 0; o < l.out; o++ {
-			d := delta[o]
-			if d == 0 {
-				continue
-			}
-			bg[o] += d
-			row := wg[o*l.in : (o+1)*l.in]
-			mathx.Axpy(d, in, row)
-		}
-
+		mathx.AccumGrads(m.bs.deltas[li].Top(rows), act, wg, bg)
 		if li > 0 {
-			prev := m.deltas[li-1]
-			mathx.Fill(prev, 0)
-			for o := 0; o < l.out; o++ {
-				d := delta[o]
-				if d == 0 {
-					continue
-				}
-				row := l.w[o*l.in : (o+1)*l.in]
-				mathx.Axpy(d, row, prev)
-			}
-			// ReLU derivative: zero where the forward activation was <= 0.
-			act := m.acts[li]
-			for i := range prev {
-				if act[i] <= 0 {
-					prev[i] = 0
-				}
-			}
+			mathx.BackpropReLUDelta(m.bs.deltas[li].Top(rows), l.w, m.bs.acts[li-1].Top(rows), m.bs.deltas[li-1].Top(rows))
 		}
 	}
 }

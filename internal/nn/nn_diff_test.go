@@ -1,0 +1,174 @@
+package nn
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/specdag/specdag/internal/mathx"
+	"github.com/specdag/specdag/internal/xrand"
+)
+
+// Differential suite: the batched Train/Evaluate/EvaluateMany paths must be
+// bit-identical to the retained per-sample reference (reference.go) across
+// architectures, batch sizes and every SGD option. This is the executable
+// form of the float-determinism contract — a failure here means the batched
+// kernels changed numerics, which would break the CI metric gate.
+
+// diffArchs covers the architecture space the simulator uses: softmax
+// regression (no hidden layer), one hidden layer, deep and skinny.
+var diffArchs = []Arch{
+	{In: 7, Out: 4},                      // no-hidden-layer softmax regression
+	{In: 9, Hidden: []int{12}, Out: 5},   // the simulator's shape
+	{In: 5, Hidden: []int{8, 6}, Out: 3}, // two hidden layers
+	{In: 3, Hidden: []int{1, 1}, Out: 2}, // degenerate widths
+	{In: 16, Hidden: []int{32}, Out: 10}, // wider than the batch
+}
+
+func sameParams(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: param %d differs bitwise: %v vs %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestEvaluateMatchesReference: batched evaluation equals the per-sample
+// loop bit for bit, for every arch and sample count (including n=1 and a
+// set larger than any internal blocking factor).
+func TestEvaluateMatchesReference(t *testing.T) {
+	for ai, arch := range diffArchs {
+		for _, n := range []int{1, 2, 3, 4, 5, 17, 64} {
+			rng := xrand.New(int64(100*ai + n))
+			m := New(arch, rng)
+			x, ys := randomSamples(rng, n, arch.In, arch.Out)
+			gotLoss, gotAcc := m.Evaluate(x, ys)
+			wantLoss, wantAcc := m.evaluateReference(x, ys)
+			if gotLoss != wantLoss || gotAcc != wantAcc {
+				t.Fatalf("arch %d n=%d: batched (%v, %v) vs reference (%v, %v)",
+					ai, n, gotLoss, gotAcc, wantLoss, wantAcc)
+			}
+		}
+	}
+}
+
+// TestTrainMatchesReference sweeps batch sizes (1, smaller than n, exactly
+// n, larger than n), MaxBatches, shuffle, and the momentum / weight-decay /
+// proximal options, checking bit-identical parameters and batch counts.
+func TestTrainMatchesReference(t *testing.T) {
+	const n = 23
+	configs := []SGDConfig{
+		{LR: 0.1, Epochs: 2, BatchSize: 1},
+		{LR: 0.1, Epochs: 2, BatchSize: 4},
+		{LR: 0.1, Epochs: 1, BatchSize: 10},
+		{LR: 0.1, Epochs: 2, BatchSize: n},     // one full-set batch
+		{LR: 0.1, Epochs: 2, BatchSize: n + 9}, // batch larger than the data
+		{LR: 0.1, Epochs: 3, BatchSize: 4, MaxBatches: 2},
+		{LR: 0.1, Epochs: 2, BatchSize: 5, Shuffle: true},
+		{LR: 0.05, Epochs: 2, BatchSize: 4, Momentum: 0.9},
+		{LR: 0.1, Epochs: 2, BatchSize: 4, WeightDecay: 0.05},
+		{LR: 0.1, Epochs: 2, BatchSize: 4, ProxMu: 1.5},
+		{LR: 0.05, Epochs: 2, BatchSize: 7, Momentum: 0.9, WeightDecay: 0.01, ProxMu: 0.5, Shuffle: true},
+	}
+	for ai, arch := range diffArchs {
+		for ci, cfg := range configs {
+			t.Run(fmt.Sprintf("arch%d/cfg%d", ai, ci), func(t *testing.T) {
+				rng := xrand.New(int64(1000*ai + ci))
+				base := New(arch, rng)
+				x, ys := randomSamples(rng, n, arch.In, arch.Out)
+				if cfg.ProxMu > 0 {
+					cfg.ProxCenter = base.ParamsCopy()
+				}
+
+				batched := base.Clone()
+				gotBatches := batched.Train(x, ys, cfg, xrand.New(int64(ci)))
+
+				ref := base.Clone()
+				wantBatches := ref.trainReference(x, ys, cfg, xrand.New(int64(ci)))
+
+				if gotBatches != wantBatches {
+					t.Fatalf("batch counts diverge: %d vs %d", gotBatches, wantBatches)
+				}
+				sameParams(t, "trained params", batched.Params(), ref.Params())
+
+				// Re-running Train on the same (warm-scratch) model must
+				// still match a fresh reference — scratch reuse leaks no
+				// state between calls.
+				gotBatches = batched.Train(x, ys, cfg, xrand.New(int64(ci)+7))
+				wantBatches = ref.trainReference(x, ys, cfg, xrand.New(int64(ci)+7))
+				if gotBatches != wantBatches {
+					t.Fatalf("second-call batch counts diverge: %d vs %d", gotBatches, wantBatches)
+				}
+				sameParams(t, "second-call params", batched.Params(), ref.Params())
+			})
+		}
+	}
+}
+
+// TestEvaluateManyMatchesReference: the parameter-aliasing batch evaluator
+// equals per-vector reference evaluation bit for bit.
+func TestEvaluateManyMatchesReference(t *testing.T) {
+	arch := Arch{In: 6, Hidden: []int{9}, Out: 4}
+	rng := xrand.New(77)
+	m := New(arch, rng)
+	x, ys := randomSamples(rng, 19, arch.In, arch.Out)
+	var list [][]float64
+	for i := 0; i < 5; i++ {
+		list = append(list, New(arch, rng.SplitIndex("p", i)).ParamsCopy())
+	}
+	losses, accs := m.EvaluateMany(list, x, ys)
+	scratch := m.Clone()
+	for i, p := range list {
+		scratch.SetParams(p)
+		wantLoss, wantAcc := scratch.evaluateReference(x, ys)
+		if losses[i] != wantLoss || accs[i] != wantAcc {
+			t.Fatalf("vector %d: batched (%v, %v) vs reference (%v, %v)", i, losses[i], accs[i], wantLoss, wantAcc)
+		}
+	}
+}
+
+// TestBatchedGradientMatchesPerSample compares one raw backward pass: the
+// gradient a gathered minibatch accumulates must equal the sum of per-sample
+// backward calls bit for bit (softmax regression included).
+func TestBatchedGradientMatchesPerSample(t *testing.T) {
+	for ai, arch := range diffArchs {
+		rng := xrand.New(int64(ai) + 500)
+		m := New(arch, rng)
+		x, ys := randomSamples(rng, 11, arch.In, arch.Out)
+
+		batched := make([]float64, m.NumParams())
+		m.growTrain(x.Rows)
+		gather := m.bs.in.Top(x.Rows)
+		idx := make([]int, x.Rows)
+		for i := range idx {
+			idx[i] = i
+		}
+		mathx.GatherRows(gather, x, idx)
+		m.backwardBatch(gather, ys, batched)
+
+		want := make([]float64, m.NumParams())
+		for i := 0; i < x.Rows; i++ {
+			m.backward(x.Row(i), ys[i], want)
+		}
+		sameParams(t, fmt.Sprintf("arch %d gradient", ai), batched, want)
+	}
+}
+
+// TestTrainZeroAllocSteadyState asserts the scratch-reuse contract directly:
+// after a warm-up call, Train must not allocate.
+func TestTrainZeroAllocSteadyState(t *testing.T) {
+	rng := xrand.New(21)
+	arch := Arch{In: 12, Hidden: []int{16}, Out: 5}
+	m := New(arch, rng)
+	x, ys := randomSamples(rng, 40, arch.In, arch.Out)
+	cfg := SGDConfig{LR: 0.05, Epochs: 1, BatchSize: 10, Shuffle: true, Momentum: 0.9}
+	trainRNG := xrand.New(3)
+	m.Train(x, ys, cfg, trainRNG) // warm up scratch
+
+	allocs := testing.AllocsPerRun(10, func() {
+		m.Train(x, ys, cfg, trainRNG)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Train allocates %v times per call, want 0", allocs)
+	}
+}

@@ -164,7 +164,7 @@ func TestGradientCheck(t *testing.T) {
 	lossAt := func(p []float64) float64 {
 		c := m.Clone()
 		c.SetParams(p)
-		l, _ := c.Evaluate([][]float64{x}, []int{y})
+		l, _ := c.Evaluate(mathx.MatrixFromRows([][]float64{x}), []int{y})
 		return l
 	}
 
@@ -189,19 +189,19 @@ func TestGradientCheck(t *testing.T) {
 	}
 }
 
-// makeBlobs builds a linearly separable 3-class toy problem.
-func makeBlobs(rng *xrand.RNG, n int) (xs [][]float64, ys []int) {
+// makeBlobs builds a linearly separable 3-class toy problem in flat storage.
+func makeBlobs(rng *xrand.RNG, n int) (x mathx.Matrix, ys []int) {
 	centers := [][]float64{{3, 0}, {-3, 3}, {0, -3}}
+	x = mathx.NewMatrix(n, 2)
+	ys = make([]int, n)
 	for i := 0; i < n; i++ {
 		c := i % len(centers)
-		x := []float64{
-			rng.Normal(centers[c][0], 0.5),
-			rng.Normal(centers[c][1], 0.5),
-		}
-		xs = append(xs, x)
-		ys = append(ys, c)
+		row := x.Row(i)
+		row[0] = rng.Normal(centers[c][0], 0.5)
+		row[1] = rng.Normal(centers[c][1], 0.5)
+		ys[i] = c
 	}
-	return xs, ys
+	return x, ys
 }
 
 func TestTrainingLearnsBlobs(t *testing.T) {
@@ -243,7 +243,7 @@ func TestTrainMaxBatchesCapsWork(t *testing.T) {
 func TestTrainEmptyAndNoEpochs(t *testing.T) {
 	rng := xrand.New(9)
 	m := New(Arch{In: 2, Out: 2}, rng)
-	if got := m.Train(nil, nil, SGDConfig{LR: 0.1, Epochs: 5}, rng); got != 0 {
+	if got := m.Train(mathx.Matrix{}, nil, SGDConfig{LR: 0.1, Epochs: 5}, rng); got != 0 {
 		t.Errorf("training on empty data should do nothing, got %d batches", got)
 	}
 	xs, ys := makeBlobs(rng, 10)
@@ -326,7 +326,7 @@ func TestWeightDecayShrinksNorm(t *testing.T) {
 
 func TestEvaluateEmpty(t *testing.T) {
 	m := New(Arch{In: 2, Out: 2}, xrand.New(12))
-	loss, acc := m.Evaluate(nil, nil)
+	loss, acc := m.Evaluate(mathx.Matrix{}, nil)
 	if loss != 0 || acc != 0 {
 		t.Fatalf("Evaluate(empty) = (%v, %v), want (0, 0)", loss, acc)
 	}
@@ -406,34 +406,6 @@ func TestDeterministicTraining(t *testing.T) {
 	}
 }
 
-func BenchmarkForward(b *testing.B) {
-	rng := xrand.New(1)
-	m := New(Arch{In: 64, Hidden: []int{32}, Out: 10}, rng)
-	x := rng.NormalVec(64, 0, 1)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m.Forward(x)
-	}
-}
-
-func BenchmarkTrainBatch(b *testing.B) {
-	rng := xrand.New(1)
-	m := New(Arch{In: 64, Hidden: []int{32}, Out: 10}, rng)
-	xs := make([][]float64, 10)
-	ys := make([]int, 10)
-	for i := range xs {
-		xs[i] = rng.NormalVec(64, 0, 1)
-		ys[i] = i % 10
-	}
-	cfg := SGDConfig{LR: 0.05, Epochs: 1, BatchSize: 10}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m.Train(xs, ys, cfg, rng)
-	}
-}
-
 // TestEvaluateParamsMatchesSetParams pins the zero-copy evaluation path: it
 // must be bit-identical to SetParams+Evaluate and must leave the model's own
 // weights untouched.
@@ -504,16 +476,16 @@ func TestEvaluateParamsLengthMismatchPanics(t *testing.T) {
 			t.Fatal("EvaluateParams with short vector did not panic")
 		}
 	}()
-	m.EvaluateParams([]float64{1, 2}, nil, nil)
+	m.EvaluateParams([]float64{1, 2}, mathx.Matrix{}, nil)
 }
 
 // randomSamples draws labeled samples for the evaluation tests.
-func randomSamples(rng *xrand.RNG, n, in, classes int) ([][]float64, []int) {
-	xs := make([][]float64, n)
+func randomSamples(rng *xrand.RNG, n, in, classes int) (mathx.Matrix, []int) {
+	x := mathx.NewMatrix(n, in)
 	ys := make([]int, n)
-	for i := range xs {
-		xs[i] = rng.NormalVec(in, 0, 1)
+	for i := 0; i < n; i++ {
+		copy(x.Row(i), rng.NormalVec(in, 0, 1))
 		ys[i] = rng.Intn(classes)
 	}
-	return xs, ys
+	return x, ys
 }

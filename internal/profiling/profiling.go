@@ -1,0 +1,45 @@
+// Package profiling is the shared pprof plumbing behind the CLIs'
+// -cpuprofile/-memprofile flags, so hot-path work on the simulator is
+// profile-driven rather than guessed:
+//
+//	experiments -exp fig9 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	go tool pprof cpu.pprof
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins CPU profiling into path and returns a stop function that
+// flushes and closes the profile.
+func StartCPU(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("creating CPU profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("starting CPU profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap records an up-to-date heap profile to path.
+func WriteHeap(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating memory profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // up-to-date live-object statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("writing memory profile: %w", err)
+	}
+	return nil
+}

@@ -33,7 +33,7 @@ func TestProbeCIFARSignal(t *testing.T) {
 	var sameSum, foreignSum float64
 	var sameN, foreignN int
 	for _, client := range spec.Fed.Clients[:8] {
-		testX, testY := client.Test.XY()
+		testX, testY := client.Test.X, client.Test.Y
 		for _, tx := range sim.DAG().All() {
 			if tx.IsGenesis() || tx.Round < 20 {
 				continue // only mature models

@@ -21,6 +21,28 @@ type BatchEvaluator interface {
 	AccuracyMany(txs []*dag.Transaction) []float64
 }
 
+// WeightsMemo is an optional evaluator capability the accuracy walk uses:
+// memoizing each transaction's selection-weight vector keyed by its child
+// count and the walk's weight parameters (alpha, normalization), so
+// revisits skip child gathering, accuracy lookups and weight
+// exponentiation entirely. Implementations must return weight vectors
+// identical to what the compute callback produces.
+type WeightsMemo interface {
+	StepWeights(id dag.ID, nChildren int, alpha float64, norm Normalization, compute func() []float64) []float64
+}
+
+// BatchIntoEvaluator is an optional extension of BatchEvaluator for
+// evaluators that can append their results to a caller-provided buffer: the
+// walk loop reuses one slice across all steps of a walk instead of
+// allocating per step.
+type BatchIntoEvaluator interface {
+	BatchEvaluator
+	// AccuracyManyInto appends the accuracy of each transaction to dst
+	// (which may be nil) and returns it, with values identical to
+	// AccuracyMany's.
+	AccuracyManyInto(dst []float64, txs []*dag.Transaction) []float64
+}
+
 // EvalCache is the shared evaluation cache of the walk hot path: one cache
 // per (client, scope) holds the accuracies of every transaction the client's
 // walkers have scored, so the tip-walk/ReferenceWalks fan-out of a round
@@ -51,8 +73,16 @@ type EvalCache struct {
 	// prototype's cost profile, used by the Fig. 15 scalability experiment).
 	Disable bool
 
-	mu    sync.RWMutex
-	cache map[dag.ID]float64
+	mu sync.RWMutex
+	// The cache is indexed by transaction ID — IDs are dense small ints
+	// (the DAG allocates them sequentially), so a flat slice replaces the
+	// former map: hits cost one bounds check and two loads instead of a
+	// hash probe on the walk hot path.
+	have []bool
+	vals []float64
+	// stepWeights memoizes, per transaction, the walk-selection weight
+	// vector computed for a given child count (see StepWeights).
+	stepWeights []weightsEntry
 	// scoreMu serializes Score/ScoreBatch calls: the scorers the engines
 	// install share one scratch model per client.
 	scoreMu sync.Mutex
@@ -61,12 +91,84 @@ type EvalCache struct {
 	misses atomic.Int64
 }
 
-var _ BatchEvaluator = (*EvalCache)(nil)
+var _ BatchIntoEvaluator = (*EvalCache)(nil)
 
 // NewEvalCache returns an EvalCache around the given scorers. scoreBatch may
 // be nil.
 func NewEvalCache(score func(params []float64) float64, scoreBatch func(params [][]float64) []float64) *EvalCache {
-	return &EvalCache{Score: score, ScoreBatch: scoreBatch, cache: make(map[dag.ID]float64)}
+	return &EvalCache{Score: score, ScoreBatch: scoreBatch}
+}
+
+// get reads the cached accuracy of id, if present. Callers hold mu.
+func (e *EvalCache) get(id dag.ID) (float64, bool) {
+	if int(id) < len(e.have) && e.have[id] {
+		return e.vals[id], true
+	}
+	return 0, false
+}
+
+// put records the accuracy of id. Callers hold mu for writing.
+func (e *EvalCache) put(id dag.ID, acc float64) {
+	if int(id) >= len(e.have) {
+		n := int(id) + 1
+		if n < 2*len(e.have) {
+			n = 2 * len(e.have)
+		}
+		have := make([]bool, n)
+		copy(have, e.have)
+		vals := make([]float64, n)
+		copy(vals, e.vals)
+		e.have, e.vals = have, vals
+	}
+	e.have[id] = true
+	e.vals[id] = acc
+}
+
+// weightsEntry is one memoized selection-weight vector: valid while its
+// transaction still has n children and the walk still uses the same weight
+// parameters.
+type weightsEntry struct {
+	n     int
+	alpha float64
+	norm  Normalization
+	w     []float64
+}
+
+// StepWeights returns the memoized tip-selection weights of transaction id
+// for its current child count and walk parameters, calling compute on a
+// miss and caching the result. A transaction's weights are a pure function
+// of its ordered child set (append-only, so a given count always denotes
+// the same set), the walker's cached child accuracies, and (alpha, norm) —
+// all part of the key — so a hit returns exactly what compute would; Reset
+// drops this memo together with the accuracies. When Disable is set every
+// call computes afresh, preserving the no-caching cost profile. compute
+// must return a slice the cache may retain.
+func (e *EvalCache) StepWeights(id dag.ID, nChildren int, alpha float64, norm Normalization, compute func() []float64) []float64 {
+	if e.Disable {
+		return compute()
+	}
+	e.mu.RLock()
+	if int(id) < len(e.stepWeights) {
+		if ent := e.stepWeights[id]; ent.w != nil && ent.n == nChildren && ent.alpha == alpha && ent.norm == norm {
+			e.mu.RUnlock()
+			return ent.w
+		}
+	}
+	e.mu.RUnlock()
+	w := compute()
+	e.mu.Lock()
+	if int(id) >= len(e.stepWeights) {
+		n := int(id) + 1
+		if n < 2*len(e.stepWeights) {
+			n = 2 * len(e.stepWeights)
+		}
+		grown := make([]weightsEntry, n)
+		copy(grown, e.stepWeights)
+		e.stepWeights = grown
+	}
+	e.stepWeights[id] = weightsEntry{n: nChildren, alpha: alpha, norm: norm, w: w}
+	e.mu.Unlock()
+	return w
 }
 
 // Hits returns the number of cache hits so far.
@@ -78,9 +180,16 @@ func (e *EvalCache) Misses() int { return int(e.misses.Load()) }
 // Reset drops all cached accuracies (counters are kept). Call it when the
 // data the scores depend on changes (label poisoning) or when the owner
 // scopes the cache to a shorter lifetime than the run (per-round caching).
+// Storage is retained, so scoped caches do not reallocate every round.
 func (e *EvalCache) Reset() {
 	e.mu.Lock()
-	e.cache = make(map[dag.ID]float64)
+	for i := range e.have {
+		e.have[i] = false
+	}
+	// The weight memo derives from the accuracies; it must fall with them.
+	for i := range e.stepWeights {
+		e.stepWeights[i] = weightsEntry{}
+	}
 	e.mu.Unlock()
 }
 
@@ -93,7 +202,7 @@ func (e *EvalCache) Accuracy(tx *dag.Transaction) float64 {
 		return e.Score(tx.Params)
 	}
 	e.mu.RLock()
-	acc, ok := e.cache[tx.ID]
+	acc, ok := e.get(tx.ID)
 	e.mu.RUnlock()
 	if ok {
 		e.hits.Add(1)
@@ -103,7 +212,7 @@ func (e *EvalCache) Accuracy(tx *dag.Transaction) float64 {
 	defer e.scoreMu.Unlock()
 	// Re-check: a concurrent walker may have scored tx while we waited.
 	e.mu.RLock()
-	acc, ok = e.cache[tx.ID]
+	acc, ok = e.get(tx.ID)
 	e.mu.RUnlock()
 	if ok {
 		e.hits.Add(1)
@@ -112,7 +221,7 @@ func (e *EvalCache) Accuracy(tx *dag.Transaction) float64 {
 	e.misses.Add(1)
 	acc = e.Score(tx.Params)
 	e.mu.Lock()
-	e.cache[tx.ID] = acc
+	e.put(tx.ID, acc)
 	e.mu.Unlock()
 	return acc
 }
@@ -121,20 +230,37 @@ func (e *EvalCache) Accuracy(tx *dag.Transaction) float64 {
 // read lock, then one batched scoring call for the misses (serialized, with
 // a re-check, like Accuracy).
 func (e *EvalCache) AccuracyMany(txs []*dag.Transaction) []float64 {
-	accs := make([]float64, len(txs))
+	return e.AccuracyManyInto(nil, txs)
+}
+
+// AccuracyManyInto implements BatchIntoEvaluator: AccuracyMany appending
+// into a caller-provided buffer.
+func (e *EvalCache) AccuracyManyInto(dst []float64, txs []*dag.Transaction) []float64 {
+	start := len(dst)
+	for range txs {
+		dst = append(dst, 0)
+	}
+	accs := dst[start:]
+	e.accuracyMany(accs, txs)
+	return dst
+}
+
+// accuracyMany fills accs (len(txs) zeroed slots) with the transactions'
+// accuracies.
+func (e *EvalCache) accuracyMany(accs []float64, txs []*dag.Transaction) {
 	if e.Disable {
 		e.scoreMu.Lock()
 		defer e.scoreMu.Unlock()
 		e.misses.Add(int64(len(txs)))
 		e.scoreInto(accs, txs, nil)
-		return accs
+		return
 	}
 
 	// Lookup pass. missIdx collects the positions still unscored.
 	missIdx := e.lookup(accs, txs, nil)
 	e.hits.Add(int64(len(txs) - len(missIdx)))
 	if len(missIdx) == 0 {
-		return accs
+		return
 	}
 	e.scoreMu.Lock()
 	defer e.scoreMu.Unlock()
@@ -143,16 +269,15 @@ func (e *EvalCache) AccuracyMany(txs []*dag.Transaction) []float64 {
 	stillMissing := e.lookup(accs, txs, missIdx)
 	e.hits.Add(int64(len(missIdx) - len(stillMissing)))
 	if len(stillMissing) == 0 {
-		return accs
+		return
 	}
 	e.misses.Add(int64(len(stillMissing)))
 	e.scoreInto(accs, txs, stillMissing)
 	e.mu.Lock()
 	for _, i := range stillMissing {
-		e.cache[txs[i].ID] = accs[i]
+		e.put(txs[i].ID, accs[i])
 	}
 	e.mu.Unlock()
-	return accs
 }
 
 // lookup fills accs from the cache for the given positions (all when idx is
@@ -162,7 +287,7 @@ func (e *EvalCache) lookup(accs []float64, txs []*dag.Transaction, idx []int) []
 	e.mu.RLock()
 	if idx == nil {
 		for i, tx := range txs {
-			if acc, ok := e.cache[tx.ID]; ok {
+			if acc, ok := e.get(tx.ID); ok {
 				accs[i] = acc
 			} else {
 				missing = append(missing, i)
@@ -170,7 +295,7 @@ func (e *EvalCache) lookup(accs []float64, txs []*dag.Transaction, idx []int) []
 		}
 	} else {
 		for _, i := range idx {
-			if acc, ok := e.cache[txs[i].ID]; ok {
+			if acc, ok := e.get(txs[i].ID); ok {
 				accs[i] = acc
 			} else {
 				missing = append(missing, i)

@@ -118,24 +118,43 @@ func (m *MemoEvaluator) AccuracyMany(txs []*dag.Transaction) []float64 {
 	return accs
 }
 
+// stepScratch is per-walk reusable memory: one SelectTip call allocates at
+// most one scratch set and reuses it across every step of the walk instead
+// of allocating fresh slices per step.
+type stepScratch struct {
+	txs     []*dag.Transaction
+	accs    []float64
+	weights []float64
+}
+
 // childAccuracies scores all children of one walk step, preferring the
 // batched evaluator path. It accounts one evaluation per child in stats —
 // the walk-cost quantity of Fig. 15 counts accuracy lookups, not cache
 // misses, so the count is identical whether or not the evaluator caches or
-// batches.
-func childAccuracies(d Graph, eval Evaluator, children []dag.ID, stats *WalkStats) []float64 {
+// batches. buf, when non-nil, provides the reusable backing storage; the
+// returned slice is valid until the next call with the same buf.
+func childAccuracies(d Graph, eval Evaluator, children []dag.ID, stats *WalkStats, buf *stepScratch) []float64 {
 	stats.Evaluations += len(children)
+	if buf == nil {
+		buf = &stepScratch{}
+	}
 	if be, ok := eval.(BatchEvaluator); ok && len(children) > 1 {
-		txs := make([]*dag.Transaction, len(children))
-		for i, id := range children {
-			txs[i] = d.MustGet(id)
+		txs := buf.txs[:0]
+		for _, id := range children {
+			txs = append(txs, d.MustGet(id))
+		}
+		buf.txs = txs
+		if bi, ok := eval.(BatchIntoEvaluator); ok {
+			buf.accs = bi.AccuracyManyInto(buf.accs[:0], txs)
+			return buf.accs
 		}
 		return be.AccuracyMany(txs)
 	}
-	accs := make([]float64, len(children))
-	for i, id := range children {
-		accs[i] = eval.Accuracy(d.MustGet(id))
+	accs := buf.accs[:0]
+	for _, id := range children {
+		accs = append(accs, eval.Accuracy(d.MustGet(id)))
 	}
+	buf.accs = accs
 	return accs
 }
 
@@ -212,10 +231,19 @@ func Weights(accs []float64, alpha float64, norm Normalization) []float64 {
 	if len(accs) == 0 {
 		return nil
 	}
+	return WeightsInto(make([]float64, 0, len(accs)), accs, alpha, norm)
+}
+
+// WeightsInto appends the selection weights of accs to dst (which may be
+// nil) and returns it — the allocation-free variant the walk loop reuses a
+// buffer with. Values are identical to Weights'.
+func WeightsInto(dst []float64, accs []float64, alpha float64, norm Normalization) []float64 {
+	if len(accs) == 0 {
+		return dst
+	}
 	min, max := mathx.MinMax(accs)
 	spread := max - min
-	out := make([]float64, len(accs))
-	for i, a := range accs {
+	for _, a := range accs {
 		normalized := a - max
 		if norm == NormDynamic {
 			if spread > 0 {
@@ -224,9 +252,9 @@ func Weights(accs []float64, alpha float64, norm Normalization) []float64 {
 				normalized = 0
 			}
 		}
-		out[i] = math.Exp(normalized * alpha)
+		dst = append(dst, math.Exp(normalized*alpha))
 	}
-	return out
+	return dst
 }
 
 // AccuracyWalk is the paper's accuracy-biased random walk (Algorithm 1).
@@ -253,14 +281,32 @@ func (w AccuracyWalk) Name() string {
 func (w AccuracyWalk) SelectTip(d Graph, eval Evaluator, rng *xrand.RNG) (*dag.Transaction, WalkStats) {
 	cur := walkStart(d, rng, w.DepthMin, w.DepthMax)
 	var stats WalkStats
+	var buf stepScratch
+	memo, hasMemo := eval.(WeightsMemo)
 	for {
 		children := d.Children(cur.ID)
 		if len(children) == 0 {
 			return cur, stats
 		}
 		stats.Steps++
-		accs := childAccuracies(d, eval, children, &stats)
-		weights := Weights(accs, w.Alpha, w.Norm)
+		var weights []float64
+		if hasMemo {
+			// A transaction's weights are pure in its child set and the
+			// walker's cached accuracies, so repeat visits skip the whole
+			// scoring step. The evaluation count stays the per-step child
+			// count either way — Fig. 15's walk-cost metric counts accuracy
+			// lookups, not what the caches short-circuit.
+			stats.Evaluations += len(children)
+			weights = memo.StepWeights(cur.ID, len(children), w.Alpha, w.Norm, func() []float64 {
+				var scored WalkStats // already accounted above
+				accs := childAccuracies(d, eval, children, &scored, &buf)
+				return WeightsInto(nil, accs, w.Alpha, w.Norm)
+			})
+		} else {
+			accs := childAccuracies(d, eval, children, &stats, &buf)
+			buf.weights = WeightsInto(buf.weights[:0], accs, w.Alpha, w.Norm)
+			weights = buf.weights
+		}
 		next := children[rng.WeightedChoice(weights)]
 		cur = d.MustGet(next)
 	}
