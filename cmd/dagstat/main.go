@@ -1,15 +1,18 @@
-// Command dagstat inspects Specializing DAG artifacts: both plain tangle
+// Command dagstat inspects Specializing DAG artifacts: plain tangle
 // snapshots (cmd/specdag -save, format SDG1) and full simulation
-// checkpoints (cmd/specdag -checkpoint, format SDC1 — the resumable state
-// behind specdag.Run). It reports structural statistics, per-issuer
-// activity, heaviest transactions by cumulative weight, and optional
-// Graphviz export; for checkpoints it additionally shows the resume point.
+// checkpoints of both engine kinds — synchronous rounds (format SDC1) and
+// the event-driven engine (format SDA1), the resumable state behind
+// specdag.Run. It reports structural statistics, per-issuer activity,
+// heaviest transactions by cumulative weight, and optional Graphviz export;
+// for checkpoints it additionally shows the resume point.
 //
 //	specdag -dataset fmnist -rounds 30 -save tangle.sdg
 //	dagstat -in tangle.sdg
 //	dagstat -in tangle.sdg -top 5 -dot tangle.dot
 //	specdag -dataset fmnist -rounds 200 -checkpoint run.sdc
 //	dagstat -in run.sdc
+//	specdag -dataset fmnist -async -duration 300 -checkpoint run.sda
+//	dagstat -in run.sda
 package main
 
 import (
@@ -52,7 +55,7 @@ func run() error {
 	defer f.Close()
 
 	// Sniff the magic: plain DAG snapshot (SDG1) or full simulation
-	// checkpoint (SDC1) — both carry a tangle to analyze.
+	// checkpoint (sync SDC1 / async SDA1) — all carry a tangle to analyze.
 	br := bufio.NewReader(f)
 	magic, err := br.Peek(4)
 	if err != nil {
@@ -60,14 +63,23 @@ func run() error {
 	}
 	var d *dag.DAG
 	switch string(magic) {
-	case "SDC1":
+	case "SDC1", "SDA1":
 		info, ckptDAG, err := core.InspectCheckpoint(br)
 		if err != nil {
 			return err
 		}
 		d = ckptDAG
-		fmt.Printf("simulation checkpoint: seed %d, round %d/%d, %d clients — resume with specdag -resume\n",
-			info.Seed, info.Round, info.Rounds, info.Clients)
+		if info.Kind == "async" {
+			state := "in flight"
+			if info.Done {
+				state = "complete"
+			}
+			fmt.Printf("async simulation checkpoint: seed %d, event %d (horizon %.0fs, %s), %d clients, %d pending txs — resume with specdag -async -resume\n",
+				info.Seed, info.Events, info.Duration, state, info.Clients, info.Pending)
+		} else {
+			fmt.Printf("simulation checkpoint: seed %d, round %d/%d, %d clients — resume with specdag -resume\n",
+				info.Seed, info.Round, info.Rounds, info.Clients)
+		}
 	default:
 		d, err = dag.ReadDAG(br)
 		if err != nil {

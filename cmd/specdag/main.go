@@ -3,9 +3,12 @@
 // per-round progress and the final specialization metrics.
 //
 // The run is driven through the unified run API: Ctrl-C cancels it at round
-// granularity (partial metrics are still reported), -checkpoint persists
-// the full simulation state periodically and at exit, and -resume continues
-// a checkpointed run bit-identically to one that was never interrupted.
+// (or event) granularity — partial metrics are still reported — -checkpoint
+// persists the full simulation state periodically and at exit, and -resume
+// continues a checkpointed run bit-identically to one that was never
+// interrupted. -async switches to the event-driven engine (§5.3.3: every
+// client trains at its own pace, no rounds); its checkpoints (format SDA1)
+// resume the same way, at event granularity.
 //
 // Examples:
 //
@@ -15,6 +18,8 @@
 //	specdag -dataset fmnist -selector urts -dot tangle.dot
 //	specdag -dataset fmnist -rounds 200 -checkpoint run.sdc   # ^C anytime…
 //	specdag -dataset fmnist -rounds 200 -resume run.sdc       # …and continue
+//	specdag -dataset fmnist -async -duration 300 -checkpoint run.sda
+//	specdag -dataset fmnist -async -duration 300 -resume run.sda
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"os/signal"
 
 	"github.com/specdag/specdag/internal/core"
+	"github.com/specdag/specdag/internal/dag"
 	"github.com/specdag/specdag/internal/engine"
 	"github.com/specdag/specdag/internal/graphx"
 	"github.com/specdag/specdag/internal/metrics"
@@ -91,9 +97,14 @@ func run() error {
 		every          = flag.Int("progress-every", 5, "print progress every N rounds")
 		dotFile        = flag.String("dot", "", "write the final DAG in Graphviz format to this file")
 		saveFile       = flag.String("save", "", "write the final DAG as a binary snapshot (inspect with dagstat)")
-		ckptFile       = flag.String("checkpoint", "", "write a full simulation checkpoint to this file every -checkpoint-every rounds and at exit (resume with -resume)")
-		ckptEvery      = flag.Int("checkpoint-every", 10, "rounds between periodic checkpoints (with -checkpoint)")
+		ckptFile       = flag.String("checkpoint", "", "write a full simulation checkpoint to this file every -checkpoint-every rounds/events and at exit (resume with -resume)")
+		ckptEvery      = flag.Int("checkpoint-every", 10, "rounds (or events, with -async) between periodic checkpoints (with -checkpoint)")
 		resumeFile     = flag.String("resume", "", "resume from a checkpoint written by -checkpoint (requires the same dataset/config flags)")
+		asyncMode      = flag.Bool("async", false, "run the event-driven engine instead of synchronous rounds (§5.3.3)")
+		duration       = flag.Float64("duration", 120, "simulated time horizon in seconds (with -async)")
+		minCycle       = flag.Float64("min-cycle", 1, "fastest per-client training cycle time in simulated seconds (with -async)")
+		maxCycle       = flag.Float64("max-cycle", 8, "slowest per-client training cycle time in simulated seconds (with -async)")
+		netDelay       = flag.Float64("net-delay", 0.5, "broadcast propagation delay in simulated seconds (with -async)")
 		cpuProfile     = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile     = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -159,6 +170,28 @@ func run() error {
 		sel = tipselect.UniformWalk{}
 	default:
 		return fmt.Errorf("unknown selector %q", *selector)
+	}
+
+	if *asyncMode {
+		if *poisonFraction > 0 {
+			return fmt.Errorf("-poison-fraction is not supported with -async (the event-driven engine has no attack scenario)")
+		}
+		if *rounds > 0 || *perRound > 0 {
+			return fmt.Errorf("-rounds/-clients-per-round do not apply with -async; the horizon is -duration (simulated seconds)")
+		}
+		acfg := spec.AsyncDAGConfig(*duration, *minCycle, *maxCycle, *netDelay, sel, *seed)
+		if *workers != 0 {
+			acfg.Workers = *workers
+		}
+		return runAsync(spec, acfg, asyncOpts{
+			seed:       *seed,
+			every:      *every,
+			ckptFile:   *ckptFile,
+			ckptEvery:  *ckptEvery,
+			resumeFile: *resumeFile,
+			dotFile:    *dotFile,
+			saveFile:   *saveFile,
+		})
 	}
 
 	cfg := spec.DAGConfig(preset, sel, *seed)
@@ -235,19 +268,9 @@ func run() error {
 		return runErr
 	}
 	if *ckptFile != "" {
-		f, err := newAtomicFile(*ckptFile)
-		if err != nil {
-			return fmt.Errorf("creating checkpoint: %w", err)
+		if err := writeFinalCheckpoint(*ckptFile, s, fmt.Sprintf("round %d", s.Round())); err != nil {
+			return err
 		}
-		n, err := s.WriteCheckpoint(f)
-		if err != nil {
-			f.abort()
-			return fmt.Errorf("writing checkpoint: %w", err)
-		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("writing checkpoint: %w", err)
-		}
-		fmt.Printf("wrote %d-byte checkpoint to %s (round %d)\n", n, *ckptFile, s.Round())
 	}
 	if canceled {
 		fmt.Printf("\ninterrupted after round %d — partial metrics below", s.Round())
@@ -257,41 +280,145 @@ func run() error {
 		fmt.Println()
 	}
 
+	return reportDAG(s.DAG(), spec, *seed, len(s.PoisonedClients()), *dotFile, *saveFile)
+}
+
+// asyncOpts carries the flag subset the event-driven mode consumes.
+type asyncOpts struct {
+	seed       int64
+	every      int
+	ckptFile   string
+	ckptEvery  int
+	resumeFile string
+	dotFile    string
+	saveFile   string
+}
+
+// runAsync drives the event-driven engine: same supervision loop as the
+// synchronous path (Ctrl-C cancels between events, -checkpoint persists
+// state periodically and at exit, -resume continues bit-identically), at
+// event granularity.
+func runAsync(spec sim.Spec, acfg core.AsyncConfig, o asyncOpts) error {
+	fmt.Printf("async: duration %.0fs, cycle [%.1fs, %.1fs], network delay %.1fs\n",
+		acfg.Duration, acfg.MinCycle, acfg.MaxCycle, acfg.NetworkDelay)
+
+	var a *core.AsyncSimulation
+	var err error
+	if o.resumeFile != "" {
+		f, ferr := os.Open(o.resumeFile)
+		if ferr != nil {
+			return fmt.Errorf("opening checkpoint: %w", ferr)
+		}
+		a, err = core.ResumeAsyncSimulation(spec.Fed, acfg, f)
+		f.Close()
+		if err == nil {
+			fmt.Printf("resumed from %s at event %d (%d transactions)\n", o.resumeFile, a.Events(), a.DAG().Size())
+		}
+	} else {
+		a, err = core.NewAsyncSimulation(spec.Fed, acfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := []engine.Option{engine.WithHooks(engine.Hooks{
+		OnRound: func(ev engine.RoundEvent) {
+			if (ev.Round+1)%o.every != 0 {
+				return
+			}
+			fmt.Printf("event %4d  t=%6.1fs  client %3d  acc %.3f  dag %d\n",
+				ev.Round+1, ev.Time, ev.Detail.(*core.AsyncEvent).Client, ev.MeanAcc, ev.DAGSize)
+		},
+	})}
+	if o.ckptFile != "" {
+		opts = append(opts, engine.WithCheckpoints(o.ckptEvery, func(int) (io.WriteCloser, error) {
+			return newAtomicFile(o.ckptFile)
+		}))
+	}
+
+	_, runErr := engine.Run(ctx, a, opts...)
+	canceled := errors.Is(runErr, context.Canceled)
+	if runErr != nil && !canceled {
+		return runErr
+	}
+	if o.ckptFile != "" {
+		if err := writeFinalCheckpoint(o.ckptFile, a, fmt.Sprintf("event %d", a.Events())); err != nil {
+			return err
+		}
+	}
+	if canceled {
+		fmt.Printf("\ninterrupted after event %d — partial metrics below", a.Events())
+		if o.ckptFile != "" {
+			fmt.Printf("; continue with -resume %s", o.ckptFile)
+		}
+		fmt.Println()
+	}
+
+	res := a.Result()
+	fmt.Printf("\nprocessed %d events, %d transactions in the DAG\n", a.Events(), res.Transactions)
+	return reportDAG(a.DAG(), spec, o.seed, 0, o.dotFile, o.saveFile)
+}
+
+// writeFinalCheckpoint persists a final snapshot of either engine kind
+// through the atomic-rename path.
+func writeFinalCheckpoint(path string, snap engine.Snapshotter, at string) error {
+	f, err := newAtomicFile(path)
+	if err != nil {
+		return fmt.Errorf("creating checkpoint: %w", err)
+	}
+	n, err := snap.WriteCheckpoint(f)
+	if err != nil {
+		f.abort()
+		return fmt.Errorf("writing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("writing checkpoint: %w", err)
+	}
+	fmt.Printf("wrote %d-byte checkpoint to %s (%s)\n", n, path, at)
+	return nil
+}
+
+// reportDAG prints the final specialization metrics shared by both modes
+// and handles the DOT/snapshot exports.
+func reportDAG(d *dag.DAG, spec sim.Spec, seed int64, poisoned int, dotFile, saveFile string) error {
 	fmt.Println()
-	stats := s.DAG().Stats()
+	stats := d.Stats()
 	fmt.Printf("final DAG: %d transactions, %d tips, max depth %d\n", stats.Transactions, stats.Tips, stats.MaxDepth)
-	pureness := metrics.ApprovalPureness(s.DAG(), spec.Fed.ClusterOf())
+	pureness := metrics.ApprovalPureness(d, spec.Fed.ClusterOf())
 	fmt.Printf("approval pureness: %.3f (random base %.3f)\n", pureness, spec.Fed.BasePureness())
 
-	g := metrics.BuildClientGraph(s.DAG())
-	part := graphx.Louvain(g, xrand.New(*seed+1))
+	g := metrics.BuildClientGraph(d)
+	part := graphx.Louvain(g, xrand.New(seed+1))
 	fmt.Printf("G_clients: %d nodes, modularity %.3f, %d communities, misclassification %.3f\n",
 		g.NumNodes(), graphx.Modularity(g, part), graphx.NumCommunities(part),
 		metrics.Misclassification(part, spec.Fed.ClusterOf()))
 
-	if n := len(s.PoisonedClients()); n > 0 {
-		fmt.Printf("poisoned clients: %d\n", n)
+	if poisoned > 0 {
+		fmt.Printf("poisoned clients: %d\n", poisoned)
 	}
 
-	if *dotFile != "" {
-		if err := os.WriteFile(*dotFile, []byte(s.DAG().DOT()), 0o644); err != nil {
+	if dotFile != "" {
+		if err := os.WriteFile(dotFile, []byte(d.DOT()), 0o644); err != nil {
 			return fmt.Errorf("writing DOT file: %w", err)
 		}
-		fmt.Printf("wrote DAG to %s\n", *dotFile)
+		fmt.Printf("wrote DAG to %s\n", dotFile)
 	}
-	if *saveFile != "" {
-		f, err := os.Create(*saveFile)
+	if saveFile != "" {
+		f, err := os.Create(saveFile)
 		if err != nil {
 			return fmt.Errorf("creating snapshot: %w", err)
 		}
-		n, err := s.DAG().WriteTo(f)
+		n, err := d.WriteTo(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
 			return fmt.Errorf("writing snapshot: %w", err)
 		}
-		fmt.Printf("wrote %d-byte snapshot to %s\n", n, *saveFile)
+		fmt.Printf("wrote %d-byte snapshot to %s\n", n, saveFile)
 	}
 	return nil
 }

@@ -23,6 +23,7 @@ package core
 // field holds the tangle in the SDG1 codec.
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/gob"
 	"fmt"
@@ -32,8 +33,14 @@ import (
 	"github.com/specdag/specdag/internal/dataset"
 )
 
-// checkpointMagic identifies simulation checkpoints and fixes the version.
+// checkpointMagic identifies synchronous simulation checkpoints and fixes
+// the version. The event-driven engine's checkpoints are the async variant
+// of the same family (asyncCheckpointMagic, checkpoint_async.go).
 var checkpointMagic = [4]byte{'S', 'D', 'C', '1'}
+
+// codecMagicSDG1 mirrors the DAG codec's magic so the checkpoint readers can
+// tell a user who hands them a bare tangle snapshot what they actually have.
+var codecMagicSDG1 = [4]byte{'S', 'D', 'G', '1'}
 
 // clientCheckpoint is the per-client carried state.
 type clientCheckpoint struct {
@@ -104,7 +111,13 @@ func readCheckpointState(r io.Reader) (*checkpointState, *dag.DAG, error) {
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, nil, fmt.Errorf("core: reading checkpoint magic: %w", err)
 	}
-	if magic != checkpointMagic {
+	switch magic {
+	case checkpointMagic:
+	case asyncCheckpointMagic:
+		return nil, nil, fmt.Errorf("core: this is an asynchronous event-simulation checkpoint (magic %q) — resume it with ResumeAsyncSimulation, not ResumeSimulation", magic)
+	case codecMagicSDG1:
+		return nil, nil, fmt.Errorf("core: bad magic %q — this is a bare DAG snapshot, not a simulation checkpoint (inspect it with dagstat or dag.ReadDAG)", magic)
+	default:
 		return nil, nil, fmt.Errorf("core: bad magic %q (not a SDC1 checkpoint)", magic)
 	}
 	var st checkpointState
@@ -201,21 +214,52 @@ func ResumeSimulation(fed *dataset.Federation, cfg Config, r io.Reader) (*Simula
 
 // CheckpointInfo summarizes a checkpoint without reconstructing the
 // simulation (cmd/dagstat uses it to inspect snapshots of either kind).
+// Kind is "sync" (SDC1) or "async" (SDA1); Round/Rounds describe the sync
+// resume point, Events/Duration/Pending/Done the async one.
 type CheckpointInfo struct {
+	Kind    string
 	Seed    int64
 	Round   int
 	Rounds  int
 	Clients int
+
+	// Async checkpoints only:
+	Events   int     // processed client activations
+	Duration float64 // configured simulated-time horizon in seconds
+	Pending  int     // published transactions still propagating
+	Done     bool    // the run had reached its horizon
 }
 
-// InspectCheckpoint reads a checkpoint and returns its summary along with
-// the embedded tangle.
+// InspectCheckpoint reads a checkpoint of either kind — synchronous (SDC1)
+// or asynchronous (SDA1) — and returns its summary along with the embedded
+// tangle.
 func InspectCheckpoint(r io.Reader) (*CheckpointInfo, *dag.DAG, error) {
-	st, d, err := readCheckpointState(r)
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(4)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: reading checkpoint magic: %w", err)
+	}
+	if [4]byte(magic) == asyncCheckpointMagic {
+		st, d, err := readAsyncCheckpointState(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &CheckpointInfo{
+			Kind:     "async",
+			Seed:     st.Seed,
+			Clients:  len(st.Clients),
+			Events:   st.Events,
+			Duration: st.Duration,
+			Pending:  len(st.Pending),
+			Done:     st.Done,
+		}, d, nil
+	}
+	st, d, err := readCheckpointState(br)
 	if err != nil {
 		return nil, nil, err
 	}
 	return &CheckpointInfo{
+		Kind:    "sync",
 		Seed:    st.Seed,
 		Round:   st.Round,
 		Rounds:  st.Rounds,

@@ -18,6 +18,7 @@ var (
 	_ engine.Snapshotter = (*Simulation)(nil)
 	_ engine.PoolUser    = (*Simulation)(nil)
 	_ engine.Engine      = (*AsyncSimulation)(nil)
+	_ engine.Snapshotter = (*AsyncSimulation)(nil)
 	_ engine.PoolUser    = (*AsyncSimulation)(nil)
 )
 

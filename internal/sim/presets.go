@@ -280,6 +280,24 @@ func (s Spec) DAGConfig(p Preset, sel tipselect.Selector, seed int64) core.Confi
 	}
 }
 
+// AsyncDAGConfig assembles a core.AsyncConfig for the spec — the
+// event-driven engine's counterpart of DAGConfig, sharing the harness
+// worker budget. Timing parameters are in simulated seconds.
+func (s Spec) AsyncDAGConfig(duration, minCycle, maxCycle, netDelay float64, sel tipselect.Selector, seed int64) core.AsyncConfig {
+	return core.AsyncConfig{
+		Duration:     duration,
+		MinCycle:     minCycle,
+		MaxCycle:     maxCycle,
+		NetworkDelay: netDelay,
+		Local:        s.Local,
+		Arch:         s.Arch,
+		Selector:     sel,
+		Workers:      Workers,
+		Pool:         Pool(),
+		Seed:         seed,
+	}
+}
+
 // FLConfig assembles an fl.Config for the spec, mirroring the preset's
 // round structure and sharing the harness worker budget.
 func (s Spec) FLConfig(p Preset, proxMu float64, seed int64) fl.Config {

@@ -48,7 +48,8 @@ type Hooks = engine.Hooks
 type Observer = engine.Observer
 
 // Snapshotter is implemented by engines whose full state can be
-// checkpointed mid-run and resumed bit-identically (*Simulation).
+// checkpointed mid-run and resumed bit-identically (*Simulation and
+// *AsyncSimulation).
 type Snapshotter = engine.Snapshotter
 
 // RunOption configures Run.
@@ -159,8 +160,20 @@ func ResumeSimulation(fed *Federation, cfg Config, r io.Reader) (*Simulation, er
 	return core.ResumeSimulation(fed, cfg, r)
 }
 
-// InspectCheckpoint summarizes a checkpoint and returns the embedded tangle
-// without reconstructing the simulation.
+// ResumeAsyncSimulation reconstructs an event-driven simulation from a
+// checkpoint written by (*AsyncSimulation).WriteCheckpoint (directly or via
+// WithCheckpoints), using the same federation and configuration as the
+// original run. The resumed run's event stream, final statistics and DAG
+// are bit-identical to an uninterrupted run's. Unlike ResumeSimulation, the
+// simulated-time horizon (AsyncConfig.Duration) cannot be extended on
+// resume; all timing parameters must match the checkpoint exactly.
+func ResumeAsyncSimulation(fed *Federation, cfg AsyncConfig, r io.Reader) (*AsyncSimulation, error) {
+	return core.ResumeAsyncSimulation(fed, cfg, r)
+}
+
+// InspectCheckpoint summarizes a checkpoint of either kind — synchronous
+// (SDC1) or asynchronous (SDA1) — and returns the embedded tangle without
+// reconstructing the simulation.
 func InspectCheckpoint(r io.Reader) (*CheckpointInfo, *DAG, error) {
 	return core.InspectCheckpoint(r)
 }
@@ -173,6 +186,7 @@ var (
 	_ Engine      = (*Simulation)(nil)
 	_ Snapshotter = (*Simulation)(nil)
 	_ Engine      = (*AsyncSimulation)(nil)
+	_ Snapshotter = (*AsyncSimulation)(nil)
 	_ Engine      = (*Federated)(nil)
 	_ Engine      = (*Gossip)(nil)
 )

@@ -13,9 +13,9 @@
 //     gossip-learning baseline ([NewGossip]);
 //   - one unified run API behind all of them ([Run]): every engine is
 //     cancelable via context, observable mid-flight through typed progress
-//     events ([Hooks], [WithProbe]), and — for the round simulation —
+//     events ([Hooks], [WithProbe]), and — for both DAG simulations —
 //     checkpointable and resumable bit-identically ([WithCheckpoints],
-//     [ResumeSimulation]);
+//     [ResumeSimulation], [ResumeAsyncSimulation]);
 //   - a shared worker budget ([WorkerPool]) so nested fan-outs (sweeps of
 //     engines, each fanning over clients) never oversubscribe the machine;
 //   - synthetic federated datasets with cluster-structured non-IID data
@@ -59,6 +59,17 @@
 //	sim2, _ := specdag.ResumeSimulation(fed, cfg, &buf)  // same fed + cfg
 //	specdag.Run(ctx, sim2)                               // history/DAG identical
 //	                                                     // to an uninterrupted run
+//
+// The event-driven engine checkpoints the same way, at event granularity —
+// a crash between any two client activations is recoverable with zero
+// drift (the event queue, in-flight transactions and per-client statistics
+// all ride in the snapshot):
+//
+//	async, _ := specdag.NewAsyncSimulation(fed, acfg)
+//	specdag.Run(ctx, async, specdag.WithCheckpoints(25, openCheckpointFile))
+//	// …process dies; later, with the same fed + acfg:
+//	resumed, _ := specdag.ResumeAsyncSimulation(fed, acfg, checkpointFile)
+//	specdag.Run(ctx, resumed)  // event stream, stats and DAG identical
 //
 // The same [Run] call drives every other engine ([NewAsyncSimulation],
 // [NewFederated], [NewGossip]). The previous fire-and-forget entry points
