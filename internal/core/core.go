@@ -27,6 +27,7 @@ import (
 	"github.com/specdag/specdag/internal/mathx"
 	"github.com/specdag/specdag/internal/nn"
 	"github.com/specdag/specdag/internal/par"
+	"github.com/specdag/specdag/internal/profiling"
 	"github.com/specdag/specdag/internal/tipselect"
 	"github.com/specdag/specdag/internal/xrand"
 )
@@ -490,7 +491,10 @@ func (s *Simulation) runClient(c *client, round int) clientOutcome {
 		c.eval.Reset()
 	}
 
-	start := time.Now()
+	// Walk timing is advisory output (never fed back into results), and the
+	// clock read is routed through profiling so this package stays
+	// wall-clock-free under the detrand contract.
+	watch := profiling.StartStopwatch()
 	// (1) Biased random walk, twice, to select two tips.
 	tips, stats := tipselect.SelectTips(s.cfg.Selector, graph, c.eval, crng, 2)
 	// Consensus reference via additional walk(s).
@@ -498,7 +502,7 @@ func (s *Simulation) runClient(c *client, round int) clientOutcome {
 	stats.Add(refStats)
 	var walkDur time.Duration
 	if s.cfg.MeasureWalkTime {
-		walkDur = time.Since(start)
+		walkDur = watch.Elapsed()
 	}
 
 	// (2) Average the two tip models. Under partial-layer sharing only
@@ -716,6 +720,7 @@ func (c *client) flippedFraction(params []float64, p PoisonConfig) float64 {
 
 func (s *Simulation) poisonedApprovalsOf(id dag.ID) int {
 	n := 0
+	//speclint:allow maporder integer count over an unordered ancestor set; MustGet is a pure lock-free read, so the count is visit-order-independent
 	for anc := range s.tangle.Ancestors(id) {
 		if s.tangle.MustGet(anc).Meta.Poisoned {
 			n++

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Deprecated flags internal callers of the pre-engine entry points that PR 2
+// and PR 4 kept only as public-compat wrappers. New internal code must drive
+// engines through specdag.Run(ctx, engine, opts...) — the deprecated paths
+// cannot be canceled, observed, or checkpointed, and (for Dataset.XY) copy
+// per-sample headers the flat layout exists to avoid. Uses inside the
+// declaring package (the wrapper bodies and compat shims themselves) and in
+// _test.go files (equivalence tests pin the wrappers' numerics on purpose)
+// are exempt.
+var Deprecated = &Analyzer{
+	Name: "deprecated",
+	Doc: "forbid internal use of deprecated pre-engine entry points " +
+		"(Simulation.Run, core.RunAsync, fl.Run, fl.RunGossip, Dataset.XY, " +
+		"Config.DisableEvalMemo, specdag.RunAsync/RunFederated); use the unified " +
+		"run API instead",
+	Run: runDeprecated,
+}
+
+// deprecatedEntry identifies one deprecated object by declaring-package path
+// suffix, receiver type name (empty for package-level functions and fields),
+// and name.
+type deprecatedEntry struct {
+	pkg     string // path suffix of the declaring package
+	recv    string // receiver type for methods, "" otherwise
+	name    string
+	instead string // the sanctioned replacement, quoted in the message
+}
+
+// deprecatedEntries is the audited list of pre-engine entry points. Keep it
+// in sync with the Deprecated: doc markers on the declarations; the
+// analyzer cannot read those markers itself because dependency packages
+// arrive as export data, which carries no doc comments.
+var deprecatedEntries = []deprecatedEntry{
+	{"internal/core", "Simulation", "Run", "specdag.Run(ctx, sim) / engine.Run"},
+	{"internal/core", "", "RunAsync", "specdag.Run(ctx, NewAsyncSimulation(...))"},
+	{"internal/core", "", "DisableEvalMemo", "Config.EvalScope = EvalScopeNone"},
+	{"internal/fl", "", "Run", "specdag.Run(ctx, fl.NewFederated(...))"},
+	{"internal/fl", "", "RunGossip", "specdag.Run(ctx, fl.NewGossip(...))"},
+	{"internal/dataset", "Dataset", "XY", "the flat Dataset.X matrix views"},
+	{"specdag", "", "RunAsync", "specdag.Run(ctx, engine, opts...)"},
+	{"specdag", "", "RunFederated", "specdag.Run(ctx, engine, opts...)"},
+}
+
+func runDeprecated(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			// Deprecated objects are reached either through a selector
+			// (sim.Run(), cfg.DisableEvalMemo) or as a keyed field in a
+			// composite literal (Config{DisableEvalMemo: true}).
+			var id *ast.Ident
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				id = n.Sel
+			case *ast.KeyValueExpr:
+				var ok bool
+				if id, ok = n.Key.(*ast.Ident); !ok {
+					return true
+				}
+			default:
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg() == pass.Pkg {
+				return true // same-package uses are the compat shims themselves
+			}
+			if e := lookupDeprecated(obj); e != nil {
+				pass.Reportf(id.Pos(),
+					"%s is a deprecated pre-engine entry point; use %s instead", selName(e), e.instead)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func selName(e *deprecatedEntry) string {
+	if e.recv != "" {
+		return e.recv + "." + e.name
+	}
+	return lastPathElem(e.pkg) + "." + e.name
+}
+
+func lastPathElem(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[i+1:]
+		}
+	}
+	return p
+}
+
+// lookupDeprecated matches obj against the deprecated table by declaring
+// package, receiver, and name.
+func lookupDeprecated(obj types.Object) *deprecatedEntry {
+	recv := ""
+	switch o := obj.(type) {
+	case *types.Func:
+		if r := o.Type().(*types.Signature).Recv(); r != nil {
+			recv = receiverTypeName(r.Type())
+		}
+	case *types.Var:
+		if !o.IsField() {
+			return nil
+		}
+	default:
+		return nil
+	}
+	for i := range deprecatedEntries {
+		e := &deprecatedEntries[i]
+		if obj.Name() == e.name && e.recv == recv && pathHasSuffix(obj.Pkg().Path(), e.pkg) {
+			return e
+		}
+	}
+	return nil
+}
+
+func receiverTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Detrand enforces the seed-split randomness contract: inside deterministic
+// packages, every random draw must come from an internal/xrand stream
+// (derived from the root seed by Split/SplitIndex) and nothing may read the
+// wall clock. A single math/rand global call or time.Now comparison is
+// enough to make two runs with the same seed diverge — exactly the class of
+// bug the worker-count-invariance and resume-equivalence suites exist to
+// catch, surfaced here at vet time instead.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid ambient randomness (math/rand, crypto/rand) and wall-clock reads " +
+		"(time.Now and friends) in deterministic packages; use internal/xrand seed " +
+		"splits and internal/profiling instead",
+	Run: runDetrand,
+}
+
+// wallClockFuncs are the time-package functions that observe or depend on
+// the wall clock or scheduler timing. Pure conversions and constructors
+// (time.Duration arithmetic, time.Unix on stored values) stay legal: they
+// are functions of their inputs.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+func runDetrand(pass *Pass) error {
+	if !IsDeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "math/rand", "math/rand/v2", "crypto/rand":
+				pass.Reportf(sel.Pos(),
+					"%s.%s in deterministic package %s: all randomness must come from internal/xrand seed splits",
+					obj.Pkg().Path(), obj.Name(), pass.Pkg.Name())
+			case "time":
+				if wallClockFuncs[obj.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s in deterministic package %s: results must not depend on the wall clock; route measurements through internal/profiling",
+						obj.Name(), pass.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+// Package app is a fixture outside internal/par: every naked go statement
+// escapes the shared goroutine budget.
+package app
+
+func fanOut(work []func()) {
+	for _, w := range work {
+		go w() // want `naked go statement outside internal/par`
+	}
+}
+
+func supervised(done chan struct{}) {
+	go func() { // want `naked go statement outside internal/par`
+		close(done)
+	}()
+}
+
+func audited(stop chan struct{}) {
+	//speclint:allow budget fixture demonstrating an audited long-lived supervisor
+	go func() { <-stop }()
+}

@@ -1,0 +1,9 @@
+package app
+
+// Test files may spawn raw goroutines (stress and race tests do so on
+// purpose), so the budget analyzer must not flag this.
+func testOnlyFanOut(n int, ch chan int) {
+	for i := 0; i < n; i++ {
+		go func(i int) { ch <- i }(i)
+	}
+}

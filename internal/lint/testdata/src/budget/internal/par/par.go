@@ -1,0 +1,7 @@
+// Package par is a fixture standing in for internal/par — the one package
+// allowed to spawn goroutines, because it implements the budget.
+package par
+
+func spawn(f func()) {
+	go f()
+}

@@ -1,0 +1,32 @@
+// Package app is an internal caller of the deprecated entry points; every
+// use outside the declaring package and outside tests must be flagged.
+package app
+
+import (
+	"deprecated/internal/core"
+	"deprecated/internal/dataset"
+	"deprecated/internal/fl"
+)
+
+func driveEverything(sim *core.Simulation, d dataset.Dataset) {
+	sim.Run()       // want `Simulation\.Run is a deprecated pre-engine entry point`
+	core.RunAsync() // want `core\.RunAsync is a deprecated pre-engine entry point`
+	fl.Run()        // want `fl\.Run is a deprecated pre-engine entry point`
+	fl.RunGossip()  // want `fl\.RunGossip is a deprecated pre-engine entry point`
+	d.XY()          // want `Dataset\.XY is a deprecated pre-engine entry point`
+
+	cfg := core.Config{
+		DisableEvalMemo: true, // want `core\.DisableEvalMemo is a deprecated pre-engine entry point`
+	}
+	_ = cfg
+
+	// Sanctioned replacements stay quiet.
+	sim.Step()
+	fl.NewFederated()
+	_ = d.Len()
+}
+
+func audited(sim *core.Simulation) {
+	//speclint:allow deprecated fixture demonstrating an audited suppression
+	sim.Run()
+}

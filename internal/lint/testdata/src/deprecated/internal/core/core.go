@@ -1,0 +1,31 @@
+// Package core is a fixture mirroring the deprecated pre-engine entry
+// points of the real internal/core.
+package core
+
+// Simulation mirrors core.Simulation.
+type Simulation struct {
+	rounds int
+}
+
+// Run mirrors the deprecated core.Simulation.Run.
+func (s *Simulation) Run() int { return s.rounds }
+
+// Step is the sanctioned engine-interface method.
+func (s *Simulation) Step() bool { return false }
+
+// RunAsync mirrors the deprecated core.RunAsync.
+func RunAsync() error { return nil }
+
+// Config mirrors core.Config with its deprecated alias field.
+type Config struct {
+	EvalScope       int
+	DisableEvalMemo bool
+}
+
+// normalize is a same-package use of the deprecated field — the compat shim
+// itself — which the analyzer must not flag.
+func (c *Config) normalize() {
+	if c.DisableEvalMemo {
+		c.EvalScope = 2
+	}
+}

@@ -1,0 +1,14 @@
+// Package dataset is a fixture mirroring the deprecated XY adapter of the
+// real internal/dataset.
+package dataset
+
+// Dataset mirrors dataset.Dataset.
+type Dataset struct {
+	n int
+}
+
+// XY mirrors the deprecated copying adapter.
+func (d Dataset) XY() ([][]float64, []int) { return nil, nil }
+
+// Len is a sanctioned method.
+func (d Dataset) Len() int { return d.n }

@@ -1,0 +1,12 @@
+// Package fl is a fixture mirroring the deprecated entry points of the real
+// internal/fl.
+package fl
+
+// Run mirrors the deprecated fl.Run.
+func Run() error { return nil }
+
+// RunGossip mirrors the deprecated fl.RunGossip.
+func RunGossip() error { return nil }
+
+// NewFederated is the sanctioned constructor.
+func NewFederated() int { return 0 }

@@ -1,0 +1,38 @@
+// Package core is a fixture standing in for a deterministic package (its
+// import path ends in internal/core).
+package core
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+func ambientRandomness() int {
+	return rand.Intn(10) // want `math/rand\.Intn in deterministic package core: all randomness must come from internal/xrand seed splits`
+}
+
+func ambientSource() *rand.Rand { // want `math/rand\.Rand in deterministic package core`
+	src := rand.NewSource(1) // want `math/rand\.NewSource in deterministic package core`
+	return rand.New(src)     // want `math/rand\.New in deterministic package core`
+}
+
+func cryptoRandomness(buf []byte) {
+	crand.Read(buf) // want `crypto/rand\.Read in deterministic package core`
+}
+
+func wallClock() time.Duration {
+	start := time.Now()          // want `time\.Now in deterministic package core: results must not depend on the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep in deterministic package core`
+	return time.Since(start)     // want `time\.Since in deterministic package core`
+}
+
+// durationArithmetic is clean: time.Duration values are pure data.
+func durationArithmetic(d time.Duration) time.Duration {
+	return 2*d + time.Millisecond
+}
+
+// audited keeps a wall-clock read behind an audited suppression.
+func audited() time.Time {
+	return time.Now() //speclint:allow detrand fixture demonstrating an audited suppression
+}

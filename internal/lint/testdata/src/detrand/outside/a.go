@@ -1,0 +1,12 @@
+// Package outside is not a deterministic package: ambient randomness and
+// the wall clock are allowed (CLIs, profiling, the par runtime).
+package outside
+
+import (
+	"math/rand"
+	"time"
+)
+
+func allowedHere() (int, time.Time) {
+	return rand.Intn(10), time.Now()
+}

@@ -1,0 +1,15 @@
+// Package app exercises the directive audit: malformed and stale
+// suppressions are findings in their own right.
+package app
+
+//speclint:frobnicate // want `unknown speclint verb "frobnicate"`
+
+//speclint:allow nosuch because reasons // want `names unknown analyzer "nosuch"`
+
+//speclint:allow budget // want `needs a reason`
+
+//speclint:allow // want `needs an analyzer name and a reason`
+
+//speclint:allow budget this line suppresses nothing // want `suppresses no diagnostic; delete the stale directive`
+
+func quiet() int { return 0 }

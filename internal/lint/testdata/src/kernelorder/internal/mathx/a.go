@@ -1,0 +1,39 @@
+// Package mathx is a fixture standing in for the default kernel backend,
+// whose accumulation order is documented API.
+package mathx
+
+import "math"
+
+func fused(a, b, c float64) float64 {
+	return math.FMA(a, b, c) // want `math\.FMA in the default mathx backend`
+}
+
+func narrowDot(xs, ys []float32) float32 {
+	var acc float32
+	for i := range xs {
+		acc += xs[i] * ys[i] // want `float32 arithmetic in the default mathx backend` `float32 arithmetic in the default mathx backend`
+	}
+	return acc
+}
+
+func narrowScale(x, y float32) float32 {
+	return x * y // want `float32 arithmetic in the default mathx backend`
+}
+
+// wideDot is the sanctioned form: float64 accumulation in documented order.
+func wideDot(xs, ys []float64) float64 {
+	acc := 0.0
+	for i := range xs {
+		acc += xs[i] * ys[i]
+	}
+	return acc
+}
+
+// float32 conversion at an API boundary is not arithmetic.
+func narrowResult(x float64) float32 {
+	return float32(x)
+}
+
+func audited(x, y float32) float32 {
+	return x * y //speclint:allow kernelorder fixture demonstrating an audited suppression
+}

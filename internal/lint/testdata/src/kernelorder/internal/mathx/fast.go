@@ -1,0 +1,20 @@
+//go:build fastmath
+
+// The deliberate-numerics fast tier relaxes the accumulation-order contract
+// behind the fastmath build tag and gates against its own golden metrics;
+// the analyzer must not flag it.
+package mathx
+
+import "math"
+
+func fusedFast(a, b, c float64) float64 {
+	return math.FMA(a, b, c)
+}
+
+func narrowDotFast(xs, ys []float32) float32 {
+	var acc float32
+	for i := range xs {
+		acc += xs[i] * ys[i]
+	}
+	return acc
+}

@@ -11,6 +11,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 )
 
 // StartCPU begins CPU profiling into path and returns a stop function that
@@ -42,4 +43,23 @@ func WriteHeap(path string) error {
 		return fmt.Errorf("writing memory profile: %w", err)
 	}
 	return nil
+}
+
+// Stopwatch measures a wall-clock duration for advisory timing metrics
+// (e.g. Config.MeasureWalkTime's walk-duration figures). It exists so
+// deterministic packages never touch the clock directly: speclint's detrand
+// analyzer forbids time.Now there, and this type is the audited choke point
+// for measurements that are reported but never fed back into results.
+type Stopwatch struct {
+	start time.Time
+}
+
+// StartStopwatch begins a wall-clock measurement.
+func StartStopwatch() Stopwatch {
+	return Stopwatch{start: time.Now()}
+}
+
+// Elapsed returns the wall-clock time since the stopwatch was started.
+func (s Stopwatch) Elapsed() time.Duration {
+	return time.Since(s.start)
 }

@@ -130,6 +130,7 @@ type AsyncClientStats = core.AsyncClientStats
 // the engine with [NewAsyncSimulation], drive it with [Run], and read
 // Result afterwards.
 func RunAsync(fed *Federation, cfg AsyncConfig) (*AsyncResult, error) {
+	//speclint:allow deprecated this deprecated public wrapper delegates to its deprecated internal counterpart to keep numerics pinned
 	return core.RunAsync(fed, cfg)
 }
 
@@ -262,7 +263,10 @@ type FedResult = fl.Result
 // Deprecated: RunFederated cannot be canceled or observed mid-flight.
 // Construct the engine with [NewFederated], drive it with [Run], and read
 // Result afterwards.
-func RunFederated(fed *Federation, cfg FedConfig) (*FedResult, error) { return fl.Run(fed, cfg) }
+func RunFederated(fed *Federation, cfg FedConfig) (*FedResult, error) {
+	//speclint:allow deprecated this deprecated public wrapper delegates to its deprecated internal counterpart to keep numerics pinned
+	return fl.Run(fed, cfg)
+}
 
 // ---- Metrics (internal/metrics, internal/graphx) ----
 
