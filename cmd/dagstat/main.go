@@ -1,10 +1,13 @@
 // Command dagstat inspects Specializing DAG artifacts: plain tangle
-// snapshots (cmd/specdag -save, format SDG1) and full simulation
-// checkpoints of both engine kinds — synchronous rounds (format SDC1) and
-// the event-driven engine (format SDA1), the resumable state behind
-// specdag.Run. It reports structural statistics, per-issuer activity,
-// heaviest transactions by cumulative weight, and optional Graphviz export;
-// for checkpoints it additionally shows the resume point.
+// snapshots (cmd/specdag -save, format SDG1), full simulation checkpoints
+// of both engine kinds — synchronous rounds (format SDC1) and the
+// event-driven engine (format SDA1), the resumable state behind
+// specdag.Run — and SDE1 event logs (cmd/specdag -events, or a saved
+// specdagd events download). For tangle-bearing artifacts it reports
+// structural statistics, per-issuer activity, heaviest transactions by
+// cumulative weight, and optional Graphviz export; for checkpoints it
+// additionally shows the resume point; for event logs it counts frames by
+// kind and shows the originating run's configuration and outcome.
 //
 //	specdag -dataset fmnist -rounds 30 -save tangle.sdg
 //	dagstat -in tangle.sdg
@@ -13,12 +16,15 @@
 //	dagstat -in run.sdc
 //	specdag -dataset fmnist -async -duration 300 -checkpoint run.sda
 //	dagstat -in run.sda
+//	curl -o run.sde 'localhost:9477/runs/1/events?from=0'
+//	dagstat -in run.sde
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -26,6 +32,7 @@ import (
 	"github.com/specdag/specdag/internal/dag"
 	"github.com/specdag/specdag/internal/graphx"
 	"github.com/specdag/specdag/internal/metrics"
+	"github.com/specdag/specdag/internal/wire"
 	"github.com/specdag/specdag/internal/xrand"
 )
 
@@ -54,8 +61,9 @@ func run() error {
 	}
 	defer f.Close()
 
-	// Sniff the magic: plain DAG snapshot (SDG1) or full simulation
-	// checkpoint (sync SDC1 / async SDA1) — all carry a tangle to analyze.
+	// Sniff the magic: plain DAG snapshot (SDG1), full simulation
+	// checkpoint (sync SDC1 / async SDA1) — all carrying a tangle to
+	// analyze — or an SDE1 event log, which gets its own report.
 	br := bufio.NewReader(f)
 	magic, err := br.Peek(4)
 	if err != nil {
@@ -63,6 +71,8 @@ func run() error {
 	}
 	var d *dag.DAG
 	switch string(magic) {
+	case "SDE1":
+		return eventLogStats(*in, br)
 	case "SDC1", "SDA1":
 		info, ckptDAG, err := core.InspectCheckpoint(br)
 		if err != nil {
@@ -147,6 +157,81 @@ func run() error {
 			return fmt.Errorf("writing DOT file: %w", err)
 		}
 		fmt.Printf("\nwrote Graphviz output to %s\n", *dotFile)
+	}
+	return nil
+}
+
+// eventLogStats reports an SDE1 event log: the originating run's identity
+// and configuration, frame counts by kind, the index range, and how (or
+// whether) the run ended.
+func eventLogStats(name string, r io.Reader) error {
+	wr, err := wire.NewReader(r)
+	if err != nil {
+		return err
+	}
+	var (
+		counts      = map[wire.Kind]int{}
+		total       int
+		first, last uint64
+		info        *wire.RunInfo
+		end         *wire.End
+	)
+	for {
+		f, err := wr.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("frame %d: %w", total, err)
+		}
+		if total == 0 {
+			first = f.Index
+		}
+		last = f.Index
+		total++
+		counts[f.Kind]++
+		switch f.Kind {
+		case wire.KindStart:
+			info = f.Start
+		case wire.KindEnd:
+			end = f.End
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("%s: empty event log", name)
+	}
+
+	fmt.Printf("event log: %s\n", name)
+	if info != nil {
+		fmt.Printf("run: engine %s, seed %d", info.Engine, info.Seed)
+		if info.Label != "" {
+			fmt.Printf(", label %q", info.Label)
+		}
+		fmt.Println()
+		keys := make([]string, 0, len(info.Config))
+		for k := range info.Config {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %s = %s\n", k, info.Config[k])
+		}
+	} else {
+		fmt.Println("run: unknown (log starts mid-stream, no start frame)")
+	}
+	fmt.Printf("frames: %d, indices [%d, %d]\n", total, first, last)
+	for _, k := range []wire.Kind{wire.KindStart, wire.KindRound, wire.KindPublish, wire.KindProbe, wire.KindCheckpoint, wire.KindGap, wire.KindEnd} {
+		if counts[k] > 0 {
+			fmt.Printf("  %-10s %d\n", k, counts[k])
+		}
+	}
+	switch {
+	case end == nil:
+		fmt.Println("outcome: log ends mid-run (no end frame)")
+	case end.Completed:
+		fmt.Printf("outcome: completed after %d steps\n", end.Steps)
+	default:
+		fmt.Printf("outcome: stopped after %d steps: %s\n", end.Steps, end.Err)
 	}
 	return nil
 }

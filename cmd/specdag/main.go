@@ -39,6 +39,7 @@ import (
 	"github.com/specdag/specdag/internal/profiling"
 	"github.com/specdag/specdag/internal/sim"
 	"github.com/specdag/specdag/internal/tipselect"
+	"github.com/specdag/specdag/internal/wire"
 	"github.com/specdag/specdag/internal/xrand"
 )
 
@@ -81,6 +82,45 @@ func (a *atomicFile) abort() {
 	os.Remove(a.path + ".tmp")
 }
 
+// eventRecorder streams the run's events into an SDE1 log file (-events):
+// the same frames a specdagd subscriber would receive, written locally.
+type eventRecorder struct {
+	f   *os.File
+	log *wire.EventLog
+}
+
+// newEventRecorder opens the log file and writes its start frame.
+func newEventRecorder(path string, eng engine.Engine, seed int64, config map[string]string) (*eventRecorder, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("creating event log: %w", err)
+	}
+	l, err := wire.NewEventLog(f, 0, wire.RunInfo{Engine: eng.Name(), Seed: seed, Config: config})
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("starting event log: %w", err)
+	}
+	return &eventRecorder{f: f, log: l}, nil
+}
+
+// finish writes the end frame and closes the file, surfacing any write
+// error the hook path had to swallow mid-run.
+func (r *eventRecorder) finish(rep *engine.Report, runErr error) error {
+	if r == nil {
+		return nil
+	}
+	r.log.End(rep.Steps, rep.Completed, runErr)
+	if err := r.log.Err(); err != nil {
+		r.f.Close()
+		return fmt.Errorf("writing event log: %w", err)
+	}
+	if err := r.f.Close(); err != nil {
+		return fmt.Errorf("closing event log: %w", err)
+	}
+	fmt.Printf("wrote event log %s (%d frames)\n", r.f.Name(), r.log.NextIndex())
+	return nil
+}
+
 func run() error {
 	var (
 		datasetName    = flag.String("dataset", "fmnist", "dataset: fmnist | fmnist-relaxed | fmnist-bywriter | poets | cifar100 | fedprox")
@@ -97,6 +137,7 @@ func run() error {
 		every          = flag.Int("progress-every", 5, "print progress every N rounds")
 		dotFile        = flag.String("dot", "", "write the final DAG in Graphviz format to this file")
 		saveFile       = flag.String("save", "", "write the final DAG as a binary snapshot (inspect with dagstat)")
+		eventsFile     = flag.String("events", "", "record the run's event stream to this SDE1 log file (inspect with dagstat)")
 		ckptFile       = flag.String("checkpoint", "", "write a full simulation checkpoint to this file every -checkpoint-every rounds/events and at exit (resume with -resume)")
 		ckptEvery      = flag.Int("checkpoint-every", 10, "rounds (or events, with -async) between periodic checkpoints (with -checkpoint)")
 		resumeFile     = flag.String("resume", "", "resume from a checkpoint written by -checkpoint (requires the same dataset/config flags)")
@@ -186,6 +227,7 @@ func run() error {
 		return runAsync(spec, acfg, asyncOpts{
 			seed:       *seed,
 			every:      *every,
+			eventsFile: *eventsFile,
 			ckptFile:   *ckptFile,
 			ckptEvery:  *ckptEvery,
 			resumeFile: *resumeFile,
@@ -261,8 +303,22 @@ func run() error {
 			return newAtomicFile(*ckptFile)
 		}))
 	}
+	var rec *eventRecorder
+	if *eventsFile != "" {
+		rec, err = newEventRecorder(*eventsFile, s, *seed, map[string]string{
+			"dataset": *datasetName, "preset": preset.String(), "selector": sel.Name(),
+			"rounds": fmt.Sprint(cfg.Rounds), "clients_per_round": fmt.Sprint(cfg.ClientsPerRound),
+		})
+		if err != nil {
+			return err
+		}
+		opts = append(opts, engine.WithHooks(rec.log.Hooks()))
+	}
 
-	_, runErr := engine.Run(ctx, s, opts...)
+	rep, runErr := engine.Run(ctx, s, opts...)
+	if err := rec.finish(rep, runErr); err != nil {
+		return err
+	}
 	canceled := errors.Is(runErr, context.Canceled)
 	if runErr != nil && !canceled {
 		return runErr
@@ -287,6 +343,7 @@ func run() error {
 type asyncOpts struct {
 	seed       int64
 	every      int
+	eventsFile string
 	ckptFile   string
 	ckptEvery  int
 	resumeFile string
@@ -338,8 +395,23 @@ func runAsync(spec sim.Spec, acfg core.AsyncConfig, o asyncOpts) error {
 			return newAtomicFile(o.ckptFile)
 		}))
 	}
+	var rec *eventRecorder
+	if o.eventsFile != "" {
+		rec, err = newEventRecorder(o.eventsFile, a, o.seed, map[string]string{
+			"dataset": spec.Name, "duration": fmt.Sprint(acfg.Duration),
+			"min_cycle": fmt.Sprint(acfg.MinCycle), "max_cycle": fmt.Sprint(acfg.MaxCycle),
+			"net_delay": fmt.Sprint(acfg.NetworkDelay),
+		})
+		if err != nil {
+			return err
+		}
+		opts = append(opts, engine.WithHooks(rec.log.Hooks()))
+	}
 
-	_, runErr := engine.Run(ctx, a, opts...)
+	rep, runErr := engine.Run(ctx, a, opts...)
+	if err := rec.finish(rep, runErr); err != nil {
+		return err
+	}
 	canceled := errors.Is(runErr, context.Canceled)
 	if runErr != nil && !canceled {
 		return runErr

@@ -1,0 +1,103 @@
+// Command specdagd is the Specializing DAG experiment daemon: it hosts many
+// concurrent DAG-FL runs on one shared worker budget and serves their
+// lifecycle and live SDE1 event streams over HTTP.
+//
+//	specdagd -addr :9477 -workers 8 -dir /var/lib/specdagd
+//
+// Submit a run and watch it:
+//
+//	curl -d '{"dataset":"fmnist","seed":1,"label":"demo"}' localhost:9477/runs
+//	curl -o demo.sde 'localhost:9477/runs/1/events?from=0'   # blocks until done
+//	dagstat -in demo.sde
+//
+// On SIGTERM/SIGINT the daemon pauses every running run to a checkpoint,
+// and — when -dir is set — persists the checkpoints and a manifest so the
+// next boot resumes where this one stopped (paused runs come back paused;
+// POST /runs/{id}/resume continues them bit-identically).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/specdag/specdag/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:9477", "listen address")
+		workers = flag.Int("workers", 0, "shared worker budget for all hosted runs (0 = NumCPU)")
+		ring    = flag.Int("ring", 0, "per-run event ring capacity in frames (0 = default)")
+		every   = flag.Int("checkpoint-every", 25, "default checkpoint cadence in engine units")
+		dir     = flag.String("dir", "", "state directory: persist paused runs on shutdown, restore them on boot")
+		grace   = flag.Duration("grace", 30*time.Second, "shutdown grace period for pausing runs")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *ring, *every, *dir, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "specdagd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, ring, every int, dir string, grace time.Duration) error {
+	s := serve.NewServer(serve.Config{
+		Workers:         workers,
+		Ring:            ring,
+		CheckpointEvery: every,
+		Dir:             dir,
+	})
+	if dir != "" {
+		n, err := s.Restore()
+		if err != nil {
+			return fmt.Errorf("restoring state from %s: %w", dir, err)
+		}
+		if n > 0 {
+			log.Printf("restored %d runs from %s", n, dir)
+		}
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	// The listener's accept loop; joined via errc before run returns.
+	//speclint:allow budget http.Server owns its goroutines; this one hands ListenAndServe's exit back to main
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("specdagd listening on %s (workers=%d)", addr, workers)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Printf("%s: pausing runs to checkpoints", sig)
+	case err := <-errc:
+		return fmt.Errorf("listening on %s: %w", addr, err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	// Stop accepting new work first, then quiesce the runs: open event
+	// streams end when their runs settle, so Shutdown order matters.
+	if err := s.Shutdown(ctx); err != nil {
+		log.Printf("pausing runs: %v", err)
+	}
+	for _, st := range s.Statuses() {
+		log.Printf("run %d (%s): %s at step %d", st.ID, st.Dataset, st.State, st.Steps)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("closing listener: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if dir != "" {
+		log.Printf("state persisted to %s", dir)
+	}
+	return nil
+}

@@ -42,6 +42,11 @@ var checkpointMagic = [4]byte{'S', 'D', 'C', '1'}
 // tell a user who hands them a bare tangle snapshot what they actually have.
 var codecMagicSDG1 = [4]byte{'S', 'D', 'G', '1'}
 
+// eventStreamMagicSDE1 mirrors the event-stream codec's magic
+// (internal/wire) for the same reason: a user who points a resume at a
+// saved event log gets told what the file actually is.
+var eventStreamMagicSDE1 = [4]byte{'S', 'D', 'E', '1'}
+
 // clientCheckpoint is the per-client carried state.
 type clientCheckpoint struct {
 	ID         int
@@ -117,6 +122,8 @@ func readCheckpointState(r io.Reader) (*checkpointState, *dag.DAG, error) {
 		return nil, nil, fmt.Errorf("core: this is an asynchronous event-simulation checkpoint (magic %q) — resume it with ResumeAsyncSimulation, not ResumeSimulation", magic)
 	case codecMagicSDG1:
 		return nil, nil, fmt.Errorf("core: bad magic %q — this is a bare DAG snapshot, not a simulation checkpoint (inspect it with dagstat or dag.ReadDAG)", magic)
+	case eventStreamMagicSDE1:
+		return nil, nil, fmt.Errorf("core: bad magic %q — this is an event-stream log, not a simulation checkpoint (inspect it with dagstat or wire.ReadAll)", magic)
 	default:
 		return nil, nil, fmt.Errorf("core: bad magic %q (not a SDC1 checkpoint)", magic)
 	}

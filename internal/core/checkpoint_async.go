@@ -161,6 +161,8 @@ func readAsyncCheckpointState(r io.Reader) (*asyncCheckpointState, *dag.DAG, err
 		return nil, nil, fmt.Errorf("core: this is a synchronous round-simulation checkpoint (magic %q) — resume it with ResumeSimulation, not ResumeAsyncSimulation", magic)
 	case codecMagicSDG1:
 		return nil, nil, fmt.Errorf("core: bad magic %q — this is a bare DAG snapshot, not a simulation checkpoint (inspect it with dagstat or dag.ReadDAG)", magic)
+	case eventStreamMagicSDE1:
+		return nil, nil, fmt.Errorf("core: bad magic %q — this is an event-stream log, not a simulation checkpoint (inspect it with dagstat or wire.ReadAll)", magic)
 	default:
 		return nil, nil, fmt.Errorf("core: bad magic %q (not a SDA1 async checkpoint)", magic)
 	}

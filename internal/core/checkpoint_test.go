@@ -324,6 +324,18 @@ func TestCheckpointCorruptionPaths(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), "magic") {
 			t.Fatalf("bare DAG snapshot not rejected by magic check: %v", err)
 		}
+
+		// Same for an SDE1 event log (internal/wire): the resume paths must
+		// name the format instead of gob-decoding stream frames.
+		events := append([]byte("SDE1"), good[4:]...)
+		_, err = ResumeSimulation(smallFed(130), cfg, bytes.NewReader(events))
+		if err == nil || !strings.Contains(err.Error(), "event-stream log") {
+			t.Fatalf("SDE1 event log not identified by the sync magic check: %v", err)
+		}
+		_, err = ResumeAsyncSimulation(smallFed(130), goldenAsyncConfig(), bytes.NewReader(events))
+		if err == nil || !strings.Contains(err.Error(), "event-stream log") {
+			t.Fatalf("SDE1 event log not identified by the async magic check: %v", err)
+		}
 	})
 
 	t.Run("flipped-header-bytes", func(t *testing.T) {

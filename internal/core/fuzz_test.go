@@ -72,6 +72,11 @@ func FuzzCheckpointDecode(f *testing.F) {
 	flipped := append([]byte(nil), asyncSnap.Bytes()...)
 	flipped[7] ^= 0xff
 	f.Add(flipped)
+	// The event-stream sibling (internal/wire, magic SDE1): its header over
+	// a checkpoint payload must come back as the "this is an event log"
+	// error, never a decode attempt.
+	f.Add([]byte("SDE1"))
+	f.Add(append([]byte("SDE1"), syncSnap.Bytes()[4:]...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<20 {

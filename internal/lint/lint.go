@@ -116,6 +116,17 @@ type Diagnostic struct {
 // between "construct an engine" and "read its results". Packages outside
 // this set (CLIs, profiling, the par runtime, xrand itself) may touch the
 // wall clock and ambient randomness.
+//
+// The serving subsystem is deliberately absent: internal/serve and
+// internal/wire sit at the transport boundary, where wall-clock time
+// (status reporting, reconnect backoff, shutdown grace) and long-lived
+// supervisor goroutines are the job, not a contract violation. The engines
+// they host and the event payloads they carry stay inside the deterministic
+// set — serving a run changes none of its numerics, which the serve
+// package's round-trip equivalence tests pin. The budget analyzer still
+// applies there: serve's run supervisors are audited //speclint:allow
+// sites, not an exempt package (see TestDeterministicPkgSet and the
+// budget/internal/serve fixture).
 var deterministicPkgs = []string{
 	"internal/core",
 	"internal/dag",

@@ -1,0 +1,17 @@
+// Package serve is a fixture pinning the serving subsystem's concurrency
+// policy: being outside the deterministic-package set does NOT exempt it
+// from the goroutine budget. Its long-lived run supervisors are audited
+// //speclint:allow sites; anything unaudited is a finding.
+package serve
+
+func runSupervisor(start func()) {
+	// The sanctioned form: one supervisor per hosted run, audited.
+	//speclint:allow budget one long-lived supervisor goroutine per hosted run, joined on shutdown
+	go start()
+}
+
+func leakyFanOut(subscribers []func()) {
+	for _, s := range subscribers {
+		go s() // want `naked go statement outside internal/par`
+	}
+}

@@ -1,0 +1,225 @@
+// Package serve is the live-experiment serving subsystem: a run registry
+// hosting many concurrent engine.Runs on one shared par.Budget, a per-run
+// broadcaster fanning each run's event stream out to many subscribers, HTTP
+// handlers for run lifecycle (submit/status/pause-to-checkpoint/resume/
+// cancel) and event subscription, and a client-side reader (Subscribe) that
+// replays a stream back into engine.Hooks — so remote consumption is
+// indistinguishable from local observation.
+//
+// The package sits at the transport boundary and is deliberately NOT one of
+// the deterministic packages (see internal/lint): it reads the wall clock
+// for status reporting and reconnect backoff, and it supervises run
+// goroutines. The engines it hosts remain fully deterministic — serving a
+// run changes none of its numerics, which is what the round-trip
+// equivalence tests pin.
+//
+// # Backpressure
+//
+// Each run's events flow through a Broadcaster: a bounded ring buffer the
+// engine appends to without ever blocking, and per-subscriber cursors that
+// read from it. A slow subscriber therefore can never stall the engine —
+// if it falls behind by more than the ring's capacity, the overwritten
+// frames are dropped *for that subscriber only* and it is told exactly
+// which index range it missed (drop semantics). Because every run
+// checkpoints periodically and any checkpoint's event index is a valid
+// resume point, the subscriber may instead fetch the latest checkpoint and
+// continue from its index with full state (snapshot semantics). The choice
+// is the subscriber's; the engine never waits either way.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/specdag/specdag/internal/engine"
+	"github.com/specdag/specdag/internal/wire"
+)
+
+// DefaultRingSize is the per-run frame ring capacity when the server (or a
+// direct NewBroadcaster caller) does not choose one. It is sized to hold
+// several checkpoint intervals of a busy run, so a subscriber that
+// reconnects "from the last checkpoint's event index" ordinarily finds that
+// index still in the ring.
+const DefaultRingSize = 1 << 14
+
+// A Broadcaster fans one run's event stream out to any number of
+// subscribers through a bounded ring buffer.
+//
+// The appending side (the engine's hooks) is wait-free with respect to
+// subscribers: Append takes the mutex for an O(1) ring write and a channel
+// swap — it never waits for any subscriber to catch up. Subscribers block
+// only in Subscription.Next, on their own goroutines.
+type Broadcaster struct {
+	mu     sync.Mutex
+	ring   []wire.Frame
+	start  uint64 // index of the oldest retained frame
+	next   uint64 // index the next appended frame will get
+	closed bool
+	notify chan struct{} // closed and replaced on every append
+}
+
+// NewBroadcaster creates a broadcaster whose ring retains the last
+// `capacity` frames (capacity <= 0 selects DefaultRingSize), with the event
+// log starting at index start — 0 for a fresh run, the checkpoint's event
+// index when a daemon re-hosts a resumed run.
+func NewBroadcaster(capacity int, start uint64) *Broadcaster {
+	if capacity <= 0 {
+		capacity = DefaultRingSize
+	}
+	return &Broadcaster{
+		ring:   make([]wire.Frame, capacity),
+		start:  start,
+		next:   start,
+		notify: make(chan struct{}),
+	}
+}
+
+// Append stamps the frame with the next log index and publishes it. It
+// never blocks on subscribers: when the ring is full the oldest frame is
+// overwritten (subscribers still pointing at it will observe a gap).
+// Appending to a closed broadcaster panics — the engine's hooks are wired
+// before the run starts and the End frame is appended last, so a
+// post-close append is a lifecycle bug, not an operational condition.
+func (b *Broadcaster) Append(f wire.Frame) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		panic("serve: Append after Close")
+	}
+	f.Index = b.next
+	b.ring[int(b.next%uint64(len(b.ring)))] = f
+	b.next++
+	if b.next-b.start > uint64(len(b.ring)) {
+		b.start = b.next - uint64(len(b.ring))
+	}
+	notify := b.notify
+	b.notify = make(chan struct{})
+	b.mu.Unlock()
+	close(notify)
+}
+
+// Close marks the log complete (after the End frame). Blocked subscribers
+// drain the remaining frames and then see io.EOF via Subscription.Next.
+func (b *Broadcaster) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	notify := b.notify
+	b.notify = make(chan struct{})
+	b.mu.Unlock()
+	close(notify)
+}
+
+// Hooks returns engine hooks that append every event to the log. They are
+// invoked on the run goroutine, in the strict event order engine.Run
+// guarantees, so log order equals observation order.
+func (b *Broadcaster) Hooks() engine.Hooks {
+	return engine.Hooks{
+		OnRound:   func(ev engine.RoundEvent) { b.Append(wire.Frame{Kind: wire.KindRound, Round: &ev}) },
+		OnPublish: func(ev engine.PublishEvent) { b.Append(wire.Frame{Kind: wire.KindPublish, Publish: &ev}) },
+		OnProbe:   func(ev engine.ProbeEvent) { b.Append(wire.Frame{Kind: wire.KindProbe, Probe: &ev}) },
+	}
+}
+
+// NextIndex returns the index the next appended frame will get — equal to
+// the length of the run's event log so far.
+func (b *Broadcaster) NextIndex() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.next
+}
+
+// Earliest returns the index of the oldest frame still in the ring.
+func (b *Broadcaster) Earliest() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.start
+}
+
+// Closed reports whether the log is complete.
+func (b *Broadcaster) Closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}
+
+// A GapError reports that the frames in [From, To) were overwritten before
+// the subscriber read them. The subscription remains usable: Resync skips
+// to the oldest retained frame (drop semantics), or the caller fetches the
+// latest checkpoint and subscribes anew from its index (snapshot
+// semantics).
+type GapError struct {
+	From, To uint64
+}
+
+func (e *GapError) Error() string {
+	return fmt.Sprintf("serve: subscriber fell behind the ring: frames [%d, %d) were dropped — resync or resume from the latest checkpoint", e.From, e.To)
+}
+
+// A Subscription is one reader's cursor into a broadcaster's log. It is not
+// safe for concurrent use; each subscriber goroutine owns its own.
+type Subscription struct {
+	b      *Broadcaster
+	cursor uint64
+}
+
+// Subscribe opens a cursor at the given log index. Any index is accepted:
+// one before the ring's tail reports a GapError on the first Next (telling
+// the caller exactly what was missed), one beyond the current head blocks
+// until the log grows to it.
+func (b *Broadcaster) Subscribe(from uint64) *Subscription {
+	return &Subscription{b: b, cursor: from}
+}
+
+// Next returns the frame at the cursor, blocking until it is available.
+// It returns io.EOF once the log is complete and fully consumed, a
+// *GapError when the cursor's frame was overwritten, and ctx.Err() when the
+// context ends first.
+func (s *Subscription) Next(ctx context.Context) (wire.Frame, error) {
+	b := s.b
+	for {
+		b.mu.Lock()
+		if s.cursor < b.start {
+			gap := &GapError{From: s.cursor, To: b.start}
+			b.mu.Unlock()
+			return wire.Frame{}, gap
+		}
+		if s.cursor < b.next {
+			f := b.ring[int(s.cursor%uint64(len(b.ring)))]
+			b.mu.Unlock()
+			s.cursor++
+			return f, nil
+		}
+		if b.closed {
+			b.mu.Unlock()
+			return wire.Frame{}, io.EOF
+		}
+		notify := b.notify
+		b.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return wire.Frame{}, ctx.Err()
+		case <-notify:
+		}
+	}
+}
+
+// Resync jumps the cursor past a gap to the oldest retained frame and
+// returns the new cursor (drop semantics). A no-op when not behind.
+func (s *Subscription) Resync() uint64 {
+	b := s.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s.cursor < b.start {
+		s.cursor = b.start
+	}
+	return s.cursor
+}
+
+// Cursor returns the index of the next frame Next will deliver.
+func (s *Subscription) Cursor() uint64 { return s.cursor }

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/specdag/specdag/internal/engine"
+	"github.com/specdag/specdag/internal/wire"
+)
+
+func probeFrame(n int) wire.Frame {
+	return wire.Frame{Kind: wire.KindProbe, Probe: &engine.ProbeEvent{Engine: "t", Step: n, Name: "p", Value: float64(n)}}
+}
+
+// TestBroadcastOrder pins in-order delivery and clean EOF after Close.
+func TestBroadcastOrder(t *testing.T) {
+	b := NewBroadcaster(64, 0)
+	for i := 0; i < 10; i++ {
+		b.Append(probeFrame(i))
+	}
+	b.Close()
+	sub := b.Subscribe(0)
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		f, err := sub.Next(ctx)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Index != uint64(i) || f.Probe.Step != i {
+			t.Fatalf("frame %d: index %d step %d", i, f.Index, f.Probe.Step)
+		}
+	}
+	if _, err := sub.Next(ctx); err != io.EOF {
+		t.Fatalf("after drain: %v, want io.EOF", err)
+	}
+}
+
+// TestBroadcastGapResync pins the drop semantics: a subscriber behind the
+// ring gets a GapError naming the missed range and Resync continues from
+// the oldest retained frame.
+func TestBroadcastGapResync(t *testing.T) {
+	b := NewBroadcaster(4, 0)
+	for i := 0; i < 10; i++ {
+		b.Append(probeFrame(i))
+	}
+	sub := b.Subscribe(0)
+	_, err := sub.Next(context.Background())
+	var gap *GapError
+	if !errors.As(err, &gap) {
+		t.Fatalf("want GapError, got %v", err)
+	}
+	if gap.From != 0 || gap.To != 6 {
+		t.Fatalf("gap [%d, %d), want [0, 6)", gap.From, gap.To)
+	}
+	if got := sub.Resync(); got != 6 {
+		t.Fatalf("Resync = %d, want 6", got)
+	}
+	for i := 6; i < 10; i++ {
+		f, err := sub.Next(context.Background())
+		if err != nil || f.Index != uint64(i) {
+			t.Fatalf("post-resync frame: %v %v", f.Index, err)
+		}
+	}
+}
+
+// TestBroadcastBlocksUntilAppend pins that a caught-up subscriber blocks in
+// Next (honoring ctx) rather than spinning or erroring.
+func TestBroadcastBlocksUntilAppend(t *testing.T) {
+	b := NewBroadcaster(8, 0)
+	sub := b.Subscribe(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := sub.Next(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("empty log: %v, want deadline", err)
+	}
+	done := make(chan wire.Frame, 1)
+	go func() {
+		f, err := sub.Next(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		done <- f
+	}()
+	b.Append(probeFrame(42))
+	f := <-done
+	if f.Probe.Step != 42 {
+		t.Fatalf("woke with step %d, want 42", f.Probe.Step)
+	}
+}
+
+// TestBroadcastResumedLogStart pins that a log can start at a nonzero index
+// (a daemon re-hosting a run from a checkpoint).
+func TestBroadcastResumedLogStart(t *testing.T) {
+	b := NewBroadcaster(8, 1000)
+	b.Append(probeFrame(0))
+	if b.Earliest() != 1000 || b.NextIndex() != 1001 {
+		t.Fatalf("resumed log at [%d, %d), want [1000, 1001)", b.Earliest(), b.NextIndex())
+	}
+	f, err := b.Subscribe(1000).Next(context.Background())
+	if err != nil || f.Index != 1000 {
+		t.Fatalf("resumed read: %v %v", f.Index, err)
+	}
+}
+
+// TestAppendAfterClosePanics pins the lifecycle contract.
+func TestAppendAfterClosePanics(t *testing.T) {
+	b := NewBroadcaster(4, 0)
+	b.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append after Close did not panic")
+		}
+	}()
+	b.Append(probeFrame(0))
+}
+
+// TestBroadcastStress is the acceptance-criteria stress test: ≥1000
+// subscribers — one artificially stalled forever — while the appender (the
+// engine's step loop stand-in) pushes tens of thousands of frames. The
+// appender must finish without ever waiting on a subscriber, every reading
+// subscriber must observe a strictly ordered (possibly gapped) stream, and
+// the stalled subscriber must cost nothing.
+func TestBroadcastStress(t *testing.T) {
+	const (
+		subscribers = 1000
+		frames      = stressFrames
+		ring        = 1024
+	)
+	b := NewBroadcaster(ring, 0)
+
+	// The stalled subscriber: subscribes, then never calls Next until the
+	// very end. If Append waited on subscribers this test would deadlock.
+	stalled := b.Subscribe(0)
+
+	var wg sync.WaitGroup
+	var delivered, gaps atomic.Int64
+	ctx := context.Background()
+	for i := 0; i < subscribers; i++ {
+		sub := b.Subscribe(0)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := int64(-1)
+			for {
+				f, err := sub.Next(ctx)
+				switch {
+				case err == nil:
+					if int64(f.Index) <= last {
+						t.Errorf("index %d not after %d", f.Index, last)
+						return
+					}
+					last = int64(f.Index)
+					delivered.Add(1)
+				case errors.As(err, new(*GapError)):
+					gaps.Add(1)
+					if got := sub.Resync(); int64(got) <= last {
+						t.Errorf("resync to %d not after %d", got, last)
+						return
+					}
+				case errors.Is(err, io.EOF):
+					return
+				default:
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	// The step loop: appends are synchronous and must complete regardless
+	// of subscriber progress. A generous wall-clock bound guards against a
+	// regression that makes Append wait on subscribers (which would turn
+	// this loop from microseconds-per-append into seconds or a deadlock).
+	start := time.Now()
+	for i := 0; i < frames; i++ {
+		b.Append(probeFrame(i))
+	}
+	appendTime := time.Since(start)
+	b.Close()
+	wg.Wait()
+
+	if appendTime > 30*time.Second {
+		t.Fatalf("append loop took %v — the step loop is blocking on subscribers", appendTime)
+	}
+	if delivered.Load() == 0 {
+		t.Fatal("no frames delivered")
+	}
+	// The stalled subscriber wakes at the very end and finds a gap — the
+	// ring moved on without it, exactly the contract.
+	_, err := stalled.Next(ctx)
+	var gap *GapError
+	if !errors.As(err, &gap) {
+		t.Fatalf("stalled subscriber got %v, want GapError", err)
+	}
+	if gap.To != frames-ring {
+		t.Fatalf("stalled gap ends at %d, want %d", gap.To, frames-ring)
+	}
+	if stalled.Resync() != frames-ring {
+		t.Fatal("stalled subscriber cannot resync")
+	}
+	t.Logf("%d frames to %d subscribers in %v (%d delivered, %d gaps)",
+		frames, subscribers, appendTime, delivered.Load(), gaps.Load())
+}

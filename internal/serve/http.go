@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+
+	"github.com/specdag/specdag/internal/wire"
+)
+
+// writeJSON writes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// apiError is the JSON error body of every non-2xx response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeError maps lifecycle errors to HTTP statuses: unknown run → 404,
+// lifecycle conflict → 409, everything else → 400.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	var nf *notFoundError
+	var st *stateError
+	switch {
+	case errors.As(err, &nf):
+		status = http.StatusNotFound
+	case errors.As(err, &st):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// pathID parses the {id} path segment, answering 404 itself on garbage.
+func pathID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id <= 0 {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "run IDs are positive integers"})
+		return 0, false
+	}
+	return id, true
+}
+
+// handleSubmit implements POST /runs: decode the RunRequest, start the run,
+// answer 201 with its initial status.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decoding run request: " + err.Error()})
+		return
+	}
+	id, err := s.Submit(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	run, _ := s.lookup(id)
+	writeJSON(w, http.StatusCreated, run.status())
+}
+
+// handleList implements GET /runs: every run's status, ordered by ID.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Statuses())
+}
+
+// handleStatus implements GET /runs/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	run, err := s.lookup(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, run.status())
+}
+
+// handlePause implements POST /runs/{id}/pause: stop at the next unit
+// boundary, checkpoint, answer with the status (whose CheckpointIndex is
+// the event index a subscriber resumes from).
+func (s *Server) handlePause(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	if _, err := s.Pause(r.Context(), id); err != nil {
+		writeError(w, err)
+		return
+	}
+	run, _ := s.lookup(id)
+	writeJSON(w, http.StatusOK, run.status())
+}
+
+// handleResume implements POST /runs/{id}/resume.
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	if err := s.Resume(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	run, _ := s.lookup(id)
+	writeJSON(w, http.StatusOK, run.status())
+}
+
+// handleCancel implements POST /runs/{id}/cancel.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	if err := s.Cancel(r.Context(), id); err != nil {
+		writeError(w, err)
+		return
+	}
+	run, _ := s.lookup(id)
+	writeJSON(w, http.StatusOK, run.status())
+}
+
+// handleCheckpoint implements GET /runs/{id}/checkpoint: the latest
+// checkpoint blob (SDC1/SDA1, exactly what cmd/specdag -resume accepts),
+// with CheckpointIndexHeader carrying the event index it resumes from.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	run, err := s.lookup(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	run.mu.Lock()
+	ckpt, index := run.ckpt, run.ckptIndex
+	run.mu.Unlock()
+	if ckpt == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "run has no checkpoint yet"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(CheckpointIndexHeader, strconv.FormatUint(index, 10))
+	w.WriteHeader(http.StatusOK)
+	w.Write(ckpt)
+}
+
+// handleEvents implements GET /runs/{id}/events?from=N: an SDE1 stream of
+// the run's event log from index N (default 0) until the run ends or the
+// client disconnects. Any index at or before the log head is valid; if the
+// ring has already dropped it, the stream opens with a Gap frame naming the
+// missed range and the latest checkpoint's index, then continues from the
+// oldest retained frame — the client chooses between accepting the drop and
+// re-subscribing from the checkpoint. An index beyond the head answers 416
+// (a client asking for events that do not exist yet is confused, not early:
+// reconnecting clients resume from indices they have already seen).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	run, err := s.lookup(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	from := uint64(0)
+	if q := r.URL.Query().Get("from"); q != "" {
+		from, err = strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "from must be a non-negative integer"})
+			return
+		}
+	}
+	if next := run.b.NextIndex(); from > next {
+		writeJSON(w, http.StatusRequestedRangeNotSatisfiable, apiError{
+			Error: "from " + strconv.FormatUint(from, 10) + " is beyond the log head " + strconv.FormatUint(next, 10),
+		})
+		return
+	}
+
+	w.Header().Set("Content-Type", EventStreamContentType)
+	w.WriteHeader(http.StatusOK)
+	ww, err := wire.NewWriter(w)
+	if err != nil {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	flush() // commit the header so clients see the magic before the first event
+
+	sub := run.b.Subscribe(from)
+	for {
+		f, err := sub.Next(r.Context())
+		var gap *GapError
+		switch {
+		case err == nil:
+			if ww.WriteFrame(&f) != nil {
+				return // client gone
+			}
+			flush()
+		case errors.As(err, &gap):
+			// Tell the subscriber exactly what it missed and where the
+			// latest checkpoint resumes, then continue with what remains.
+			run.mu.Lock()
+			ckptIndex := run.ckptIndex
+			run.mu.Unlock()
+			gf := wire.Frame{
+				Index: gap.From,
+				Kind:  wire.KindGap,
+				Gap:   &wire.Gap{From: gap.From, To: gap.To, CheckpointIndex: ckptIndex},
+			}
+			if ww.WriteFrame(&gf) != nil {
+				return
+			}
+			flush()
+			sub.Resync()
+		case errors.Is(err, io.EOF):
+			return // log complete: the End frame was the last write
+		default:
+			return // client context canceled
+		}
+	}
+}
+
+// Statuses returns every run's status ordered by ID (the list endpoint's
+// body, also used by the daemon's shutdown log).
+func (s *Server) Statuses() []RunStatus {
+	s.mu.Lock()
+	ids := make([]int, 0, len(s.runs))
+	for id := range s.runs {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	statuses := make([]RunStatus, 0, len(ids))
+	for _, id := range ids {
+		if r, err := s.lookup(id); err == nil {
+			statuses = append(statuses, r.status())
+		}
+	}
+	for i := 1; i < len(statuses); i++ {
+		for j := i; j > 0 && statuses[j-1].ID > statuses[j].ID; j-- {
+			statuses[j-1], statuses[j] = statuses[j], statuses[j-1]
+		}
+	}
+	return statuses
+}

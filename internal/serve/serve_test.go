@@ -1,0 +1,412 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/specdag/specdag/internal/core"
+	"github.com/specdag/specdag/internal/engine"
+	"github.com/specdag/specdag/internal/wire"
+)
+
+// recorder collects hook events for field-for-field comparison.
+type recorder struct {
+	mu     sync.Mutex
+	rounds []engine.RoundEvent
+	pubs   []engine.PublishEvent
+	probes []engine.ProbeEvent
+}
+
+func (r *recorder) hooks() engine.Hooks {
+	return engine.Hooks{
+		OnRound: func(ev engine.RoundEvent) {
+			r.mu.Lock()
+			r.rounds = append(r.rounds, ev)
+			r.mu.Unlock()
+		},
+		OnPublish: func(ev engine.PublishEvent) {
+			r.mu.Lock()
+			r.pubs = append(r.pubs, ev)
+			r.mu.Unlock()
+		},
+		OnProbe: func(ev engine.ProbeEvent) {
+			r.mu.Lock()
+			r.probes = append(r.probes, ev)
+			r.mu.Unlock()
+		},
+	}
+}
+
+// mustEqualEvents compares two recorded event sequences field-for-field,
+// including the interface-typed Detail payloads.
+func mustEqualEvents(t *testing.T, got, want *recorder) {
+	t.Helper()
+	if len(got.rounds) != len(want.rounds) {
+		t.Fatalf("got %d round events, want %d", len(got.rounds), len(want.rounds))
+	}
+	for i := range want.rounds {
+		if !reflect.DeepEqual(got.rounds[i], want.rounds[i]) {
+			t.Fatalf("round event %d diverged:\n got %+v\nwant %+v", i, got.rounds[i], want.rounds[i])
+		}
+	}
+	if !reflect.DeepEqual(got.pubs, want.pubs) {
+		t.Fatalf("publish events diverged:\n got %+v\nwant %+v", got.pubs, want.pubs)
+	}
+	if !reflect.DeepEqual(got.probes, want.probes) {
+		t.Fatalf("probe events diverged: got %+v want %+v", got.probes, want.probes)
+	}
+}
+
+// localReference runs the same request's engine in-process and records the
+// events a local engine.Hooks observer sees.
+func localReference(t *testing.T, s *Server, req RunRequest) *recorder {
+	t.Helper()
+	req.normalize()
+	eng, err := s.buildEngine(&req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	if _, err := engine.Run(context.Background(), eng, engine.WithPool(s.Pool()), engine.WithHooks(rec.hooks())); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// waitState polls a run's status until pred holds (the hosted run advances
+// on its own goroutine).
+func waitState(t *testing.T, s *Server, id int, pred func(RunStatus) bool) RunStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := s.lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := r.status()
+		if pred(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run %d stuck at %+v", id, st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSubscribeEquivalence is the acceptance-criteria round trip: events
+// decoded via Subscribe must be field-for-field identical to the events a
+// local engine.Hooks observer receives for the same seeded run — including
+// across a disconnect/reconnect at an arbitrary event index.
+func TestSubscribeEquivalence(t *testing.T) {
+	req := RunRequest{Dataset: "fmnist", Seed: 11, Rounds: 6, ClientsPerRound: 2, Workers: 2, CheckpointEvery: 2, Label: "eq"}
+	s := NewServer(Config{Workers: 4})
+	want := localReference(t, s, req)
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	id, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First connection: drop it deliberately after a handful of frames —
+	// mid-stream, at no special boundary.
+	const cutAfter = 5
+	got := &recorder{}
+	frames := 0
+	var next uint64
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err = Subscribe(ctx, ts.URL, id, SubscribeOptions{
+		Hooks:      got.hooks(),
+		Reconnects: -1, // make the disconnect terminal so the test controls the resume
+		OnFrame: func(f wire.Frame) {
+			frames++
+			next = f.Index + 1
+			if frames == cutAfter {
+				cancel()
+			}
+		},
+	})
+	cancel()
+	if err == nil {
+		t.Fatal("first connection was not cut")
+	}
+
+	// Reconnect from the exact next index; the combined replay must equal
+	// the local observation with no duplicated or missing events.
+	end, err := Subscribe(context.Background(), ts.URL, id, SubscribeOptions{Hooks: got.hooks(), From: next})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !end.Completed || end.Steps != 6 {
+		t.Fatalf("end frame %+v, want 6 completed steps", end)
+	}
+	mustEqualEvents(t, got, want)
+
+	// The Detail payloads must arrive as their concrete engine types.
+	if _, ok := got.rounds[0].Detail.(*core.RoundResult); !ok {
+		t.Fatalf("remote Detail decoded as %T, want *core.RoundResult", got.rounds[0].Detail)
+	}
+}
+
+// TestSubscribeEquivalenceAsync runs the same round trip against the
+// event-driven engine (simulated-time units, *core.AsyncEvent details).
+func TestSubscribeEquivalenceAsync(t *testing.T) {
+	req := RunRequest{Dataset: "fmnist", Seed: 5, Async: true, Duration: 5, MinCycle: 1, MaxCycle: 4, Workers: 2, Label: "async-eq"}
+	s := NewServer(Config{Workers: 4})
+	want := localReference(t, s, req)
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	id, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := &recorder{}
+	if _, err := Subscribe(context.Background(), ts.URL, id, SubscribeOptions{Hooks: got.hooks()}); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualEvents(t, got, want)
+	if len(got.rounds) == 0 {
+		t.Fatal("async run produced no events")
+	}
+	if _, ok := got.rounds[0].Detail.(*core.AsyncEvent); !ok {
+		t.Fatalf("remote Detail decoded as %T, want *core.AsyncEvent", got.rounds[0].Detail)
+	}
+}
+
+// TestPauseResumeEquivalence pins that pause-to-checkpoint + resume leaves
+// the served event stream identical to an uninterrupted run's: same events,
+// each exactly once, across the pause point.
+func TestPauseResumeEquivalence(t *testing.T) {
+	req := RunRequest{Dataset: "fmnist", Seed: 23, Rounds: 10, ClientsPerRound: 2, Workers: 2, CheckpointEvery: 3, Label: "pr"}
+	s := NewServer(Config{Workers: 4})
+	want := localReference(t, s, req)
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	id, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, id, func(st RunStatus) bool { return st.Steps >= 2 || st.State != StateRunning })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ckptIndex, err := s.Pause(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, s, id, func(st RunStatus) bool { return st.State == StatePaused })
+	if !st.HasCheckpoint || st.CheckpointIndex != ckptIndex {
+		t.Fatalf("paused status %+v does not carry checkpoint index %d", st, ckptIndex)
+	}
+	if st.Steps >= 10 {
+		t.Fatalf("run finished (%d steps) before pause — widen the window", st.Steps)
+	}
+	if err := s.Resume(id); err != nil {
+		t.Fatal(err)
+	}
+
+	got := &recorder{}
+	end, err := Subscribe(context.Background(), ts.URL, id, SubscribeOptions{Hooks: got.hooks()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !end.Completed || end.Steps != 10 {
+		t.Fatalf("end frame %+v, want 10 completed steps", end)
+	}
+	mustEqualEvents(t, got, want)
+}
+
+// TestHTTPLifecycle walks the HTTP surface end to end: submit, status,
+// list, error statuses for bad requests, 416 beyond the log head, cancel.
+func TestHTTPLifecycle(t *testing.T) {
+	s := NewServer(Config{Workers: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf [4096]byte
+		n, _ := resp.Body.Read(buf[:])
+		return resp, buf[:n]
+	}
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf [4096]byte
+		n, _ := resp.Body.Read(buf[:])
+		return resp, buf[:n]
+	}
+
+	if resp, _ := post("/runs", "{not json"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: %s", resp.Status)
+	}
+	if resp, body := post("/runs", `{"dataset":"nope","seed":1}`); resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "unknown dataset") {
+		t.Fatalf("unknown dataset: %s %s", resp.Status, body)
+	}
+	if resp, _ := post("/runs", `{"dataset":"fmnist","seed":1,"bogus":true}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: %s", resp.Status)
+	}
+	if resp, _ := get("/runs/7"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown run: %s", resp.Status)
+	}
+
+	resp, body := post("/runs", `{"dataset":"fmnist","seed":3,"rounds":2,"clients_per_round":2,"workers":2,"label":"http"}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %s %s", resp.Status, body)
+	}
+	var st RunStatus
+	if err := json.Unmarshal(body, &st); err != nil || st.ID == 0 {
+		t.Fatalf("submit body %q: %v", body, err)
+	}
+
+	waitState(t, s, st.ID, func(st RunStatus) bool { return st.State == StateDone })
+	resp, body = get("/runs/1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %s", resp.Status)
+	}
+	if err := json.Unmarshal(body, &st); err != nil || st.State != StateDone || st.Steps != 2 {
+		t.Fatalf("final status %s: %v", body, err)
+	}
+
+	if resp, _ = get("/runs"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: %s", resp.Status)
+	}
+	if resp, _ = get("/runs/1/events?from=99999"); resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+		t.Fatalf("beyond head: %s, want 416", resp.Status)
+	}
+	if resp, _ = post("/runs/1/pause", ""); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("pause done run: %s, want 409", resp.Status)
+	}
+
+	// Cancel a second, longer run and observe the canceled End frame.
+	resp, body = post("/runs", `{"dataset":"fmnist","seed":4,"rounds":500,"clients_per_round":2,"workers":2}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit long run: %s %s", resp.Status, body)
+	}
+	json.Unmarshal(body, &st)
+	if resp, _ = post("/runs/2/cancel", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %s", resp.Status)
+	}
+	end, err := Subscribe(context.Background(), ts.URL, st.ID, SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end.Completed || end.Err != "canceled" {
+		t.Fatalf("canceled end frame %+v", end)
+	}
+}
+
+// TestGapFrameOnSlowHTTPSubscriber pins the served form of drop semantics:
+// a subscriber that asks for long-gone indices gets a Gap frame naming the
+// missed range (and the checkpoint to resume from), then the live tail.
+func TestGapFrameOnSlowHTTPSubscriber(t *testing.T) {
+	// A tiny ring forces the gap without a slow reader: by the time the run
+	// finishes, early indices are long overwritten.
+	s := NewServer(Config{Workers: 4, Ring: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	id, err := s.Submit(RunRequest{Dataset: "fmnist", Seed: 9, Rounds: 6, ClientsPerRound: 2, Workers: 2, CheckpointEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, id, func(st RunStatus) bool { return st.State == StateDone })
+
+	var gotGap *wire.Gap
+	var after []uint64
+	_, err = Subscribe(context.Background(), ts.URL, id, SubscribeOptions{
+		OnGap: func(g wire.Gap) { gotGap = &g },
+		OnFrame: func(f wire.Frame) {
+			if f.Kind != wire.KindGap {
+				after = append(after, f.Index)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotGap == nil {
+		t.Fatal("no gap frame for a subscriber behind the ring")
+	}
+	if gotGap.From != 0 || gotGap.To == 0 {
+		t.Fatalf("gap %+v does not name the missed range", gotGap)
+	}
+	if gotGap.CheckpointIndex == 0 {
+		t.Fatal("gap frame does not point at a checkpoint to resume from")
+	}
+	if len(after) == 0 || after[0] != gotGap.To {
+		t.Fatalf("stream after gap starts at %v, want %d", after, gotGap.To)
+	}
+}
+
+// TestShutdownRestore pins the daemon lifecycle: Shutdown pauses running
+// runs to checkpoints and persists them; a new server over the same
+// directory restores them and Resume carries the run to completion.
+func TestShutdownRestore(t *testing.T) {
+	dir := t.TempDir()
+	s1 := NewServer(Config{Workers: 4, CheckpointEvery: 3, Dir: dir})
+	req := RunRequest{Dataset: "fmnist", Seed: 31, Rounds: 30, ClientsPerRound: 2, Workers: 2, Label: "restore"}
+	id, err := s1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s1, id, func(st RunStatus) bool { return st.Steps >= 1 })
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "runs.json")); err != nil {
+		t.Fatalf("manifest not persisted: %v", err)
+	}
+
+	s2 := NewServer(Config{Workers: 4, CheckpointEvery: 3, Dir: dir})
+	n, err := s2.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("restored %d runs, want 1", n)
+	}
+	st := waitState(t, s2, id, func(st RunStatus) bool { return st.State == StatePaused })
+	if !st.HasCheckpoint || st.Label != "restore" {
+		t.Fatalf("restored status %+v", st)
+	}
+	if err := s2.Resume(id); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s2.Handler())
+	defer ts.Close()
+	end, err := Subscribe(context.Background(), ts.URL, id, SubscribeOptions{From: st.CheckpointIndex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !end.Completed {
+		t.Fatalf("restored run did not complete: %+v", end)
+	}
+	final := waitState(t, s2, id, func(st RunStatus) bool { return st.State == StateDone })
+	if final.Steps != req.Rounds {
+		t.Fatalf("restored run finished at %d steps, want %d", final.Steps, req.Rounds)
+	}
+}

@@ -1,0 +1,849 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/specdag/specdag/internal/core"
+	"github.com/specdag/specdag/internal/engine"
+	"github.com/specdag/specdag/internal/par"
+	"github.com/specdag/specdag/internal/sim"
+	"github.com/specdag/specdag/internal/tipselect"
+	"github.com/specdag/specdag/internal/wire"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers is the size of the shared worker budget every hosted run's
+	// internal fan-out draws from (<= 0 selects the number of CPUs). One
+	// budget bounds the whole daemon: N concurrent runs share it instead of
+	// each claiming the machine.
+	Workers int
+	// Ring is the per-run event ring capacity in frames (<= 0 selects
+	// DefaultRingSize). A subscriber lagging by more than this observes a
+	// gap (see Broadcaster).
+	Ring int
+	// CheckpointEvery is the default checkpoint cadence in engine units for
+	// runs that do not choose their own (<= 0 selects 25).
+	CheckpointEvery int
+	// Dir, when non-empty, is where Shutdown persists the checkpoints of
+	// in-flight runs (and Restore re-registers them on the next boot).
+	Dir string
+}
+
+// EventStreamContentType is the Content-Type of the SDE1 events endpoint.
+const EventStreamContentType = "application/x-specdag-event-stream"
+
+// CheckpointIndexHeader carries a checkpoint's event-log index on the
+// checkpoint download endpoint.
+const CheckpointIndexHeader = "X-Specdag-Checkpoint-Index"
+
+// A Server hosts many concurrent experiment runs on one shared worker
+// budget and serves their live event streams and lifecycle over HTTP. Use
+// NewServer, mount Handler on any http.Server (or use it directly with
+// httptest), and stop with Shutdown.
+type Server struct {
+	cfg  Config
+	pool *par.Budget
+	mux  *http.ServeMux
+
+	mu     sync.Mutex
+	runs   map[int]*run
+	nextID int
+	wg     sync.WaitGroup // live run goroutines
+}
+
+// Run states reported by the status endpoints.
+const (
+	StateRunning  = "running"
+	StatePaused   = "paused"
+	StateDone     = "done"
+	StateCanceled = "canceled"
+	StateFailed   = "failed"
+)
+
+// run is one hosted experiment.
+type run struct {
+	id  int
+	req RunRequest
+	b   *Broadcaster
+
+	mu        sync.Mutex
+	state     string
+	intent    string // "" | StatePaused | StateCanceled: why cancel() was called
+	steps     int    // completed engine units
+	err       string
+	started   time.Time
+	cancel    context.CancelFunc
+	settled   chan struct{} // closed when the current run goroutine has finished
+	snap      engine.Snapshotter
+	ckpt      []byte // latest checkpoint, nil if none yet
+	ckptIndex uint64 // event-log index the checkpoint resumes from
+	ckptStep  int    // engine units completed at the checkpoint
+}
+
+// NewServer creates a server with its shared worker budget and routes.
+func NewServer(cfg Config) *Server {
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 25
+	}
+	s := &Server{
+		cfg:    cfg,
+		pool:   par.NewBudget(cfg.Workers),
+		mux:    http.NewServeMux(),
+		runs:   make(map[int]*run),
+		nextID: 1,
+	}
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	s.mux.HandleFunc("POST /runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /runs", s.handleList)
+	s.mux.HandleFunc("GET /runs/{id}", s.handleStatus)
+	s.mux.HandleFunc("POST /runs/{id}/pause", s.handlePause)
+	s.mux.HandleFunc("POST /runs/{id}/resume", s.handleResume)
+	s.mux.HandleFunc("POST /runs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /runs/{id}/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
+	return s
+}
+
+// Handler returns the HTTP surface of the server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pool exposes the shared worker budget (tests assert its bounds).
+func (s *Server) Pool() *par.Budget { return s.pool }
+
+// RunRequest is the JSON body of POST /runs: the network form of the
+// cmd/specdag flag set. The sync round engine runs by default; Async
+// selects the event-driven engine, whose horizon is Duration (simulated
+// seconds) instead of Rounds.
+type RunRequest struct {
+	// Dataset names a sim preset: fmnist | fmnist-relaxed | fmnist-bywriter
+	// | poets | cifar100 | fedprox.
+	Dataset string `json:"dataset"`
+	// Preset is the experiment scale: quick (default) | full.
+	Preset string `json:"preset,omitempty"`
+	// Seed is the root random seed (the run is a pure function of it).
+	Seed int64 `json:"seed"`
+	// Selector is the tip selector: accuracy (default) | weighted | urts |
+	// uniform; Alpha and Norm parameterize it.
+	Selector string  `json:"selector,omitempty"`
+	Alpha    float64 `json:"alpha,omitempty"`
+	Norm     string  `json:"norm,omitempty"`
+	// Rounds and ClientsPerRound override the preset (sync engine only).
+	Rounds          int `json:"rounds,omitempty"`
+	ClientsPerRound int `json:"clients_per_round,omitempty"`
+	// Async switches to the event-driven engine with the given timing
+	// parameters (defaults: 120s horizon, [1s, 8s] cycles, 0.5s delay).
+	Async    bool    `json:"async,omitempty"`
+	Duration float64 `json:"duration,omitempty"`
+	MinCycle float64 `json:"min_cycle,omitempty"`
+	MaxCycle float64 `json:"max_cycle,omitempty"`
+	NetDelay float64 `json:"net_delay,omitempty"`
+	// Workers caps this run's internal fan-out; the actual concurrency is
+	// additionally bounded by the server's shared budget.
+	Workers int `json:"workers,omitempty"`
+	// CheckpointEvery is the checkpoint cadence in engine units (rounds or
+	// events; 0 selects the server default).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Label is a free-form run name for listings and event logs.
+	Label string `json:"label,omitempty"`
+}
+
+// RunStatus is the JSON shape of the status and list endpoints.
+type RunStatus struct {
+	ID              int    `json:"id"`
+	Label           string `json:"label,omitempty"`
+	Engine          string `json:"engine"`
+	Dataset         string `json:"dataset"`
+	Seed            int64  `json:"seed"`
+	State           string `json:"state"`
+	Steps           int    `json:"steps"`
+	Err             string `json:"error,omitempty"`
+	NextIndex       uint64 `json:"next_index"`
+	EarliestIndex   uint64 `json:"earliest_index"`
+	HasCheckpoint   bool   `json:"has_checkpoint"`
+	CheckpointIndex uint64 `json:"checkpoint_index"`
+	CheckpointStep  int    `json:"checkpoint_step"`
+}
+
+// normalize fills request defaults in place.
+func (r *RunRequest) normalize() {
+	if r.Preset == "" {
+		r.Preset = "quick"
+	}
+	if r.Selector == "" {
+		r.Selector = "accuracy"
+	}
+	if r.Alpha == 0 {
+		r.Alpha = 10
+	}
+	if r.Norm == "" {
+		r.Norm = "standard"
+	}
+	if r.Async {
+		if r.Duration == 0 {
+			r.Duration = 120
+		}
+		if r.MinCycle == 0 {
+			r.MinCycle = 1
+		}
+		if r.MaxCycle == 0 {
+			r.MaxCycle = 8
+		}
+		if r.NetDelay == 0 {
+			r.NetDelay = 0.5
+		}
+	}
+}
+
+// buildSpec resolves the request's dataset, preset and selector.
+func buildSpec(req *RunRequest) (sim.Spec, sim.Preset, tipselect.Selector, error) {
+	preset := sim.Quick
+	switch req.Preset {
+	case "quick":
+	case "full":
+		preset = sim.Full
+	default:
+		return sim.Spec{}, preset, nil, fmt.Errorf("unknown preset %q (quick | full)", req.Preset)
+	}
+	var spec sim.Spec
+	switch req.Dataset {
+	case "fmnist":
+		spec = sim.FMNISTSpec(preset, req.Seed)
+	case "fmnist-relaxed":
+		spec = sim.RelaxedFMNISTSpec(preset, req.Seed)
+	case "fmnist-bywriter":
+		spec = sim.ByWriterFMNISTSpec(preset, req.Seed)
+	case "poets":
+		spec = sim.PoetsSpec(preset, req.Seed)
+	case "cifar100":
+		spec = sim.CIFARSpec(preset, req.Seed)
+	case "fedprox":
+		spec = sim.FedProxSpec(preset, req.Seed)
+	default:
+		return sim.Spec{}, preset, nil, fmt.Errorf("unknown dataset %q (fmnist | fmnist-relaxed | fmnist-bywriter | poets | cifar100 | fedprox)", req.Dataset)
+	}
+	var norm tipselect.Normalization
+	switch req.Norm {
+	case "standard":
+		norm = tipselect.NormStandard
+	case "dynamic":
+		norm = tipselect.NormDynamic
+	default:
+		return sim.Spec{}, preset, nil, fmt.Errorf("unknown normalization %q (standard | dynamic)", req.Norm)
+	}
+	var sel tipselect.Selector
+	switch req.Selector {
+	case "accuracy":
+		sel = tipselect.AccuracyWalk{Alpha: req.Alpha, Norm: norm}
+	case "weighted":
+		sel = tipselect.WeightedWalk{Alpha: req.Alpha}
+	case "urts":
+		sel = tipselect.URTS{}
+	case "uniform":
+		sel = tipselect.UniformWalk{}
+	default:
+		return sim.Spec{}, preset, nil, fmt.Errorf("unknown selector %q (accuracy | weighted | urts | uniform)", req.Selector)
+	}
+	return spec, preset, sel, nil
+}
+
+// buildEngine constructs the run's engine — fresh when ckpt is nil, resumed
+// from the checkpoint otherwise. Construction is a pure function of the
+// request (and the server's shared budget), which is what makes pause,
+// resume and daemon restarts bit-identical to an uninterrupted run.
+func (s *Server) buildEngine(req *RunRequest, ckpt []byte) (engine.Engine, error) {
+	spec, preset, sel, err := buildSpec(req)
+	if err != nil {
+		return nil, err
+	}
+	if req.Async {
+		acfg := core.AsyncConfig{
+			Duration:     req.Duration,
+			MinCycle:     req.MinCycle,
+			MaxCycle:     req.MaxCycle,
+			NetworkDelay: req.NetDelay,
+			Local:        spec.Local,
+			Arch:         spec.Arch,
+			Selector:     sel,
+			Workers:      req.Workers,
+			Pool:         s.pool,
+			Seed:         req.Seed,
+		}
+		if ckpt != nil {
+			return core.ResumeAsyncSimulation(spec.Fed, acfg, bytes.NewReader(ckpt))
+		}
+		return core.NewAsyncSimulation(spec.Fed, acfg)
+	}
+	cfg := core.Config{
+		Rounds:          preset.Rounds(),
+		ClientsPerRound: preset.ClientsPerRound(),
+		Local:           spec.Local,
+		Arch:            spec.Arch,
+		Selector:        sel,
+		Workers:         req.Workers,
+		Pool:            s.pool,
+		Seed:            req.Seed,
+	}
+	if req.Rounds > 0 {
+		cfg.Rounds = req.Rounds
+	}
+	if req.ClientsPerRound > 0 {
+		cfg.ClientsPerRound = req.ClientsPerRound
+	}
+	if ckpt != nil {
+		return core.ResumeSimulation(spec.Fed, cfg, bytes.NewReader(ckpt))
+	}
+	return core.NewSimulation(spec.Fed, cfg)
+}
+
+// runInfo summarizes the request for the event log's start frame.
+func runInfo(eng engine.Engine, req *RunRequest) wire.RunInfo {
+	cfg := map[string]string{
+		"dataset":  req.Dataset,
+		"preset":   req.Preset,
+		"selector": req.Selector,
+		"alpha":    strconv.FormatFloat(req.Alpha, 'g', -1, 64),
+		"norm":     req.Norm,
+	}
+	if req.Async {
+		cfg["duration"] = strconv.FormatFloat(req.Duration, 'g', -1, 64)
+		cfg["min_cycle"] = strconv.FormatFloat(req.MinCycle, 'g', -1, 64)
+		cfg["max_cycle"] = strconv.FormatFloat(req.MaxCycle, 'g', -1, 64)
+		cfg["net_delay"] = strconv.FormatFloat(req.NetDelay, 'g', -1, 64)
+	} else {
+		if req.Rounds > 0 {
+			cfg["rounds"] = strconv.Itoa(req.Rounds)
+		}
+		if req.ClientsPerRound > 0 {
+			cfg["clients_per_round"] = strconv.Itoa(req.ClientsPerRound)
+		}
+	}
+	return wire.RunInfo{Engine: eng.Name(), Label: req.Label, Seed: req.Seed, Config: cfg}
+}
+
+// Submit registers and starts a run, returning its ID. It is the
+// programmatic form of POST /runs (examples and tests drive the server
+// in-process through it).
+func (s *Server) Submit(req RunRequest) (int, error) {
+	req.normalize()
+	eng, err := s.buildEngine(&req, nil)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	r := &run{
+		id:    id,
+		req:   req,
+		b:     NewBroadcaster(s.cfg.Ring, 0),
+		state: StateRunning,
+	}
+	s.runs[id] = r
+	s.mu.Unlock()
+	info := runInfo(eng, &req)
+	r.b.Append(wire.Frame{Kind: wire.KindStart, Start: &info})
+	s.launch(r, eng)
+	return id, nil
+}
+
+// launch starts (or restarts, after pause/restore) the run goroutine.
+// Callers hold no locks; the run must be in StateRunning.
+func (s *Server) launch(r *run, eng engine.Engine) {
+	ctx, cancel := context.WithCancel(context.Background())
+	settled := make(chan struct{})
+	r.mu.Lock()
+	r.cancel = cancel
+	r.settled = settled
+	r.intent = ""
+	r.snap, _ = eng.(engine.Snapshotter)
+	if r.started.IsZero() {
+		r.started = time.Now()
+	}
+	r.mu.Unlock()
+
+	every := r.req.CheckpointEvery
+	if every <= 0 {
+		every = s.cfg.CheckpointEvery
+	}
+	opts := []engine.Option{
+		engine.WithPool(s.pool),
+		engine.WithHooks(r.b.Hooks()),
+		engine.WithHooks(engine.Hooks{OnRound: func(engine.RoundEvent) {
+			r.mu.Lock()
+			r.steps++
+			r.mu.Unlock()
+		}}),
+	}
+	if r.snap != nil {
+		opts = append(opts, engine.WithCheckpoints(every, func(step int) (io.WriteCloser, error) {
+			return &memCheckpoint{r: r, step: step}, nil
+		}))
+	}
+
+	s.wg.Add(1)
+	// The run's control loop: engine.Run drives the deterministic engine;
+	// everything nondeterministic (subscribers, HTTP) stays on the other
+	// side of the broadcaster. Transport-boundary supervisor, audited:
+	//speclint:allow budget one long-lived supervisor goroutine per hosted run, joined via s.wg on Shutdown
+	go func() {
+		defer s.wg.Done()
+		defer cancel()
+		_, err := engine.Run(ctx, eng, opts...)
+		s.settle(r, eng, err)
+		close(settled)
+	}()
+}
+
+// settle records the outcome of a finished run goroutine: completion,
+// cancellation, pause-to-checkpoint, or failure.
+func (s *Server) settle(r *run, eng engine.Engine, err error) {
+	r.mu.Lock()
+	intent := r.intent
+	steps := r.steps
+	r.mu.Unlock()
+
+	if err == nil {
+		r.mu.Lock()
+		r.state = StateDone
+		r.mu.Unlock()
+		r.b.Append(wire.Frame{Kind: wire.KindEnd, End: &wire.End{Steps: steps, Completed: true}})
+		r.b.Close()
+		return
+	}
+	if errors.Is(err, context.Canceled) && intent == StatePaused {
+		// Pause-to-checkpoint: the engine stopped at a unit boundary and
+		// retains its state; snapshot it as the resume point. The log stays
+		// open — subscribers block until resume (or cancel).
+		if cerr := s.checkpointNow(r); cerr != nil {
+			r.mu.Lock()
+			r.state = StateFailed
+			r.err = cerr.Error()
+			r.mu.Unlock()
+			r.b.Append(wire.Frame{Kind: wire.KindEnd, End: &wire.End{Steps: steps, Err: cerr.Error()}})
+			r.b.Close()
+			return
+		}
+		r.mu.Lock()
+		r.state = StatePaused
+		r.mu.Unlock()
+		return
+	}
+	state, msg := StateFailed, err.Error()
+	if errors.Is(err, context.Canceled) {
+		state, msg = StateCanceled, "canceled"
+	}
+	r.mu.Lock()
+	r.state = state
+	r.err = msg
+	r.mu.Unlock()
+	r.b.Append(wire.Frame{Kind: wire.KindEnd, End: &wire.End{Steps: steps, Err: msg}})
+	r.b.Close()
+}
+
+// checkpointNow snapshots a settled engine's state into the run record and
+// logs the checkpoint frame. Only called after the run goroutine stopped,
+// so the event log cannot advance concurrently.
+func (s *Server) checkpointNow(r *run) error {
+	r.mu.Lock()
+	snap := r.snap
+	step := r.steps
+	r.mu.Unlock()
+	if snap == nil {
+		return fmt.Errorf("engine does not support checkpoints")
+	}
+	var buf bytes.Buffer
+	n, err := snap.WriteCheckpoint(&buf)
+	if err != nil {
+		return fmt.Errorf("checkpointing run %d: %w", r.id, err)
+	}
+	r.mu.Lock()
+	r.ckpt = buf.Bytes()
+	r.ckptIndex = r.b.NextIndex()
+	r.ckptStep = step
+	r.mu.Unlock()
+	r.b.Append(wire.Frame{Kind: wire.KindCheckpoint, Checkpoint: &wire.Checkpoint{Step: step, Size: n}})
+	return nil
+}
+
+// memCheckpoint collects a periodic checkpoint in memory and installs it on
+// Close — called by engine.Run between units, so NextIndex() at Close time
+// is exactly the index the checkpoint resumes from.
+type memCheckpoint struct {
+	r    *run
+	step int
+	buf  bytes.Buffer
+}
+
+func (m *memCheckpoint) Write(p []byte) (int, error) { return m.buf.Write(p) }
+
+func (m *memCheckpoint) Close() error {
+	r := m.r
+	r.mu.Lock()
+	r.ckpt = append([]byte(nil), m.buf.Bytes()...)
+	r.ckptIndex = r.b.NextIndex()
+	r.ckptStep = m.step
+	r.mu.Unlock()
+	r.b.Append(wire.Frame{Kind: wire.KindCheckpoint, Checkpoint: &wire.Checkpoint{Step: m.step, Size: int64(m.buf.Len())}})
+	return nil
+}
+
+// status snapshots a run's externally visible state.
+func (r *run) status() RunStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RunStatus{
+		ID:              r.id,
+		Label:           r.req.Label,
+		Engine:          engineName(&r.req),
+		Dataset:         r.req.Dataset,
+		Seed:            r.req.Seed,
+		State:           r.state,
+		Steps:           r.steps,
+		Err:             r.err,
+		NextIndex:       r.b.NextIndex(),
+		EarliestIndex:   r.b.Earliest(),
+		HasCheckpoint:   r.ckpt != nil,
+		CheckpointIndex: r.ckptIndex,
+		CheckpointStep:  r.ckptStep,
+	}
+}
+
+func engineName(req *RunRequest) string {
+	if req.Async {
+		return "specdag-async"
+	}
+	return "specdag"
+}
+
+// Pause cancels the run at its next unit boundary and checkpoints it; the
+// programmatic form of POST /runs/{id}/pause. It blocks until the engine
+// has settled (bounded by ctx) and returns the checkpoint's event index.
+func (s *Server) Pause(ctx context.Context, id int) (uint64, error) {
+	r, err := s.lookup(id)
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	if r.state != StateRunning {
+		defer r.mu.Unlock()
+		return 0, &stateError{id: id, state: r.state, want: "pause"}
+	}
+	if r.snap == nil {
+		r.mu.Unlock()
+		return 0, &stateError{id: id, state: "unsupported", want: "pause"}
+	}
+	r.intent = StatePaused
+	cancel, settled := r.cancel, r.settled
+	r.mu.Unlock()
+	cancel()
+	select {
+	case <-settled:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != StatePaused {
+		return 0, fmt.Errorf("serve: run %d settled as %s instead of pausing: %s", id, r.state, r.err)
+	}
+	return r.ckptIndex, nil
+}
+
+// Resume restarts a paused run from its checkpoint; the programmatic form
+// of POST /runs/{id}/resume. The resumed run's remaining event stream is
+// bit-identical to an uninterrupted run's.
+func (s *Server) Resume(id int) error {
+	r, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	if r.state != StatePaused {
+		defer r.mu.Unlock()
+		return &stateError{id: id, state: r.state, want: "resume"}
+	}
+	ckpt := r.ckpt
+	r.state = StateRunning
+	r.mu.Unlock()
+	eng, err := s.buildEngine(&r.req, ckpt)
+	if err != nil {
+		r.mu.Lock()
+		r.state = StateFailed
+		r.err = err.Error()
+		r.mu.Unlock()
+		r.b.Append(wire.Frame{Kind: wire.KindEnd, End: &wire.End{Steps: r.steps, Err: err.Error()}})
+		r.b.Close()
+		return fmt.Errorf("serve: resuming run %d: %w", id, err)
+	}
+	s.launch(r, eng)
+	return nil
+}
+
+// Cancel stops a run for good; the programmatic form of
+// POST /runs/{id}/cancel. Canceling a paused run closes its event log.
+func (s *Server) Cancel(ctx context.Context, id int) error {
+	r, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	switch r.state {
+	case StateRunning:
+		r.intent = StateCanceled
+		cancel, settled := r.cancel, r.settled
+		r.mu.Unlock()
+		cancel()
+		select {
+		case <-settled:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	case StatePaused:
+		r.state = StateCanceled
+		r.err = "canceled"
+		steps := r.steps
+		r.mu.Unlock()
+		r.b.Append(wire.Frame{Kind: wire.KindEnd, End: &wire.End{Steps: steps, Err: "canceled"}})
+		r.b.Close()
+		return nil
+	default:
+		defer r.mu.Unlock()
+		return &stateError{id: id, state: r.state, want: "cancel"}
+	}
+}
+
+// stateError is a lifecycle conflict (HTTP 409).
+type stateError struct {
+	id    int
+	state string
+	want  string
+}
+
+func (e *stateError) Error() string {
+	if e.state == "unsupported" {
+		return fmt.Sprintf("serve: run %d's engine does not support checkpoints", e.id)
+	}
+	return fmt.Sprintf("serve: cannot %s run %d in state %s", e.want, e.id, e.state)
+}
+
+// notFoundError is an unknown run ID (HTTP 404).
+type notFoundError struct{ id int }
+
+func (e *notFoundError) Error() string { return fmt.Sprintf("serve: no run %d", e.id) }
+
+func (s *Server) lookup(id int) (*run, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if !ok {
+		return nil, &notFoundError{id: id}
+	}
+	return r, nil
+}
+
+// Shutdown stops the server's runs: running ones are paused to a
+// checkpoint (engines without checkpoint support are canceled), and — when
+// Config.Dir is set — the checkpoints and a manifest are persisted so
+// Restore can re-host everything after a restart. HTTP listeners are the
+// caller's to close (the daemon shuts its http.Server down around this).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	runs := make([]*run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	sort.Slice(runs, func(i, j int) bool { return runs[i].id < runs[j].id })
+
+	var firstErr error
+	for _, r := range runs {
+		r.mu.Lock()
+		state, hasSnap := r.state, r.snap != nil
+		r.mu.Unlock()
+		if state != StateRunning {
+			continue
+		}
+		var err error
+		if hasSnap {
+			_, err = s.Pause(ctx, r.id)
+		} else {
+			err = s.Cancel(ctx, r.id)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	done := make(chan struct{})
+	// Joiner for the run supervisors; WaitGroup has no context-aware wait.
+	//speclint:allow budget short-lived shutdown joiner, exits when the run goroutines drain
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if s.cfg.Dir != "" {
+		if err := s.persist(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// manifest is the on-disk index of persisted runs (Config.Dir).
+type manifest struct {
+	NextID int             `json:"next_id"`
+	Runs   []manifestEntry `json:"runs"`
+}
+
+type manifestEntry struct {
+	ID              int        `json:"id"`
+	Request         RunRequest `json:"request"`
+	State           string     `json:"state"`
+	Steps           int        `json:"steps"`
+	CheckpointFile  string     `json:"checkpoint_file,omitempty"`
+	CheckpointIndex uint64     `json:"checkpoint_index"`
+	CheckpointStep  int        `json:"checkpoint_step"`
+}
+
+// persist writes every paused run's checkpoint and the manifest to Dir.
+func (s *Server) persist() error {
+	s.mu.Lock()
+	runs := make([]*run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	nextID := s.nextID
+	s.mu.Unlock()
+	sort.Slice(runs, func(i, j int) bool { return runs[i].id < runs[j].id })
+
+	if err := os.MkdirAll(s.cfg.Dir, 0o755); err != nil {
+		return fmt.Errorf("serve: creating checkpoint dir: %w", err)
+	}
+	m := manifest{NextID: nextID}
+	for _, r := range runs {
+		r.mu.Lock()
+		e := manifestEntry{
+			ID:              r.id,
+			Request:         r.req,
+			State:           r.state,
+			Steps:           r.steps,
+			CheckpointIndex: r.ckptIndex,
+			CheckpointStep:  r.ckptStep,
+		}
+		ckpt := r.ckpt
+		r.mu.Unlock()
+		if e.State == StatePaused && ckpt != nil {
+			ext := ".sdc"
+			if e.Request.Async {
+				ext = ".sda"
+			}
+			e.CheckpointFile = fmt.Sprintf("run-%d%s", e.ID, ext)
+			if err := os.WriteFile(filepath.Join(s.cfg.Dir, e.CheckpointFile), ckpt, 0o644); err != nil {
+				return fmt.Errorf("serve: persisting run %d: %w", e.ID, err)
+			}
+		}
+		m.Runs = append(m.Runs, e)
+	}
+	blob, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(s.cfg.Dir, "runs.json"), blob, 0o644)
+}
+
+// Restore re-registers the runs a previous daemon persisted on shutdown.
+// Paused runs come back paused, with their checkpoints loaded and their
+// event logs restarting at the checkpoint index (earlier frames are gone
+// with the old process — subscribers resume from the checkpoint, which is
+// the snapshot-semantics recovery the format is built around). Terminal
+// runs come back as closed status records. Missing manifest is not an
+// error: a fresh Dir restores nothing.
+func (s *Server) Restore() (int, error) {
+	if s.cfg.Dir == "" {
+		return 0, nil
+	}
+	blob, err := os.ReadFile(filepath.Join(s.cfg.Dir, "runs.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("serve: reading manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return 0, fmt.Errorf("serve: decoding manifest: %w", err)
+	}
+	restored := 0
+	for _, e := range m.Runs {
+		e.Request.normalize()
+		r := &run{
+			id:       e.ID,
+			req:      e.Request,
+			state:    e.State,
+			steps:    e.Steps,
+			ckptStep: e.CheckpointStep,
+		}
+		switch e.State {
+		case StatePaused:
+			if e.CheckpointFile == "" {
+				continue
+			}
+			ckpt, err := os.ReadFile(filepath.Join(s.cfg.Dir, e.CheckpointFile))
+			if err != nil {
+				return restored, fmt.Errorf("serve: reading run %d checkpoint: %w", e.ID, err)
+			}
+			r.ckpt = ckpt
+			r.ckptIndex = e.CheckpointIndex
+			r.b = NewBroadcaster(s.cfg.Ring, e.CheckpointIndex)
+			// A fresh start frame anchors the reborn log at the resume
+			// index, so late subscribers still learn the run identity.
+			eng, err := s.buildEngine(&e.Request, nil)
+			if err != nil {
+				return restored, fmt.Errorf("serve: restoring run %d: %w", e.ID, err)
+			}
+			info := runInfo(eng, &e.Request)
+			r.b.Append(wire.Frame{Kind: wire.KindStart, Start: &info})
+			r.ckptIndex = r.b.NextIndex()
+		case StateRunning:
+			// The old process died before pausing it; nothing to restore.
+			continue
+		default:
+			r.b = NewBroadcaster(s.cfg.Ring, 0)
+			r.err = "terminated before daemon restart"
+			r.b.Append(wire.Frame{Kind: wire.KindEnd, End: &wire.End{Steps: e.Steps, Err: r.err}})
+			r.b.Close()
+		}
+		s.mu.Lock()
+		s.runs[r.id] = r
+		if r.id >= s.nextID {
+			s.nextID = r.id + 1
+		}
+		if m.NextID > s.nextID {
+			s.nextID = m.NextID
+		}
+		s.mu.Unlock()
+		restored++
+	}
+	return restored, nil
+}

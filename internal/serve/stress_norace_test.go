@@ -1,0 +1,8 @@
+//go:build !race
+
+package serve
+
+// stressFrames is the append count for TestBroadcastStress. The full-size
+// loop is microseconds per append; see stress_race_test.go for the
+// race-instrumented scale.
+const stressFrames = 30_000

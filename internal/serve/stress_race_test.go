@@ -1,0 +1,9 @@
+//go:build race
+
+package serve
+
+// stressFrames under the race detector: every append's notify-channel swap
+// is instrumented across a thousand goroutines, which is ~1000x slower than
+// the real path. The blocking property is scale-invariant, so a smaller
+// log keeps the race run meaningful and fast.
+const stressFrames = 2_000

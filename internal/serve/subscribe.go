@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/specdag/specdag/internal/engine"
+	"github.com/specdag/specdag/internal/wire"
+)
+
+// SubscribeOptions configures Subscribe. The zero value follows a run from
+// its first event with default reconnection.
+type SubscribeOptions struct {
+	// Hooks receives the replayed events exactly as a local engine.Hooks
+	// observer would: same types, same order, same field values.
+	Hooks engine.Hooks
+	// From is the event index to start (or resume) from.
+	From uint64
+	// OnFrame, when set, receives every raw frame (including Start,
+	// Checkpoint, Gap and End) before Hooks dispatch.
+	OnFrame func(wire.Frame)
+	// OnGap, when set, is told when the server dropped frames this
+	// subscriber was too slow for (drop semantics). After the callback the
+	// stream continues from the oldest retained frame; a caller that wants
+	// snapshot semantics instead cancels ctx, fetches
+	// /runs/{id}/checkpoint, and re-subscribes from the checkpoint's index.
+	OnGap func(wire.Gap)
+	// Reconnects bounds consecutive failed connection attempts (a
+	// connection that delivered at least one frame resets the count).
+	// 0 selects 3; negative disables reconnection.
+	Reconnects int
+	// Client is the HTTP client to use (nil selects http.DefaultClient).
+	Client *http.Client
+}
+
+// Subscribe follows run id's event stream at baseURL (e.g.
+// "http://127.0.0.1:9477") and replays it into opt.Hooks, reconnecting and
+// resuming from the last delivered index when the connection drops — so a
+// remote observer sees the same events as a local one, across any number of
+// disconnects. It returns the run's End frame when the stream completes,
+// or ctx.Err() / the last transport error when it cannot.
+func Subscribe(ctx context.Context, baseURL string, id int, opt SubscribeOptions) (*wire.End, error) {
+	client := opt.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	budget := opt.Reconnects
+	if budget == 0 {
+		budget = 3
+	}
+	next := opt.From
+	fails := 0
+	for {
+		end, progressed, err := subscribeOnce(ctx, client, baseURL, id, &next, &opt)
+		if end != nil {
+			return end, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if progressed {
+			fails = 0
+		} else {
+			fails++
+		}
+		if budget < 0 || fails > budget {
+			return nil, fmt.Errorf("serve: subscription to run %d failed at index %d: %w", id, next, err)
+		}
+		// Brief linear backoff before redialing; resume from `next`, the
+		// first index not yet delivered.
+		select {
+		case <-time.After(time.Duration(fails) * 100 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// subscribeOnce runs one connection, advancing *next past every delivered
+// frame. It returns the End payload when the log completed, and whether any
+// frame arrived on this connection.
+func subscribeOnce(ctx context.Context, client *http.Client, baseURL string, id int, next *uint64, opt *SubscribeOptions) (*wire.End, bool, error) {
+	url := fmt.Sprintf("%s/runs/%d/events?from=%s", baseURL, id, strconv.FormatUint(*next, 10))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, false, fmt.Errorf("events endpoint answered %s: %s", resp.Status, body)
+	}
+	r, err := wire.NewReader(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	progressed := false
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			// io.EOF without an End frame means the server went away
+			// mid-run (or the connection broke): resume from *next.
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, progressed, err
+		}
+		progressed = true
+		*next = f.Index + 1
+		if opt.OnFrame != nil {
+			opt.OnFrame(*f)
+		}
+		switch f.Kind {
+		case wire.KindRound:
+			if opt.Hooks.OnRound != nil {
+				opt.Hooks.OnRound(*f.Round)
+			}
+		case wire.KindPublish:
+			if opt.Hooks.OnPublish != nil {
+				opt.Hooks.OnPublish(*f.Publish)
+			}
+		case wire.KindProbe:
+			if opt.Hooks.OnProbe != nil {
+				opt.Hooks.OnProbe(*f.Probe)
+			}
+		case wire.KindGap:
+			if opt.OnGap != nil {
+				opt.OnGap(*f.Gap)
+			}
+		case wire.KindEnd:
+			return f.End, true, nil
+		}
+		// Honor cancellation between frames even when the remaining stream
+		// is already buffered locally (short runs arrive in one read).
+		if err := ctx.Err(); err != nil {
+			return nil, progressed, err
+		}
+	}
+}

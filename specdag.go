@@ -76,6 +76,40 @@
 // (Simulation.Run, [RunAsync], [RunFederated]) remain as thin deprecated
 // wrappers around the engines.
 //
+// # Serving
+//
+// [NewServer] hosts many concurrent runs on one shared worker budget and
+// serves their lifecycle and live event streams over HTTP; cmd/specdagd
+// wraps it in a standalone daemon. Runs are submitted as a [RunRequest]
+// (POST /runs), paused to a checkpoint, resumed bit-identically, canceled,
+// and streamed (GET /runs/{id}/events?from=N). [Subscribe] is the client
+// side: it replays a remote stream into ordinary [Hooks], reconnecting and
+// resuming from the last delivered index, so a remote observer sees exactly
+// the events a local one would — field for field:
+//
+//	srv := specdag.NewServer(specdag.ServeConfig{})
+//	go http.ListenAndServe("127.0.0.1:9477", srv.Handler())
+//	// …any number of processes, anywhere:
+//	end, err := specdag.Subscribe(ctx, "http://127.0.0.1:9477", 1,
+//		specdag.SubscribeOptions{Hooks: specdag.Hooks{
+//			OnRound: func(ev specdag.RoundEvent) { fmt.Println(ev.Round, ev.MeanAcc) },
+//		}})
+//
+// Streams travel in SDE1, a versioned frame codec ([EventFrame]): a Start
+// frame identifying the run, one frame per engine event, then lifecycle
+// frames (Checkpoint, Gap, End). The format is append-only and
+// gob-compatible additions keep the SDE1 magic; a breaking change bumps it.
+// cmd/specdag -events records a local run in the same format, and
+// cmd/dagstat inspects saved streams.
+//
+// A slow subscriber never stalls an engine. Each run's events fan out
+// through a bounded ring ([Broadcaster]): appends are O(1) and never block,
+// and a subscriber that falls more than a ring behind is told exactly which
+// index range it missed. It then chooses drop semantics (continue from the
+// oldest retained frame) or snapshot semantics (fetch the run's checkpoint
+// and resume the stream from the checkpoint's index). examples/liveview
+// demonstrates both.
+//
 // See examples/ for complete programs and cmd/experiments for the harness
 // that regenerates every table and figure of the paper.
 package specdag
