@@ -329,6 +329,32 @@ func BenchmarkExtensionVisibility(b *testing.B) {
 	runAblation(b, &visibilityOnce, "reveal delay (non-ideal broadcast)", sim.VisibilitySweep)
 }
 
+// BenchmarkSchedulerGridThroughput measures the sweep scheduler itself: 32
+// tiny DAG cells with mixed priorities submitted as work-stealing jobs on
+// the shared pool, small enough that dispatch, steal and settle overhead —
+// not training time — dominates. The reported accuracies are gated
+// byte-for-byte across worker counts (cmd/benchgate): scheduling decides
+// only when a cell's units run, never its results.
+func BenchmarkSchedulerGridThroughput(b *testing.B) {
+	const cells = 32
+	for i := 0; i < b.N; i++ {
+		accs, err := sim.ThroughputGrid(context.Background(), benchPreset, benchSeed, cells)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var mean float64
+			for _, a := range accs {
+				mean += a
+			}
+			mean /= float64(len(accs))
+			b.ReportMetric(mean, "sched-grid-mean-acc")
+			b.ReportMetric(accs[0], "sched-grid-first-acc")
+			b.ReportMetric(accs[len(accs)-1], "sched-grid-last-acc")
+		}
+	}
+}
+
 var gossipOnce sync.Once
 
 // BenchmarkGossipComparison compares the DAG against the gossip-learning

@@ -9,11 +9,13 @@ const sampleW1 = `goos: linux
 goarch: amd64
 BenchmarkFigure9FedAvgComparison 	       1	1350590183 ns/op	         0.4667 CIFAR-100-dag-median	         0.8667 FMNIST-clustered-dag-median	  123456 B/op	     789 allocs/op
 BenchmarkFigure15WalkScalability-4 	       1	2347340819 ns/op	       119.9 evals-active10	       101.8 evals-active5
+BenchmarkSchedulerGridThroughput 	       1	 142968012 ns/op	         0.9333 sched-grid-first-acc	         0.8094 sched-grid-mean-acc
 PASS
 `
 
 const sampleWMax = `BenchmarkFigure9FedAvgComparison-8 	       1	 420590183 ns/op	         0.4667 CIFAR-100-dag-median	         0.8667 FMNIST-clustered-dag-median
 BenchmarkFigure15WalkScalability 	       1	 800340819 ns/op	       119.9 evals-active10	       101.8 evals-active5
+BenchmarkSchedulerGridThroughput-8 	       1	 130580541 ns/op	         0.9333 sched-grid-first-acc	         0.8094 sched-grid-mean-acc
 `
 
 func TestParseRun(t *testing.T) {
@@ -30,7 +32,10 @@ func TestParseRun(t *testing.T) {
 	if got := r.NsPerOp["Figure15WalkScalability"]; got != "2347340819" {
 		t.Fatalf("ns/op parse (suffix strip): got %q", got)
 	}
-	if len(r.Order) != 2 {
+	if got := r.Metrics["sched-grid-mean-acc"]; got != "0.8094" {
+		t.Fatalf("metric parse: got %q", got)
+	}
+	if len(r.Order) != 3 {
 		t.Fatalf("order: %v", r.Order)
 	}
 	if got := r.BytesPerOp["Figure9FedAvgComparison"]; got != "123456" {

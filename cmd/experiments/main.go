@@ -40,6 +40,7 @@ func run() error {
 		full       = flag.Bool("full", false, "paper-scale runs (100 rounds, full federations)")
 		seed       = flag.Int64("seed", 42, "root random seed")
 		workers    = flag.Int("workers", 0, "total worker budget shared by sweep cells and round engines (0 = NumCPU); results are identical for any value")
+		gridDir    = flag.String("grid-dir", "", "per-cell checkpoint directory for sweep grids: a crashed sweep rerun resumes its cells instead of recomputing them (default $SPECDAG_GRID_DIR; empty disables)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -62,6 +63,9 @@ func run() error {
 
 	if *workers > 0 {
 		sim.SetWorkers(*workers)
+	}
+	if *gridDir != "" {
+		sim.SetGridDir(*gridDir)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

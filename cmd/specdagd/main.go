@@ -37,21 +37,23 @@ func main() {
 		workers = flag.Int("workers", 0, "shared worker budget for all hosted runs (0 = NumCPU)")
 		ring    = flag.Int("ring", 0, "per-run event ring capacity in frames (0 = default)")
 		every   = flag.Int("checkpoint-every", 25, "default checkpoint cadence in engine units")
+		quantum = flag.Int("quantum", 0, "scheduler dispatch quantum in engine units per run (0 = default)")
 		dir     = flag.String("dir", "", "state directory: persist paused runs on shutdown, restore them on boot")
 		grace   = flag.Duration("grace", 30*time.Second, "shutdown grace period for pausing runs")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *ring, *every, *dir, *grace); err != nil {
+	if err := run(*addr, *workers, *ring, *every, *quantum, *dir, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "specdagd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, ring, every int, dir string, grace time.Duration) error {
+func run(addr string, workers, ring, every, quantum int, dir string, grace time.Duration) error {
 	s := serve.NewServer(serve.Config{
 		Workers:         workers,
 		Ring:            ring,
 		CheckpointEvery: every,
+		Quantum:         quantum,
 		Dir:             dir,
 	})
 	if dir != "" {

@@ -203,64 +203,97 @@ func WithCheckpoints(every int, open func(step int) (io.WriteCloser, error)) Opt
 	}
 }
 
+// loop is one engine's run loop, factored out of Run so the Scheduler can
+// drive the identical per-unit body (step, hooks, probes, checkpoints) a
+// quantum at a time. Every semantic guarantee Run documents — hooks strictly
+// ordered by unit, probes between units on the driving goroutine, checkpoints
+// at unit boundaries — holds because both paths execute this one body.
+type loop struct {
+	e    Engine
+	o    options
+	rep  *Report
+	snap Snapshotter
+}
+
+func newLoop(e Engine, opts ...Option) (*loop, error) {
+	l := &loop{e: e, rep: &Report{Engine: e.Name()}}
+	for _, opt := range opts {
+		opt(&l.o)
+	}
+	var isSnap bool
+	l.snap, isSnap = e.(Snapshotter)
+	if l.o.checkOpen != nil && !isSnap {
+		return l, fmt.Errorf("engine: %s does not support checkpoints", e.Name())
+	}
+	if l.o.pool != nil {
+		if pu, ok := e.(PoolUser); ok {
+			pu.SetPool(l.o.pool)
+		}
+	}
+	return l, nil
+}
+
+// step runs exactly one unit: the context check, the engine step, hook
+// delivery, due probes and a due checkpoint. It reports done=true when the
+// engine reached its natural end.
+func (l *loop) step(ctx context.Context) (done bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	res, done, err := l.e.Step(ctx)
+	if err != nil {
+		return false, err
+	}
+	if done {
+		l.rep.Completed = true
+		return true, nil
+	}
+	l.rep.Steps++
+	for _, h := range l.o.hooks {
+		if h.OnPublish != nil {
+			for _, p := range res.Publishes {
+				h.OnPublish(p)
+			}
+		}
+		if h.OnRound != nil {
+			h.OnRound(res.Round)
+		}
+	}
+	for _, pr := range l.o.probes {
+		if l.rep.Steps%pr.every != 0 {
+			continue
+		}
+		ev := ProbeEvent{Engine: l.e.Name(), Step: l.rep.Steps, Name: pr.name, Value: pr.fn()}
+		for _, h := range l.o.hooks {
+			if h.OnProbe != nil {
+				h.OnProbe(ev)
+			}
+		}
+	}
+	if l.o.checkOpen != nil && l.rep.Steps%l.o.checkEvery == 0 {
+		if err := writeCheckpoint(l.snap, l.o.checkOpen, l.rep.Steps); err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
 // Run drives e to completion (or cancellation): the one entry point behind
 // every experiment. It returns the report alongside the first error — on
 // cancellation that is ctx.Err(), and the engine retains the partial results
 // of the units completed so far.
 func Run(ctx context.Context, e Engine, opts ...Option) (*Report, error) {
-	var o options
-	for _, opt := range opts {
-		opt(&o)
+	l, err := newLoop(e, opts...)
+	if err != nil {
+		return l.rep, err
 	}
-	rep := &Report{Engine: e.Name()}
-	snap, isSnap := e.(Snapshotter)
-	if o.checkOpen != nil && !isSnap {
-		return rep, fmt.Errorf("engine: %s does not support checkpoints", e.Name())
-	}
-	if o.pool != nil {
-		if pu, ok := e.(PoolUser); ok {
-			pu.SetPool(o.pool)
-		}
-	}
-
 	for {
-		if err := ctx.Err(); err != nil {
-			return rep, err
-		}
-		res, done, err := e.Step(ctx)
+		done, err := l.step(ctx)
 		if err != nil {
-			return rep, err
+			return l.rep, err
 		}
 		if done {
-			rep.Completed = true
-			return rep, nil
-		}
-		rep.Steps++
-		for _, h := range o.hooks {
-			if h.OnPublish != nil {
-				for _, p := range res.Publishes {
-					h.OnPublish(p)
-				}
-			}
-			if h.OnRound != nil {
-				h.OnRound(res.Round)
-			}
-		}
-		for _, pr := range o.probes {
-			if rep.Steps%pr.every != 0 {
-				continue
-			}
-			ev := ProbeEvent{Engine: e.Name(), Step: rep.Steps, Name: pr.name, Value: pr.fn()}
-			for _, h := range o.hooks {
-				if h.OnProbe != nil {
-					h.OnProbe(ev)
-				}
-			}
-		}
-		if o.checkOpen != nil && rep.Steps%o.checkEvery == 0 {
-			if err := writeCheckpoint(snap, o.checkOpen, rep.Steps); err != nil {
-				return rep, err
-			}
+			return l.rep, nil
 		}
 	}
 }

@@ -1,0 +1,573 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/specdag/specdag/internal/core"
+	"github.com/specdag/specdag/internal/engine"
+	"github.com/specdag/specdag/internal/par"
+)
+
+// fakeEngine is a deterministic synthetic engine for scheduler-semantics
+// tests: total units, an optional per-step trace callback, and an optional
+// gate channel that each step must receive from (for blocking tests).
+type fakeEngine struct {
+	name  string
+	total int
+	steps int
+	trace func(name string, step int)
+	gate  chan struct{}
+}
+
+func (f *fakeEngine) Name() string { return f.name }
+
+func (f *fakeEngine) Step(ctx context.Context) (*engine.StepResult, bool, error) {
+	if f.steps >= f.total {
+		return nil, true, nil
+	}
+	if f.gate != nil {
+		select {
+		case <-f.gate:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	f.steps++
+	if f.trace != nil {
+		f.trace(f.name, f.steps)
+	}
+	return &engine.StepResult{Round: engine.RoundEvent{Engine: f.name, Round: f.steps - 1}}, false, nil
+}
+
+// settleLog records OnSettle order across jobs.
+type settleLog struct {
+	mu    sync.Mutex
+	order []string
+}
+
+func (l *settleLog) hook(name string) func(error) {
+	return func(error) {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		l.order = append(l.order, name)
+	}
+}
+
+func (l *settleLog) snapshot() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.order...)
+}
+
+// TestSchedulerRunsAllJobsToCompletion: the basic contract — every submitted
+// job runs to its engine's natural end, with concurrent workers drawn from
+// the budget.
+func TestSchedulerRunsAllJobsToCompletion(t *testing.T) {
+	s := engine.NewScheduler(engine.SchedulerConfig{Pool: par.NewBudget(4), Quantum: 3})
+	var handles []*engine.Handle
+	for i := 0; i < 9; i++ {
+		h, err := s.Submit(engine.Job{Engine: &fakeEngine{name: fmt.Sprintf("j%d", i), total: 10}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range handles {
+		if st := h.State(); st != engine.JobDone {
+			t.Fatalf("job %d state = %v, want done (err %v)", i, st, h.Err())
+		}
+		if h.Steps() != 10 {
+			t.Fatalf("job %d ran %d steps, want 10", i, h.Steps())
+		}
+		rep := h.Report()
+		if rep == nil || !rep.Completed || rep.Steps != 10 {
+			t.Fatalf("job %d report %+v", i, rep)
+		}
+	}
+	if st := s.Stats(); st.Settled != 9 || st.Dispatches < 9 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestSchedulerPriorityOrderingUnderContention: with one worker and every
+// job contending for it, dispatch is a strict priority queue — higher
+// Priority first, ties in submission order — and a dispatched job keeps its
+// worker across requeues (locality tiebreak) until it completes.
+func TestSchedulerPriorityOrderingUnderContention(t *testing.T) {
+	var mu sync.Mutex
+	var trace []string
+	s := engine.NewScheduler(engine.SchedulerConfig{Pool: par.NewBudget(1), Workers: 1, Quantum: 1})
+	prios := []int{0, 5, 3, 5}
+	for i, p := range prios {
+		name := fmt.Sprintf("p%d-j%d", p, i)
+		_, err := s.Submit(engine.Job{
+			Engine: &fakeEngine{name: name, total: 3, trace: func(n string, _ int) {
+				mu.Lock()
+				trace = append(trace, n)
+				mu.Unlock()
+			}},
+			Name:     name,
+			Priority: p,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for _, i := range []int{1, 3, 2, 0} { // priority desc, then submission order
+		for k := 0; k < 3; k++ {
+			want = append(want, fmt.Sprintf("p%d-j%d", prios[i], i))
+		}
+	}
+	if got := strings.Join(trace, " "); got != strings.Join(want, " ") {
+		t.Fatalf("step trace\n got %s\nwant %s", got, strings.Join(want, " "))
+	}
+}
+
+// TestSchedulerDeadlineFailsWithTypedError: a job past its wall-clock
+// deadline settles as JobFailed with a *DeadlineError that unwraps to
+// ErrJobDeadline.
+func TestSchedulerDeadlineFailsWithTypedError(t *testing.T) {
+	s := engine.NewScheduler(engine.SchedulerConfig{Pool: par.NewBudget(1)})
+	h, err := s.Submit(engine.Job{
+		Engine:   &fakeEngine{name: "doomed", total: 1 << 30},
+		Deadline: time.Nanosecond, // expired by the time a worker looks
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s.Submit(engine.Job{Engine: &fakeEngine{name: "fine", total: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := h.State(); st != engine.JobFailed {
+		t.Fatalf("state = %v, want failed", st)
+	}
+	if !errors.Is(h.Err(), engine.ErrJobDeadline) {
+		t.Fatalf("err = %v, want ErrJobDeadline", h.Err())
+	}
+	var de *engine.DeadlineError
+	if !errors.As(h.Err(), &de) || de.Job != "doomed" || de.Deadline != time.Nanosecond {
+		t.Fatalf("err = %#v, want *DeadlineError for job doomed", h.Err())
+	}
+	if ok.State() != engine.JobDone {
+		t.Fatalf("undeadlined job state = %v, want done", ok.State())
+	}
+}
+
+// TestSchedulerStarvationFreedomViaAging: a low-priority job under a
+// continuous stream of high-priority arrivals still runs, because waiting
+// raises its effective priority above later arrivals. The contrast case
+// (aging effectively off) pins that it is the aging doing it.
+func TestSchedulerStarvationFreedomViaAging(t *testing.T) {
+	// Two self-regenerating high-priority streams: each settle submits the
+	// next generation, so high-priority work never dries up until the
+	// generations are exhausted. Single worker keeps dispatch deterministic.
+	run := func(agingQuanta int) []string {
+		var log settleLog
+		s := engine.NewScheduler(engine.SchedulerConfig{
+			Pool: par.NewBudget(1), Workers: 1, Quantum: 1, AgingQuanta: agingQuanta,
+		})
+		if _, err := s.Submit(engine.Job{
+			Engine:   &fakeEngine{name: "low", total: 1},
+			Name:     "low",
+			Priority: 0,
+			OnSettle: log.hook("low"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		const generations = 40
+		var submitGen func(stream string, gen int)
+		submitGen = func(stream string, gen int) {
+			name := fmt.Sprintf("%s-g%d", stream, gen)
+			_, err := s.Submit(engine.Job{
+				Engine:   &fakeEngine{name: name, total: 1},
+				Name:     name,
+				Priority: 10,
+				OnSettle: func(err error) {
+					if gen+1 < generations {
+						submitGen(stream, gen+1)
+					}
+					log.hook(name)(err)
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		submitGen("a", 0)
+		submitGen("b", 0)
+		if err := s.Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return log.snapshot()
+	}
+
+	pos := func(order []string, name string) int {
+		for i, n := range order {
+			if n == name {
+				return i
+			}
+		}
+		return -1
+	}
+
+	aged := run(1)
+	if len(aged) != 2*40+1 {
+		t.Fatalf("with aging: %d settles, want 81", len(aged))
+	}
+	if p := pos(aged, "low"); p < 0 || p == len(aged)-1 {
+		t.Fatalf("with aging: low settled at position %d of %d — starved", p, len(aged))
+	}
+
+	unaged := run(1 << 30)
+	if p := pos(unaged, "low"); p != len(unaged)-1 {
+		t.Fatalf("without aging: low settled at position %d, want last %d — contrast broken",
+			p, len(unaged)-1)
+	}
+}
+
+// TestSchedulerStealsFromForeignDeque: submissions land round-robin on the
+// worker deques; a worker with an empty deque takes runnable jobs from a
+// foreign one, and the steal is counted.
+func TestSchedulerStealsFromForeignDeque(t *testing.T) {
+	// Two deques but a one-slot budget: the root worker (deque 0) is the
+	// only driver, so after finishing its own job it must steal job 1 from
+	// deque 1.
+	s := engine.NewScheduler(engine.SchedulerConfig{Pool: par.NewBudget(1), Workers: 2, Quantum: 8})
+	var handles []*engine.Handle
+	for i := 0; i < 2; i++ {
+		h, err := s.Submit(engine.Job{Engine: &fakeEngine{name: fmt.Sprintf("j%d", i), total: 4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range handles {
+		if h.State() != engine.JobDone {
+			t.Fatalf("job %d: %v (%v)", i, h.State(), h.Err())
+		}
+	}
+	if st := s.Stats(); st.Steals != 1 || st.Dispatches != 2 {
+		t.Fatalf("stats %+v, want exactly 1 steal in 2 dispatches", st)
+	}
+}
+
+// TestSchedulerPauseResumeCancel: pause parks at a unit boundary and the
+// job makes no further progress while other jobs run; resume continues the
+// same engine; cancel settles with ErrJobCanceled.
+func TestSchedulerPauseResumeCancel(t *testing.T) {
+	s := engine.NewScheduler(engine.SchedulerConfig{Pool: par.NewBudget(1), Workers: 1, Quantum: 2})
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx) }()
+
+	stepped := make(chan struct{}, 1)
+	h, err := s.Submit(engine.Job{
+		Engine: &fakeEngine{name: "long", total: 1 << 30, trace: func(string, int) {
+			select {
+			case stepped <- struct{}{}:
+			default:
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-stepped // the job is running
+	if err := h.Pause(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := h.State(); st != engine.JobPaused {
+		t.Fatalf("state after pause = %v", st)
+	}
+	for len(stepped) > 0 {
+		<-stepped
+	}
+	frozen := h.Steps()
+
+	// The worker is free while the job is parked: another job runs to
+	// completion, and the paused job gains no steps.
+	other, err := s.Submit(engine.Job{Engine: &fakeEngine{name: "other", total: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Steps(); got != frozen {
+		t.Fatalf("paused job advanced from %d to %d steps", frozen, got)
+	}
+	if err := h.Pause(context.Background()); err != nil {
+		t.Fatal("pausing a paused job should be a no-op, got", err)
+	}
+
+	if err := h.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	<-stepped // progressing again, same engine
+	if err := h.Cancel(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := h.State(); st != engine.JobCanceled {
+		t.Fatalf("state after cancel = %v", st)
+	}
+	if !errors.Is(h.Err(), engine.ErrJobCanceled) {
+		t.Fatalf("err = %v, want ErrJobCanceled", h.Err())
+	}
+	if err := h.Cancel(context.Background()); !errors.Is(err, engine.ErrJobSettled) {
+		t.Fatalf("double cancel err = %v, want ErrJobSettled", err)
+	}
+	if err := h.Resume(); !errors.Is(err, engine.ErrJobSettled) {
+		t.Fatalf("resume after cancel err = %v, want ErrJobSettled", err)
+	}
+
+	stop()
+	if err := <-served; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Serve returned %v", err)
+	}
+}
+
+// TestSchedulerCancelBeforeDrive: queued jobs can be canceled before any
+// drive loop exists, and Drain then has nothing to do for them.
+func TestSchedulerCancelBeforeDrive(t *testing.T) {
+	var log settleLog
+	s := engine.NewScheduler(engine.SchedulerConfig{Pool: par.NewBudget(2)})
+	doomed, err := s.Submit(engine.Job{
+		Engine: &fakeEngine{name: "doomed", total: 100}, OnSettle: log.hook("doomed"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, err := s.Submit(engine.Job{Engine: &fakeEngine{name: "kept", total: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doomed.Cancel(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(doomed.Err(), engine.ErrJobCanceled) || doomed.Steps() != 0 {
+		t.Fatalf("canceled queued job: err=%v steps=%d", doomed.Err(), doomed.Steps())
+	}
+	if got := log.snapshot(); len(got) != 1 || got[0] != "doomed" {
+		t.Fatalf("OnSettle log %v", got)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if kept.State() != engine.JobDone {
+		t.Fatalf("kept job %v (%v)", kept.State(), kept.Err())
+	}
+}
+
+// TestSchedulerDrainStopsAtBoundariesAndResumes: canceling Drain's context
+// stops jobs at unit boundaries without settling them; a fresh Drain picks
+// them back up and completes the identical work.
+func TestSchedulerDrainStopsAtBoundariesAndResumes(t *testing.T) {
+	s := engine.NewScheduler(engine.SchedulerConfig{Pool: par.NewBudget(1), Workers: 1, Quantum: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var total int
+	var handles []*engine.Handle
+	for i := 0; i < 3; i++ {
+		h, err := s.Submit(engine.Job{Engine: &fakeEngine{name: fmt.Sprintf("j%d", i), total: 10,
+			trace: func(string, int) {
+				total++
+				if total == 7 {
+					cancel() // mid-grid crash
+				}
+			}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	if err := s.Drain(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted Drain returned %v", err)
+	}
+	settledEarly := 0
+	for _, h := range handles {
+		if h.State() == engine.JobDone {
+			settledEarly++
+		}
+	}
+	if settledEarly == len(handles) {
+		t.Fatal("every job finished before the interrupt — test proves nothing")
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range handles {
+		if h.State() != engine.JobDone || h.Steps() != 10 {
+			t.Fatalf("job %d after resumed drain: %v steps=%d", i, h.State(), h.Steps())
+		}
+	}
+	if total != 30 {
+		t.Fatalf("engines stepped %d total units, want exactly 30 (no rework)", total)
+	}
+}
+
+// TestSchedulerLazyBuild: Build jobs construct their engine at first
+// dispatch; a failing build settles the job as failed without killing the
+// drain.
+func TestSchedulerLazyBuild(t *testing.T) {
+	s := engine.NewScheduler(engine.SchedulerConfig{Pool: par.NewBudget(2)})
+	built := 0
+	ok, err := s.Submit(engine.Job{
+		Name: "lazy",
+		Build: func(ctx context.Context) (engine.Engine, []engine.Option, error) {
+			built++
+			return &fakeEngine{name: "lazy", total: 4}, nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built != 0 {
+		t.Fatal("Build ran at submit, want first dispatch")
+	}
+	bad, err := s.Submit(engine.Job{
+		Name: "bad",
+		Build: func(ctx context.Context) (engine.Engine, []engine.Option, error) {
+			return nil, nil, errors.New("no such dataset")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ok.State() != engine.JobDone || built != 1 {
+		t.Fatalf("lazy job %v, built %d times", ok.State(), built)
+	}
+	if bad.State() != engine.JobFailed || !strings.Contains(bad.Err().Error(), "no such dataset") {
+		t.Fatalf("bad build job %v (%v)", bad.State(), bad.Err())
+	}
+
+	if _, err := s.Submit(engine.Job{}); err == nil {
+		t.Fatal("submit with neither Engine nor Build must fail")
+	}
+	if _, err := s.Submit(engine.Job{
+		Engine: &fakeEngine{name: "x", total: 1},
+		Build: func(ctx context.Context) (engine.Engine, []engine.Option, error) {
+			return nil, nil, nil
+		},
+	}); err == nil {
+		t.Fatal("submit with both Engine and Build must fail")
+	}
+}
+
+// TestSchedulerSharedBudgetBound: real simulations with internal fan-out,
+// scheduled concurrently on one budget — total budgeted concurrency never
+// exceeds the budget size, and everything is released afterwards.
+func TestSchedulerSharedBudgetBound(t *testing.T) {
+	pool := par.NewBudget(2)
+	s := engine.NewScheduler(engine.SchedulerConfig{Pool: pool, Quantum: 2})
+	var handles []*engine.Handle
+	for i := 0; i < 3; i++ {
+		seed := int64(20 + i)
+		h, err := s.Submit(engine.Job{
+			Name: fmt.Sprintf("sim%d", i),
+			Build: func(ctx context.Context) (engine.Engine, []engine.Option, error) {
+				cfg := testConfig()
+				cfg.Rounds = 4
+				cfg.Workers = 2
+				cfg.Pool = pool
+				sim, err := core.NewSimulation(testFed(seed), cfg)
+				return sim, nil, err
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range handles {
+		if h.State() != engine.JobDone {
+			t.Fatalf("sim job %d: %v (%v)", i, h.State(), h.Err())
+		}
+	}
+	if peak := pool.Peak(); peak > 2 {
+		t.Fatalf("budget peak %d exceeds size 2", peak)
+	}
+	if inUse := pool.InUse(); inUse != 0 {
+		t.Fatalf("budget still reports %d in use after drain", inUse)
+	}
+}
+
+// TestSchedulerRejectsConcurrentDrives: one root at a time.
+func TestSchedulerRejectsConcurrentDrives(t *testing.T) {
+	s := engine.NewScheduler(engine.SchedulerConfig{Pool: par.NewBudget(1)})
+	ctx, stop := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx) }()
+	// The serve loop is up once a submitted job completes.
+	h, err := s.Submit(engine.Job{Engine: &fakeEngine{name: "probe", total: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(context.Background()); !errors.Is(err, engine.ErrSchedulerBusy) {
+		t.Fatalf("second drive returned %v, want ErrSchedulerBusy", err)
+	}
+	stop()
+	<-served
+	// After the drive ends the scheduler is drivable again.
+	if _, err := s.Submit(engine.Job{Engine: &fakeEngine{name: "again", total: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkScheduler measures pure scheduling overhead: many tiny jobs whose
+// steps do no work, so ns/op is dominated by dispatch, requeue and steal
+// bookkeeping. Advisory timing only — no experiment metrics are reported.
+func BenchmarkScheduler(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := engine.NewScheduler(engine.SchedulerConfig{
+					Pool: par.NewBudget(workers), Workers: workers, Quantum: 8,
+				})
+				for j := 0; j < 64; j++ {
+					if _, err := s.Submit(engine.Job{
+						Engine: &fakeEngine{name: fmt.Sprintf("j%d", j), total: 64},
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := s.Drain(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

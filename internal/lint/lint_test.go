@@ -24,7 +24,8 @@ func TestMapOrder(t *testing.T) {
 
 func TestBudget(t *testing.T) {
 	linttest.Run(t, linttest.TestData(), lint.Budget,
-		"budget/app", "budget/internal/par", "budget/internal/serve")
+		"budget/app", "budget/internal/par", "budget/internal/serve",
+		"budget/internal/engine")
 }
 
 func TestKernelOrder(t *testing.T) {

@@ -1,0 +1,25 @@
+// Package engine is a fixture pinning the scheduler's concurrency policy:
+// the work-stealing scheduler's helper workers must come from the shared
+// budget (par.Budget.Spawn-style, token-backed), never from naked go
+// statements — hosting many runs does not exempt internal/engine from the
+// goroutine budget.
+package engine
+
+type budget struct{}
+
+// Spawn mimics par.Budget.Spawn: a helper runs only if a budget token is
+// free, so the scheduler can never oversubscribe the pool.
+func (budget) Spawn(fn func()) bool { fn(); return true }
+
+func spawnHelpers(pool budget, workers int) {
+	// The sanctioned form: budget-token helpers that exit when idle.
+	for i := 1; i < workers; i++ {
+		if !pool.Spawn(func() {}) {
+			break
+		}
+	}
+}
+
+func leakyWorker(loop func()) {
+	go loop() // want `naked go statement outside internal/par`
+}

@@ -140,6 +140,32 @@ func goid() int64 {
 	return id
 }
 
+// Spawn runs fn on a new helper goroutine if the budget has a free slot,
+// returning true; when the budget is exhausted it returns false without
+// blocking and fn does not run. The goroutine holds its slot and is counted
+// by InUse/Peak for fn's whole lifetime, so long-lived worker loops (the
+// engine scheduler's job drivers) occupy budget capacity exactly like the
+// fan-out helpers of ForEachIn do. Spawn is the one sanctioned way to start
+// a budgeted background worker: everything else goes through the ForEach
+// family, and the speclint budget analyzer forbids naked go statements
+// outside this package.
+//
+// Callers must tolerate false — the usual pattern mirrors forEach's: the
+// caller keeps making progress on its own goroutine and retries Spawn when
+// more work arrives.
+func (b *Budget) Spawn(fn func()) bool {
+	if !b.tryAcquire() {
+		return false
+	}
+	go func() {
+		defer b.release()
+		fresh := b.enterLoop()
+		defer b.exitLoop(fresh)
+		fn()
+	}()
+	return true
+}
+
 // ForEach invokes fn(i) for every i in [0, n), using at most workers
 // goroutines (workers <= 0 selects runtime.NumCPU()). It returns when all
 // invocations have finished. Items are claimed dynamically, so long items do

@@ -410,3 +410,85 @@ func TestShutdownRestore(t *testing.T) {
 		t.Fatalf("restored run finished at %d steps, want %d", final.Steps, req.Rounds)
 	}
 }
+
+// TestSchedulerMultiplexesRunsByPriority pins the scheduler-backed server:
+// concurrent runs with different priorities multiplex onto the shared
+// budget a quantum at a time, every run completes, and each run's event
+// stream is field-for-field identical to the same engine driven unscheduled
+// — priority and interleaving decide only when units execute.
+func TestSchedulerMultiplexesRunsByPriority(t *testing.T) {
+	s := NewServer(Config{Workers: 2, Quantum: 1})
+	reqs := []RunRequest{
+		{Dataset: "fmnist", Seed: 81, Rounds: 4, ClientsPerRound: 2, Workers: 2, Priority: 0, Label: "low"},
+		{Dataset: "fmnist", Seed: 82, Rounds: 4, ClientsPerRound: 2, Workers: 2, Priority: 5, Label: "high"},
+		{Dataset: "fmnist", Seed: 83, Rounds: 4, ClientsPerRound: 2, Workers: 2, Priority: 2, Label: "mid"},
+	}
+	want := make([]*recorder, len(reqs))
+	for i, req := range reqs {
+		want[i] = localReference(t, s, req)
+	}
+	ids := make([]int, len(reqs))
+	for i, req := range reqs {
+		id, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for i, id := range ids {
+		st := waitState(t, s, id, func(st RunStatus) bool { return st.State != StateRunning })
+		if st.State != StateDone || st.Steps != reqs[i].Rounds {
+			t.Fatalf("run %q settled as %+v, want %d done steps", reqs[i].Label, st, reqs[i].Rounds)
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for i, id := range ids {
+		got := &recorder{}
+		if _, err := Subscribe(context.Background(), ts.URL, id, SubscribeOptions{Hooks: got.hooks()}); err != nil {
+			t.Fatal(err)
+		}
+		mustEqualEvents(t, got, want[i])
+	}
+}
+
+// TestSchedulerPauseFreesWorkerForOtherRuns: pausing one hosted run parks
+// its job in the scheduler — it stops stepping, while another run submitted
+// afterwards runs to completion through the freed capacity; resume then
+// carries the parked run to its own natural end.
+func TestSchedulerPauseFreesWorkerForOtherRuns(t *testing.T) {
+	s := NewServer(Config{Workers: 1, Quantum: 1})
+	long := RunRequest{Dataset: "fmnist", Seed: 84, Rounds: 30, ClientsPerRound: 2, Workers: 1, CheckpointEvery: 3, Label: "parked"}
+	lid, err := s.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, lid, func(st RunStatus) bool { return st.Steps >= 1 })
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := s.Pause(ctx, lid); err != nil {
+		t.Fatal(err)
+	}
+	frozen := waitState(t, s, lid, func(st RunStatus) bool { return st.State == StatePaused }).Steps
+
+	quick := RunRequest{Dataset: "fmnist", Seed: 85, Rounds: 3, ClientsPerRound: 2, Workers: 1, Label: "through"}
+	qid, err := s.Submit(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, s, qid, func(st RunStatus) bool { return st.State != StateRunning })
+	if st.State != StateDone || st.Steps != quick.Rounds {
+		t.Fatalf("run through freed worker settled as %+v", st)
+	}
+	if got := waitState(t, s, lid, func(RunStatus) bool { return true }); got.State != StatePaused || got.Steps != frozen {
+		t.Fatalf("paused run advanced to %+v while parked (was %d steps)", got, frozen)
+	}
+
+	if err := s.Resume(lid); err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, s, lid, func(st RunStatus) bool { return st.State != StateRunning })
+	if final.State != StateDone || final.Steps != long.Rounds {
+		t.Fatalf("resumed run settled as %+v, want %d done steps", final, long.Rounds)
+	}
+}

@@ -37,6 +37,10 @@ type Config struct {
 	// CheckpointEvery is the default checkpoint cadence in engine units for
 	// runs that do not choose their own (<= 0 selects 25).
 	CheckpointEvery int
+	// Quantum is the scheduler dispatch quantum in engine units: how many
+	// units one hosted run executes per dispatch before the scheduler
+	// re-picks by priority (<= 0 selects the scheduler default).
+	Quantum int
 	// Dir, when non-empty, is where Shutdown persists the checkpoints of
 	// in-flight runs (and Restore re-registers them on the next boot).
 	Dir string
@@ -53,15 +57,22 @@ const CheckpointIndexHeader = "X-Specdag-Checkpoint-Index"
 // budget and serves their live event streams and lifecycle over HTTP. Use
 // NewServer, mount Handler on any http.Server (or use it directly with
 // httptest), and stop with Shutdown.
+//
+// Underneath Submit/Pause/Resume/Cancel sits one engine.Scheduler: every
+// hosted run is a scheduler job, multiplexed with the others onto the shared
+// budget by priority a quantum of units at a time, instead of each run
+// claiming its own goroutine for its whole lifetime.
 type Server struct {
-	cfg  Config
-	pool *par.Budget
-	mux  *http.ServeMux
+	cfg       Config
+	pool      *par.Budget
+	mux       *http.ServeMux
+	sched     *engine.Scheduler
+	stopSched context.CancelFunc
 
 	mu     sync.Mutex
 	runs   map[int]*run
 	nextID int
-	wg     sync.WaitGroup // live run goroutines
+	wg     sync.WaitGroup // the scheduler supervisor goroutine
 }
 
 // Run states reported by the status endpoints.
@@ -81,12 +92,10 @@ type run struct {
 
 	mu        sync.Mutex
 	state     string
-	intent    string // "" | StatePaused | StateCanceled: why cancel() was called
-	steps     int    // completed engine units
+	steps     int // completed engine units
 	err       string
 	started   time.Time
-	cancel    context.CancelFunc
-	settled   chan struct{} // closed when the current run goroutine has finished
+	handle    *engine.Handle // the run's scheduler job; nil for restored runs until resumed
 	snap      engine.Snapshotter
 	ckpt      []byte // latest checkpoint, nil if none yet
 	ckptIndex uint64 // event-log index the checkpoint resumes from
@@ -105,6 +114,22 @@ func NewServer(cfg Config) *Server {
 		runs:   make(map[int]*run),
 		nextID: 1,
 	}
+	s.sched = engine.NewScheduler(engine.SchedulerConfig{
+		Pool:    s.pool,
+		Quantum: cfg.Quantum,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	s.stopSched = cancel
+	s.wg.Add(1)
+	// The scheduler's serve loop: one supervisor goroutine multiplexes every
+	// hosted run onto the shared budget; everything nondeterministic
+	// (subscribers, HTTP) stays on the other side of the broadcaster.
+	// Transport-boundary supervisor, audited:
+	//speclint:allow budget one long-lived scheduler supervisor per server, joined via s.wg on Shutdown
+	go func() {
+		defer s.wg.Done()
+		s.sched.Serve(ctx)
+	}()
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
@@ -156,6 +181,10 @@ type RunRequest struct {
 	// Workers caps this run's internal fan-out; the actual concurrency is
 	// additionally bounded by the server's shared budget.
 	Workers int `json:"workers,omitempty"`
+	// Priority orders this run against the server's other runs on the shared
+	// scheduler (larger dispatches first; ties run in submission order).
+	// Priority only affects when units execute, never their results.
+	Priority int `json:"priority,omitempty"`
 	// CheckpointEvery is the checkpoint cadence in engine units (rounds or
 	// events; 0 selects the server default).
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
@@ -358,23 +387,21 @@ func (s *Server) Submit(req RunRequest) (int, error) {
 	s.mu.Unlock()
 	info := runInfo(eng, &req)
 	r.b.Append(wire.Frame{Kind: wire.KindStart, Start: &info})
-	s.launch(r, eng)
+	if err := s.launch(r, eng); err != nil {
+		return 0, err
+	}
 	return id, nil
 }
 
-// launch starts (or restarts, after pause/restore) the run goroutine.
+// launch submits (or resubmits, after restore) the run to the scheduler.
 // Callers hold no locks; the run must be in StateRunning.
-func (s *Server) launch(r *run, eng engine.Engine) {
-	ctx, cancel := context.WithCancel(context.Background())
-	settled := make(chan struct{})
+func (s *Server) launch(r *run, eng engine.Engine) error {
 	r.mu.Lock()
-	r.cancel = cancel
-	r.settled = settled
-	r.intent = ""
 	r.snap, _ = eng.(engine.Snapshotter)
 	if r.started.IsZero() {
 		r.started = time.Now()
 	}
+	hasSnap := r.snap != nil
 	r.mu.Unlock()
 
 	every := r.req.CheckpointEvery
@@ -390,65 +417,52 @@ func (s *Server) launch(r *run, eng engine.Engine) {
 			r.mu.Unlock()
 		}}),
 	}
-	if r.snap != nil {
+	if hasSnap {
 		opts = append(opts, engine.WithCheckpoints(every, func(step int) (io.WriteCloser, error) {
 			return &memCheckpoint{r: r, step: step}, nil
 		}))
 	}
 
-	s.wg.Add(1)
-	// The run's control loop: engine.Run drives the deterministic engine;
-	// everything nondeterministic (subscribers, HTTP) stays on the other
-	// side of the broadcaster. Transport-boundary supervisor, audited:
-	//speclint:allow budget one long-lived supervisor goroutine per hosted run, joined via s.wg on Shutdown
-	go func() {
-		defer s.wg.Done()
-		defer cancel()
-		_, err := engine.Run(ctx, eng, opts...)
-		s.settle(r, eng, err)
-		close(settled)
-	}()
+	h, err := s.sched.Submit(engine.Job{
+		Engine:   eng,
+		Name:     fmt.Sprintf("run-%d", r.id),
+		Priority: r.req.Priority,
+		Opts:     opts,
+		OnSettle: func(err error) { s.settle(r, err) },
+	})
+	if err != nil {
+		return fmt.Errorf("serve: submitting run %d: %w", r.id, err)
+	}
+	r.mu.Lock()
+	r.handle = h
+	r.mu.Unlock()
+	return nil
 }
 
-// settle records the outcome of a finished run goroutine: completion,
-// cancellation, pause-to-checkpoint, or failure.
-func (s *Server) settle(r *run, eng engine.Engine, err error) {
+// settle records the outcome of a settled scheduler job: completion,
+// cancellation, or failure. (Pause does not settle the job — a paused run's
+// engine stays parked in the scheduler.) Invoked from the job's OnSettle on
+// a scheduler worker; guarded so an outcome recorded by the lifecycle
+// methods themselves (e.g. a failed pause checkpoint) is not overwritten.
+func (s *Server) settle(r *run, err error) {
 	r.mu.Lock()
-	intent := r.intent
+	switch r.state {
+	case StateDone, StateCanceled, StateFailed:
+		r.mu.Unlock()
+		return
+	}
 	steps := r.steps
-	r.mu.Unlock()
-
 	if err == nil {
-		r.mu.Lock()
 		r.state = StateDone
 		r.mu.Unlock()
 		r.b.Append(wire.Frame{Kind: wire.KindEnd, End: &wire.End{Steps: steps, Completed: true}})
 		r.b.Close()
 		return
 	}
-	if errors.Is(err, context.Canceled) && intent == StatePaused {
-		// Pause-to-checkpoint: the engine stopped at a unit boundary and
-		// retains its state; snapshot it as the resume point. The log stays
-		// open — subscribers block until resume (or cancel).
-		if cerr := s.checkpointNow(r); cerr != nil {
-			r.mu.Lock()
-			r.state = StateFailed
-			r.err = cerr.Error()
-			r.mu.Unlock()
-			r.b.Append(wire.Frame{Kind: wire.KindEnd, End: &wire.End{Steps: steps, Err: cerr.Error()}})
-			r.b.Close()
-			return
-		}
-		r.mu.Lock()
-		r.state = StatePaused
-		r.mu.Unlock()
-		return
-	}
 	state, msg := StateFailed, err.Error()
-	if errors.Is(err, context.Canceled) {
+	if errors.Is(err, engine.ErrJobCanceled) {
 		state, msg = StateCanceled, "canceled"
 	}
-	r.mu.Lock()
 	r.state = state
 	r.err = msg
 	r.mu.Unlock()
@@ -456,9 +470,10 @@ func (s *Server) settle(r *run, eng engine.Engine, err error) {
 	r.b.Close()
 }
 
-// checkpointNow snapshots a settled engine's state into the run record and
-// logs the checkpoint frame. Only called after the run goroutine stopped,
-// so the event log cannot advance concurrently.
+// checkpointNow snapshots an engine's state into the run record and logs the
+// checkpoint frame. Only called while the run's job is parked (paused at a
+// unit boundary), so the engine and the event log cannot advance
+// concurrently.
 func (s *Server) checkpointNow(r *run) error {
 	r.mu.Lock()
 	snap := r.snap
@@ -531,9 +546,11 @@ func engineName(req *RunRequest) string {
 	return "specdag"
 }
 
-// Pause cancels the run at its next unit boundary and checkpoints it; the
-// programmatic form of POST /runs/{id}/pause. It blocks until the engine
-// has settled (bounded by ctx) and returns the checkpoint's event index.
+// Pause parks the run's scheduler job at its next unit boundary and
+// checkpoints it; the programmatic form of POST /runs/{id}/pause. It blocks
+// until the engine has parked (bounded by ctx) and returns the checkpoint's
+// event index. The paused engine stays resident in the scheduler, so Resume
+// continues it in place.
 func (s *Server) Pause(ctx context.Context, id int) (uint64, error) {
 	r, err := s.lookup(id)
 	if err != nil {
@@ -548,25 +565,39 @@ func (s *Server) Pause(ctx context.Context, id int) (uint64, error) {
 		r.mu.Unlock()
 		return 0, &stateError{id: id, state: "unsupported", want: "pause"}
 	}
-	r.intent = StatePaused
-	cancel, settled := r.cancel, r.settled
+	h := r.handle
 	r.mu.Unlock()
-	cancel()
-	select {
-	case <-settled:
-	case <-ctx.Done():
-		return 0, ctx.Err()
+	if err := h.Pause(ctx); err != nil {
+		if errors.Is(err, engine.ErrJobSettled) {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return 0, fmt.Errorf("serve: run %d settled as %s instead of pausing: %s", id, r.state, r.err)
+		}
+		return 0, err
+	}
+	// The job is parked at a unit boundary with its engine state intact;
+	// snapshot it as the resume point. The log stays open — subscribers
+	// block until resume (or cancel).
+	if cerr := s.checkpointNow(r); cerr != nil {
+		r.mu.Lock()
+		r.state = StateFailed
+		r.err = cerr.Error()
+		steps := r.steps
+		r.mu.Unlock()
+		r.b.Append(wire.Frame{Kind: wire.KindEnd, End: &wire.End{Steps: steps, Err: cerr.Error()}})
+		r.b.Close()
+		return 0, cerr
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.state != StatePaused {
-		return 0, fmt.Errorf("serve: run %d settled as %s instead of pausing: %s", id, r.state, r.err)
-	}
+	r.state = StatePaused
 	return r.ckptIndex, nil
 }
 
-// Resume restarts a paused run from its checkpoint; the programmatic form
-// of POST /runs/{id}/resume. The resumed run's remaining event stream is
+// Resume restarts a paused run; the programmatic form of
+// POST /runs/{id}/resume. A live job resumes in place in the scheduler; a
+// restored run (daemon restart) is rebuilt from its checkpoint and
+// resubmitted. Either way the resumed run's remaining event stream is
 // bit-identical to an uninterrupted run's.
 func (s *Server) Resume(id int) error {
 	r, err := s.lookup(id)
@@ -578,9 +609,17 @@ func (s *Server) Resume(id int) error {
 		defer r.mu.Unlock()
 		return &stateError{id: id, state: r.state, want: "resume"}
 	}
-	ckpt := r.ckpt
+	h, ckpt := r.handle, r.ckpt
 	r.state = StateRunning
 	r.mu.Unlock()
+	if h != nil {
+		if err := h.Resume(); err != nil {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return &stateError{id: id, state: r.state, want: "resume"}
+		}
+		return nil
+	}
 	eng, err := s.buildEngine(&r.req, ckpt)
 	if err != nil {
 		r.mu.Lock()
@@ -591,8 +630,7 @@ func (s *Server) Resume(id int) error {
 		r.b.Close()
 		return fmt.Errorf("serve: resuming run %d: %w", id, err)
 	}
-	s.launch(r, eng)
-	return nil
+	return s.launch(r, eng)
 }
 
 // Cancel stops a run for good; the programmatic form of
@@ -604,24 +642,30 @@ func (s *Server) Cancel(ctx context.Context, id int) error {
 	}
 	r.mu.Lock()
 	switch r.state {
-	case StateRunning:
-		r.intent = StateCanceled
-		cancel, settled := r.cancel, r.settled
-		r.mu.Unlock()
-		cancel()
-		select {
-		case <-settled:
+	case StateRunning, StatePaused:
+		h := r.handle
+		if h == nil {
+			// A restored paused run with no live job: terminal bookkeeping
+			// happens here.
+			r.state = StateCanceled
+			r.err = "canceled"
+			steps := r.steps
+			r.mu.Unlock()
+			r.b.Append(wire.Frame{Kind: wire.KindEnd, End: &wire.End{Steps: steps, Err: "canceled"}})
+			r.b.Close()
 			return nil
-		case <-ctx.Done():
-			return ctx.Err()
 		}
-	case StatePaused:
-		r.state = StateCanceled
-		r.err = "canceled"
-		steps := r.steps
 		r.mu.Unlock()
-		r.b.Append(wire.Frame{Kind: wire.KindEnd, End: &wire.End{Steps: steps, Err: "canceled"}})
-		r.b.Close()
+		// Canceling the job settles it; the OnSettle callback records the
+		// outcome and closes the log before Cancel returns.
+		if err := h.Cancel(ctx); err != nil {
+			if errors.Is(err, engine.ErrJobSettled) {
+				r.mu.Lock()
+				defer r.mu.Unlock()
+				return &stateError{id: id, state: r.state, want: "cancel"}
+			}
+			return err
+		}
 		return nil
 	default:
 		defer r.mu.Unlock()
@@ -690,9 +734,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			firstErr = err
 		}
 	}
+	// Every run is now parked or settled; stop the scheduler's serve loop.
+	s.stopSched()
 	done := make(chan struct{})
-	// Joiner for the run supervisors; WaitGroup has no context-aware wait.
-	//speclint:allow budget short-lived shutdown joiner, exits when the run goroutines drain
+	// Joiner for the scheduler supervisor; WaitGroup has no context-aware wait.
+	//speclint:allow budget short-lived shutdown joiner, exits when the supervisor drains
 	go func() {
 		s.wg.Wait()
 		close(done)

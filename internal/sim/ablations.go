@@ -2,11 +2,11 @@ package sim
 
 import (
 	"context"
-	"fmt"
+	"io"
 
 	"github.com/specdag/specdag/internal/core"
+	"github.com/specdag/specdag/internal/engine"
 	"github.com/specdag/specdag/internal/metrics"
-	"github.com/specdag/specdag/internal/par"
 	"github.com/specdag/specdag/internal/tipselect"
 )
 
@@ -21,55 +21,63 @@ type AblationRow struct {
 	WalkEvals int
 }
 
-// runVariant runs one FMNIST DAG simulation with cfg customized by mutate.
-func runVariant(ctx context.Context, p Preset, seed int64, variant string, mutate func(*core.Config)) (AblationRow, error) {
+// variantCell builds one grid cell running an FMNIST DAG simulation with the
+// config customized by mutate, extracting an AblationRow into *out. prefix
+// namespaces the cell (and its checkpoint file) per caller.
+func variantCell(p Preset, seed int64, prefix, variant string, mutate func(*core.Config), out *AblationRow) Cell {
 	spec := FMNISTSpec(p, seed)
-	cfg := spec.DAGConfig(p, tipselect.AccuracyWalk{Alpha: 10}, seed)
-	mutate(&cfg)
-	sim, err := runDAG(ctx, spec, cfg)
-	if err != nil {
-		return AblationRow{}, fmt.Errorf("ablation %s: %w", variant, err)
+	return Cell{
+		Name:     prefix + variant,
+		Snapshot: true,
+		Build: func(ckpt io.Reader) (engine.Engine, []engine.Option, error) {
+			cfg := spec.DAGConfig(p, tipselect.AccuracyWalk{Alpha: 10}, seed)
+			mutate(&cfg)
+			sim, err := buildDAG(spec, cfg, ckpt)
+			if err != nil {
+				return nil, nil, err
+			}
+			return sim, nil, nil
+		},
+		Finish: func(eng engine.Engine) error {
+			sim := eng.(*core.Simulation)
+			results := sim.Results()
+			evals := 0
+			accSum, accN := 0.0, 0
+			tail := 5
+			if len(results) < tail {
+				tail = len(results)
+			}
+			for i, rr := range results {
+				evals += rr.Walk.Evaluations
+				if i >= len(results)-tail {
+					accSum += rr.MeanTrainedAcc()
+					accN++
+				}
+			}
+			*out = AblationRow{
+				Variant:   variant,
+				FinalAcc:  accSum / float64(accN),
+				Pureness:  metrics.ApprovalPureness(sim.DAG(), spec.Fed.ClusterOf()),
+				DAGSize:   sim.DAG().Size(),
+				WalkEvals: evals,
+			}
+			return nil
+		},
 	}
-	results := sim.Results()
-
-	evals := 0
-	accSum, accN := 0.0, 0
-	tail := 5
-	if len(results) < tail {
-		tail = len(results)
-	}
-	for i, rr := range results {
-		evals += rr.Walk.Evaluations
-		if i >= len(results)-tail {
-			accSum += rr.MeanTrainedAcc()
-			accN++
-		}
-	}
-	return AblationRow{
-		Variant:   variant,
-		FinalAcc:  accSum / float64(accN),
-		Pureness:  metrics.ApprovalPureness(sim.DAG(), spec.Fed.ClusterOf()),
-		DAGSize:   sim.DAG().Size(),
-		WalkEvals: evals,
-	}, nil
 }
 
-// runVariants runs every variant as an independent sweep cell on the
-// harness worker pool; rows come back in variant order.
+// runVariants submits every variant as an independent grid cell on the
+// shared scheduler; rows come back in variant order.
 func runVariants(ctx context.Context, p Preset, seed int64, variants []struct {
 	name   string
 	mutate func(*core.Config)
 }) ([]AblationRow, error) {
 	rows := make([]AblationRow, len(variants))
-	err := par.ForEachErrIn(Pool(), Workers, len(variants), func(i int) error {
-		row, err := runVariant(ctx, p, seed, variants[i].name, variants[i].mutate)
-		if err != nil {
-			return err
-		}
-		rows[i] = row
-		return nil
-	})
-	if err != nil {
+	cells := make([]Cell, len(variants))
+	for i, v := range variants {
+		cells[i] = variantCell(p, seed, "ablation-", v.name, v.mutate, &rows[i])
+	}
+	if err := RunGrid(ctx, cells, GridConfig{}); err != nil {
 		return nil, err
 	}
 	return rows, nil

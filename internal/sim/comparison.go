@@ -2,12 +2,12 @@ package sim
 
 import (
 	"context"
-	"fmt"
+	"io"
 
+	"github.com/specdag/specdag/internal/core"
 	"github.com/specdag/specdag/internal/engine"
 	"github.com/specdag/specdag/internal/fl"
 	"github.com/specdag/specdag/internal/metrics"
-	"github.com/specdag/specdag/internal/par"
 )
 
 // Fig9Group is one box of Fig. 9: the accuracy distribution over the clients
@@ -57,52 +57,54 @@ func runFL(ctx context.Context, eng interface {
 // Figure9 reproduces Fig. 9: per-client accuracy distributions, grouped
 // over five consecutive rounds, FedAvg vs the Specializing DAG, for all
 // three datasets. The six underlying runs (three datasets × two algorithms)
-// are independent cells on the shared worker pool.
+// are a flat grid of independent cells on the shared scheduler.
 func Figure9(ctx context.Context, p Preset, seed int64) ([]Fig9Result, error) {
 	specs := []Spec{FMNISTSpec(p, seed), PoetsSpec(p, seed+1), CIFARSpec(p, seed+2)}
 	out := make([]Fig9Result, len(specs))
-	err := par.ForEachErrIn(Pool(), Workers, len(specs), func(i int) error {
-		spec := specs[i]
-		res := Fig9Result{Dataset: spec.Name}
-
-		halves := []func() error{
-			func() error {
+	cells := make([]Cell, 0, 2*len(specs))
+	for i := range specs {
+		i, spec := i, specs[i]
+		out[i].Dataset = spec.Name
+		cells = append(cells, Cell{
+			Name: "fig9-fedavg-" + spec.Name,
+			Build: func(io.Reader) (engine.Engine, []engine.Option, error) {
 				fedEng, err := fl.NewFederated(spec.Fed, spec.FLConfig(p, 0, seed+int64(20+i)))
 				if err != nil {
-					return fmt.Errorf("fig9 fedavg %s: %w", spec.Name, err)
+					return nil, nil, err
 				}
-				flRes, err := runFL(ctx, fedEng)
-				if err != nil {
-					return fmt.Errorf("fig9 fedavg %s: %w", spec.Name, err)
-				}
+				return fedEng, nil, nil
+			},
+			Finish: func(eng engine.Engine) error {
+				flRes := eng.(*fl.Federated).Result()
 				perRound := make([][]float64, len(flRes.Rounds))
 				for r, rr := range flRes.Rounds {
 					perRound[r] = rr.Accs
 				}
-				res.FedAvg = groupByFives(perRound)
+				out[i].FedAvg = groupByFives(perRound)
 				return nil
 			},
-			func() error {
-				sim, err := runDAG(ctx, spec, spec.DAGConfig(p, spec.Selector, seed+int64(30+i)))
+		}, Cell{
+			Name:     "fig9-dag-" + spec.Name,
+			Snapshot: true,
+			Build: func(ckpt io.Reader) (engine.Engine, []engine.Option, error) {
+				sim, err := buildDAG(spec, spec.DAGConfig(p, spec.Selector, seed+int64(30+i)), ckpt)
 				if err != nil {
-					return fmt.Errorf("fig9 dag %s: %w", spec.Name, err)
+					return nil, nil, err
 				}
-				dagRounds := sim.Results()
+				return sim, nil, nil
+			},
+			Finish: func(eng engine.Engine) error {
+				dagRounds := eng.(*core.Simulation).Results()
 				perRound := make([][]float64, len(dagRounds))
 				for r, rr := range dagRounds {
 					perRound[r] = rr.TrainedAcc
 				}
-				res.DAG = groupByFives(perRound)
+				out[i].DAG = groupByFives(perRound)
 				return nil
 			},
-		}
-		if err := par.ForEachErrIn(Pool(), Workers, len(halves), func(h int) error { return halves[h]() }); err != nil {
-			return err
-		}
-		out[i] = res
-		return nil
-	})
-	if err != nil {
+		})
+	}
+	if err := RunGrid(ctx, cells, GridConfig{}); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -115,25 +117,36 @@ type Fig1011Curve struct {
 	Series    *metrics.Series // cols: round, acc, loss
 }
 
-// dagCurve runs the Specializing DAG on spec and records its per-round mean
-// accuracy/loss curve — the DAG half of every algorithm comparison — by
-// observing round events.
-func dagCurve(ctx context.Context, p Preset, spec Spec, seed int64) (Fig1011Curve, error) {
+// dagCurveCell builds the grid cell for the Specializing DAG half of an
+// algorithm comparison: it runs the DAG on spec and streams its per-round
+// mean accuracy/loss curve into *out. The curve rides live round events, so
+// the cell restarts rather than resumes after a crash (Snapshot off).
+func dagCurveCell(p Preset, spec Spec, seed int64, name string, out *Fig1011Curve) Cell {
 	series := metrics.NewSeries("DAG", "round", "acc", "loss")
-	_, err := runDAG(ctx, spec, spec.DAGConfig(p, spec.Selector, seed),
-		engine.WithHooks(engine.Hooks{OnRound: func(ev engine.RoundEvent) {
-			series.Add(float64(ev.Round+1), ev.MeanAcc, ev.MeanLoss)
-		}}))
-	if err != nil {
-		return Fig1011Curve{}, err
+	return Cell{
+		Name: name,
+		Build: func(io.Reader) (engine.Engine, []engine.Option, error) {
+			sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, spec.Selector, seed))
+			if err != nil {
+				return nil, nil, err
+			}
+			return sim, []engine.Option{engine.WithHooks(engine.Hooks{
+				OnRound: func(ev engine.RoundEvent) {
+					series.Add(float64(ev.Round+1), ev.MeanAcc, ev.MeanLoss)
+				},
+			})}, nil
+		},
+		Finish: func(engine.Engine) error {
+			*out = Fig1011Curve{Algorithm: "DAG", Series: series}
+			return nil
+		},
 	}
-	return Fig1011Curve{Algorithm: "DAG", Series: series}, nil
 }
 
 // Figure10And11 reproduces Figs. 10 and 11: average accuracy and loss per
 // round for FedAvg, FedProx and the Specializing DAG on Synthetic(0.5, 0.5)
 // with 30 clients, 10 active per round. The three algorithm runs are
-// independent cells on the shared worker pool.
+// independent cells on the shared scheduler.
 func Figure10And11(ctx context.Context, p Preset, seed int64) ([]Fig1011Curve, error) {
 	spec := FedProxSpec(p, seed)
 
@@ -143,33 +156,34 @@ func Figure10And11(ctx context.Context, p Preset, seed int64) ([]Fig1011Curve, e
 	}{{"FedAvg", 0}, {"FedProx", 1.0}, {"DAG", 0}}
 
 	out := make([]Fig1011Curve, len(algos))
-	err := par.ForEachErrIn(Pool(), Workers, len(algos), func(i int) error {
-		algo := algos[i]
+	cells := make([]Cell, len(algos))
+	for i := range algos {
+		i, algo := i, algos[i]
 		if algo.name == "DAG" {
-			curve, err := dagCurve(ctx, p, spec, seed+41)
-			if err != nil {
-				return fmt.Errorf("fig10/11 dag: %w", err)
-			}
-			out[i] = curve
-			return nil
-		}
-		fedEng, err := fl.NewFederated(spec.Fed, spec.FLConfig(p, algo.proxMu, seed+40))
-		if err != nil {
-			return fmt.Errorf("fig10/11 %s: %w", algo.name, err)
+			cells[i] = dagCurveCell(p, spec, seed+41, "fig10_11-dag", &out[i])
+			continue
 		}
 		series := metrics.NewSeries(algo.name, "round", "acc", "loss")
-		_, err = engine.Run(ctx, fedEng, engine.WithHooks(engine.Hooks{
-			OnRound: func(ev engine.RoundEvent) {
-				series.Add(float64(ev.Round+1), ev.MeanAcc, ev.MeanLoss)
+		cells[i] = Cell{
+			Name: "fig10_11-" + algo.name,
+			Build: func(io.Reader) (engine.Engine, []engine.Option, error) {
+				fedEng, err := fl.NewFederated(spec.Fed, spec.FLConfig(p, algo.proxMu, seed+40))
+				if err != nil {
+					return nil, nil, err
+				}
+				return fedEng, []engine.Option{engine.WithHooks(engine.Hooks{
+					OnRound: func(ev engine.RoundEvent) {
+						series.Add(float64(ev.Round+1), ev.MeanAcc, ev.MeanLoss)
+					},
+				})}, nil
 			},
-		}))
-		if err != nil {
-			return fmt.Errorf("fig10/11 %s: %w", algo.name, err)
+			Finish: func(engine.Engine) error {
+				out[i] = Fig1011Curve{Algorithm: algo.name, Series: series}
+				return nil
+			},
 		}
-		out[i] = Fig1011Curve{Algorithm: algo.name, Series: series}
-		return nil
-	})
-	if err != nil {
+	}
+	if err := RunGrid(ctx, cells, GridConfig{}); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -3,62 +3,62 @@ package sim
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"github.com/specdag/specdag/internal/core"
+	"github.com/specdag/specdag/internal/engine"
 	"github.com/specdag/specdag/internal/fl"
 	"github.com/specdag/specdag/internal/metrics"
-	"github.com/specdag/specdag/internal/par"
 )
 
 // GossipComparison is an extension experiment beyond the paper's figures:
 // it pits the Specializing DAG against gossip learning (the other
 // decentralized family, §3.2) and FedAvg on the clustered dataset. The DAG's
 // performance-aware merge partner selection should beat gossip's random
-// partners on non-IID data.
+// partners on non-IID data. The three algorithm runs only read the shared
+// federation; they run as independent cells on the shared scheduler.
 func GossipComparison(ctx context.Context, p Preset, seed int64) ([]Fig1011Curve, error) {
 	spec := FMNISTSpec(p, seed)
 	out := make([]Fig1011Curve, 3)
 
-	// The three algorithm runs only read the shared federation; run them as
-	// independent cells.
-	err := par.ForEachErrIn(Pool(), Workers, 3, func(i int) error {
-		switch i {
-		case 0:
-			fedEng, err := fl.NewFederated(spec.Fed, spec.FLConfig(p, 0, seed+60))
-			if err != nil {
-				return fmt.Errorf("gossip comparison fedavg: %w", err)
-			}
-			flRes, err := runFL(ctx, fedEng)
-			if err != nil {
-				return fmt.Errorf("gossip comparison fedavg: %w", err)
-			}
-			out[i] = curveFromFL("FedAvg", flRes)
-		case 1:
-			gossipEng, err := fl.NewGossip(spec.Fed, fl.GossipConfig{
-				Rounds:          p.Rounds(),
-				ClientsPerRound: p.ClientsPerRound(),
-				Local:           spec.Local,
-				Arch:            spec.Arch,
-				Seed:            seed + 61,
-			})
-			if err != nil {
-				return fmt.Errorf("gossip comparison gossip: %w", err)
-			}
-			gossip, err := runFL(ctx, gossipEng)
-			if err != nil {
-				return fmt.Errorf("gossip comparison gossip: %w", err)
-			}
-			out[i] = curveFromFL("Gossip", gossip)
-		case 2:
-			curve, err := dagCurve(ctx, p, spec, seed+62)
-			if err != nil {
-				return fmt.Errorf("gossip comparison dag: %w", err)
-			}
-			out[i] = curve
-		}
-		return nil
-	})
-	if err != nil {
+	cells := []Cell{
+		{
+			Name: "gossipcmp-fedavg",
+			Build: func(io.Reader) (engine.Engine, []engine.Option, error) {
+				fedEng, err := fl.NewFederated(spec.Fed, spec.FLConfig(p, 0, seed+60))
+				if err != nil {
+					return nil, nil, err
+				}
+				return fedEng, nil, nil
+			},
+			Finish: func(eng engine.Engine) error {
+				out[0] = curveFromFL("FedAvg", eng.(*fl.Federated).Result())
+				return nil
+			},
+		},
+		{
+			Name: "gossipcmp-gossip",
+			Build: func(io.Reader) (engine.Engine, []engine.Option, error) {
+				gossipEng, err := fl.NewGossip(spec.Fed, fl.GossipConfig{
+					Rounds:          p.Rounds(),
+					ClientsPerRound: p.ClientsPerRound(),
+					Local:           spec.Local,
+					Arch:            spec.Arch,
+					Seed:            seed + 61,
+				})
+				if err != nil {
+					return nil, nil, err
+				}
+				return gossipEng, nil, nil
+			},
+			Finish: func(eng engine.Engine) error {
+				out[1] = curveFromFL("Gossip", eng.(*fl.Gossip).Result())
+				return nil
+			},
+		},
+		dagCurveCell(p, spec, seed+62, "gossipcmp-dag", &out[2]),
+	}
+	if err := RunGrid(ctx, cells, GridConfig{}); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -79,18 +79,14 @@ func curveFromFL(name string, res *fl.Result) Fig1011Curve {
 func VisibilitySweep(ctx context.Context, p Preset, seed int64) ([]AblationRow, error) {
 	delays := []int{0, 1, 3, 5}
 	rows := make([]AblationRow, len(delays))
-	err := par.ForEachErrIn(Pool(), Workers, len(delays), func(i int) error {
-		d := delays[i]
-		row, err := runVariant(ctx, p, seed, fmt.Sprintf("reveal-delay=%d", d), func(c *core.Config) {
+	cells := make([]Cell, len(delays))
+	for i, d := range delays {
+		d := d
+		cells[i] = variantCell(p, seed, "visibility-", fmt.Sprintf("reveal-delay=%d", d), func(c *core.Config) {
 			c.RevealDelay = d
-		})
-		if err != nil {
-			return err
-		}
-		rows[i] = row
-		return nil
-	})
-	if err != nil {
+		}, &rows[i])
+	}
+	if err := RunGrid(ctx, cells, GridConfig{}); err != nil {
 		return nil, err
 	}
 	return rows, nil

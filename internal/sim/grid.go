@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/specdag/specdag/internal/engine"
+)
+
+// Cell is one unit of a sweep grid: a figure line, a table row, an ablation
+// variant. Cells are submitted to an engine.Scheduler as lazy jobs, so a
+// 10,000-cell grid costs 10,000 closures up front, not 10,000 live
+// simulations, and cells run whenever the scheduler's workers reach them.
+type Cell struct {
+	// Name labels the cell in errors and, sanitized, names its checkpoint
+	// file — it must be unique within the grid and stable across reruns for
+	// crash-resume to find the right checkpoint.
+	Name string
+	// Priority orders dispatch (larger first); ties run in submission
+	// order. Results are bit-identical for any priority assignment — see
+	// TestSchedulerWorkerInvariance.
+	Priority int
+	// Build constructs the cell's engine on a scheduler worker at first
+	// dispatch. ckpt is non-nil when the grid directory holds a checkpoint
+	// for this cell; Build should then resume from it (falling back is
+	// handled by the grid: if Build errors on a checkpoint, it is retried
+	// with ckpt == nil and the cell restarts from scratch). Any returned
+	// options (hooks, probes) are applied to the cell's run loop.
+	Build func(ckpt io.Reader) (engine.Engine, []engine.Option, error)
+	// Finish extracts the cell's results after its engine completed. Finish
+	// calls run sequentially in cell order on RunGrid's goroutine, so they
+	// may write shared state without locking.
+	Finish func(eng engine.Engine) error
+	// Snapshot enables per-cell checkpointing: the engine must implement
+	// engine.Snapshotter, and when the grid has a checkpoint directory the
+	// cell checkpoints every GridConfig.Every units plus once on
+	// completion, so a crashed grid rerun resumes finished and in-flight
+	// cells instead of recomputing them. Leave false for engines without
+	// checkpoint support (fl baselines) or measurement cells where mid-run
+	// I/O would contaminate timings — such cells simply recompute on
+	// resume, which is safe because every cell is deterministic.
+	Snapshot bool
+}
+
+// GridConfig configures RunGrid.
+type GridConfig struct {
+	// Dir is the per-cell checkpoint directory; "" falls back to the
+	// harness-wide GridDir() (cmd/experiments -grid-dir, SPECDAG_GRID_DIR),
+	// and if that is empty too the grid runs without checkpoints.
+	Dir string
+	// Every is the checkpoint cadence in engine units; <= 0 selects 5.
+	Every int
+	// Workers caps concurrently running cells; <= 0 inherits the harness
+	// Workers setting (the shared pool's size). Workers == 1 runs cells
+	// strictly sequentially on the calling goroutine.
+	Workers int
+	// Quantum is the scheduler dispatch quantum in engine units; <= 0
+	// selects the scheduler default. Figure15 sets it large enough that
+	// each timing cell runs start-to-finish in one dispatch.
+	Quantum int
+}
+
+var gridDirSetting = os.Getenv("SPECDAG_GRID_DIR")
+
+// GridDir returns the harness-wide default checkpoint directory for sweep
+// grids ("" disables grid checkpointing). It is read from the
+// SPECDAG_GRID_DIR environment variable at startup and can be overridden
+// via SetGridDir (cmd/experiments -grid-dir).
+func GridDir() string {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	return gridDirSetting
+}
+
+// SetGridDir overrides the harness-wide grid checkpoint directory. Call it
+// at flag-parsing time; grids already in flight keep the directory they
+// started with.
+func SetGridDir(dir string) {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	gridDirSetting = dir
+}
+
+// RunGrid runs every cell to completion on an engine.Scheduler drawing from
+// the shared harness pool, then runs the Finish callbacks sequentially in
+// cell order. It replaces the naive per-sweep fan-out: cells become
+// priority-ordered, work-stolen, pause-safe jobs, and with a checkpoint
+// directory a mid-grid crash resumes instead of restarting — completed
+// cells reload their final checkpoint, in-flight ones continue from their
+// last unit boundary, and untouched ones build fresh.
+//
+// Results are bit-identical to driving each cell's engine directly with
+// engine.Run, for every worker count and priority order: scheduling decides
+// only when a cell's units run, and each cell's output is a pure function
+// of its (config, seed).
+//
+// On context cancellation RunGrid returns ctx.Err() with unfinished cells
+// stopped at unit boundaries; otherwise the first error in cell order is
+// returned (wrapped with the cell name), after all cells have settled.
+func RunGrid(ctx context.Context, cells []Cell, cfg GridConfig) error {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = GridDir()
+	}
+	every := cfg.Every
+	if every <= 0 {
+		every = 5
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("sim: creating grid checkpoint dir: %w", err)
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = Pool().Size()
+	}
+	sched := engine.NewScheduler(engine.SchedulerConfig{
+		Pool:    Pool(),
+		Workers: workers,
+		Quantum: cfg.Quantum,
+	})
+	handles := make([]*engine.Handle, len(cells))
+	engines := make([]engine.Engine, len(cells))
+	for i := range cells {
+		i := i
+		c := &cells[i]
+		h, err := sched.Submit(engine.Job{
+			Name:     c.Name,
+			Priority: c.Priority,
+			Build: func(context.Context) (engine.Engine, []engine.Option, error) {
+				eng, opts, err := buildCell(c, dir, every)
+				if err != nil {
+					return nil, nil, err
+				}
+				engines[i] = eng
+				return eng, opts, nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		handles[i] = h
+	}
+	if err := sched.Drain(ctx); err != nil {
+		return err
+	}
+	for i := range cells {
+		if err := handles[i].Err(); err != nil {
+			return fmt.Errorf("%s: %w", cells[i].Name, err)
+		}
+	}
+	for i := range cells {
+		c := &cells[i]
+		if c.Snapshot && dir != "" {
+			// Final checkpoint: a rerun of the grid resumes this completed
+			// cell instantly (the checkpoint carries the full history).
+			snap, ok := engines[i].(engine.Snapshotter)
+			if !ok {
+				return fmt.Errorf("%s: Snapshot cell engine has no checkpoint support", c.Name)
+			}
+			if err := writeCellCheckpoint(dir, c.Name, snap); err != nil {
+				return fmt.Errorf("%s: %w", c.Name, err)
+			}
+		}
+		if c.Finish != nil {
+			if err := c.Finish(engines[i]); err != nil {
+				return fmt.Errorf("%s: %w", c.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// buildCell resolves a cell into an engine plus options, handling the
+// checkpoint life cycle: resume from an existing cell checkpoint when
+// possible (restarting from scratch if the checkpoint is unreadable or
+// stale), and install periodic checkpointing for the run ahead.
+func buildCell(c *Cell, dir string, every int) (engine.Engine, []engine.Option, error) {
+	if c.Snapshot && dir != "" {
+		path := cellCheckpointPath(dir, c.Name)
+		if f, err := os.Open(path); err == nil {
+			eng, opts, berr := c.Build(f)
+			f.Close()
+			if berr == nil {
+				return eng, withCellCheckpoints(opts, dir, c.Name, every), nil
+			}
+			// A checkpoint the cell cannot resume from (corrupted file,
+			// changed config) is discarded; determinism makes the restart
+			// produce identical results.
+		}
+	}
+	eng, opts, err := c.Build(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if c.Snapshot && dir != "" {
+		opts = withCellCheckpoints(opts, dir, c.Name, every)
+	}
+	return eng, opts, nil
+}
+
+func withCellCheckpoints(opts []engine.Option, dir, name string, every int) []engine.Option {
+	return append(opts, engine.WithCheckpoints(every, func(int) (io.WriteCloser, error) {
+		return newAtomicFile(cellCheckpointPath(dir, name))
+	}))
+}
+
+func writeCellCheckpoint(dir, name string, snap engine.Snapshotter) error {
+	w, err := newAtomicFile(cellCheckpointPath(dir, name))
+	if err != nil {
+		return err
+	}
+	if _, err := snap.WriteCheckpoint(w); err != nil {
+		w.abort()
+		return err
+	}
+	return w.Close()
+}
+
+// cellCheckpointPath maps a cell name to its checkpoint file, sanitizing
+// characters that are meaningful to filesystems.
+func cellCheckpointPath(dir, name string) string {
+	sanitized := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, name)
+	return filepath.Join(dir, sanitized+".sdc")
+}
+
+// atomicFile writes through a temp file renamed into place on Close, so a
+// crash mid-write never leaves a truncated checkpoint where a valid one
+// (or nothing) should be.
+type atomicFile struct {
+	f    *os.File
+	path string
+}
+
+func newAtomicFile(path string) (*atomicFile, error) {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return nil, err
+	}
+	return &atomicFile{f: f, path: path}, nil
+}
+
+func (a *atomicFile) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+func (a *atomicFile) Close() error {
+	if err := a.f.Close(); err != nil {
+		os.Remove(a.f.Name())
+		return err
+	}
+	return os.Rename(a.f.Name(), a.path)
+}
+
+func (a *atomicFile) abort() {
+	a.f.Close()
+	os.Remove(a.f.Name())
+}

@@ -3,12 +3,12 @@ package sim
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"github.com/specdag/specdag/internal/core"
 	"github.com/specdag/specdag/internal/engine"
 	"github.com/specdag/specdag/internal/graphx"
 	"github.com/specdag/specdag/internal/metrics"
-	"github.com/specdag/specdag/internal/par"
 	"github.com/specdag/specdag/internal/tipselect"
 	"github.com/specdag/specdag/internal/xrand"
 )
@@ -52,39 +52,50 @@ func Figure12And13(ctx context.Context, p Preset, seed int64) ([]PoisonCurve, er
 
 	// Each scenario owns its federation (poisoning flips labels in place on
 	// the simulation's private copies), so the cells are fully independent.
+	// The per-round metrics stream off live round events, so the cells restart
+	// rather than resume after a crash (Snapshot off).
 	out := make([]PoisonCurve, len(scenarios))
-	err := par.ForEachErrIn(Pool(), Workers, len(scenarios), func(si int) error {
-		sc := scenarios[si]
-		spec := ByWriterFMNISTSpec(p, seed)
-		cfg := spec.DAGConfig(p, sc.selector, seed+int64(si))
-		cfg.Rounds = clean + attack
-		cfg.Poison = core.PoisonConfig{
-			Fraction:   sc.fraction,
-			FlipA:      3,
-			FlipB:      8,
-			StartRound: clean,
-			Track:      true,
-		}
+	cells := make([]Cell, len(scenarios))
+	for si := range scenarios {
+		si, sc := si, scenarios[si]
 		series := metrics.NewSeries(sc.label, "round", "flippedPct", "flippedBenignPct", "poisonedApprovals")
-		_, err := runDAG(ctx, spec, cfg, engine.WithHooks(engine.Hooks{
-			OnRound: func(ev engine.RoundEvent) {
-				if ev.Round < clean {
-					return // the figures start at the attack round
+		cells[si] = Cell{
+			Name: "fig12_13-" + sc.label,
+			Build: func(io.Reader) (engine.Engine, []engine.Option, error) {
+				spec := ByWriterFMNISTSpec(p, seed)
+				cfg := spec.DAGConfig(p, sc.selector, seed+int64(si))
+				cfg.Rounds = clean + attack
+				cfg.Poison = core.PoisonConfig{
+					Fraction:   sc.fraction,
+					FlipA:      3,
+					FlipB:      8,
+					StartRound: clean,
+					Track:      true,
 				}
-				rr := ev.Detail.(*core.RoundResult)
-				series.Add(float64(ev.Round),
-					100*rr.MeanFlippedFrac(),
-					100*rr.MeanFlippedFracBenign(),
-					rr.MeanRefPoisonedApprovals())
+				sim, err := core.NewSimulation(spec.Fed, cfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				return sim, []engine.Option{engine.WithHooks(engine.Hooks{
+					OnRound: func(ev engine.RoundEvent) {
+						if ev.Round < clean {
+							return // the figures start at the attack round
+						}
+						rr := ev.Detail.(*core.RoundResult)
+						series.Add(float64(ev.Round),
+							100*rr.MeanFlippedFrac(),
+							100*rr.MeanFlippedFracBenign(),
+							rr.MeanRefPoisonedApprovals())
+					},
+				})}, nil
 			},
-		}))
-		if err != nil {
-			return fmt.Errorf("fig12/13 %s: %w", sc.label, err)
+			Finish: func(engine.Engine) error {
+				out[si] = PoisonCurve{Label: sc.label, Series: series}
+				return nil
+			},
 		}
-		out[si] = PoisonCurve{Label: sc.label, Series: series}
-		return nil
-	})
-	if err != nil {
+	}
+	if err := RunGrid(ctx, cells, GridConfig{}); err != nil {
 		return nil, err
 	}
 	return out, nil

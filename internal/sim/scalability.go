@@ -3,11 +3,11 @@ package sim
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"github.com/specdag/specdag/internal/core"
 	"github.com/specdag/specdag/internal/engine"
 	"github.com/specdag/specdag/internal/metrics"
-	"github.com/specdag/specdag/internal/par"
 	"github.com/specdag/specdag/internal/tipselect"
 )
 
@@ -36,41 +36,54 @@ func Figure15(ctx context.Context, p Preset, seed int64) ([]Fig15Curve, error) {
 
 	// This is a *measurement* experiment: walkMicros is per-walk wall
 	// clock, which oversubscribed cores would contaminate with scheduler
-	// contention. So the cells run sequentially and each simulation runs
-	// its clients on a single worker, off the shared pool — timing fidelity
-	// over throughput. (The harness's other sweeps stay parallel; their
-	// metrics are hardware-independent.)
+	// contention. So the grid runs with Workers: 1 (strictly sequential
+	// cells) and a quantum large enough that each timing cell runs
+	// start-to-finish in one dispatch; each simulation runs its clients on
+	// a single worker, off the shared pool — timing fidelity over
+	// throughput. Snapshot stays off so no mid-run checkpoint I/O lands
+	// inside the timed region. (The harness's other sweeps stay parallel;
+	// their metrics are hardware-independent.)
 	out := make([]Fig15Curve, len(levels))
-	err := par.ForEachErr(1, len(levels), func(li int) error {
-		active := levels[li]
-		spec := ByWriterFMNISTSpec(p, seed)
-		if active > len(spec.Fed.Clients) {
-			active = len(spec.Fed.Clients)
-		}
-		cfg := spec.DAGConfig(p, tipselect.AccuracyWalk{Alpha: 10, DepthMin: 15, DepthMax: 25}, seed+int64(li))
-		cfg.Rounds = rounds
-		cfg.ClientsPerRound = active
-		cfg.EvalScope = core.EvalScopeNone // re-evaluate on every walk, like the prototype
-		cfg.MeasureWalkTime = true
-		cfg.Workers = 1 // uncontended walks: see the fidelity note above
-		cfg.Pool = nil
-		series := metrics.NewSeries(fmt.Sprintf("%d active clients", active),
-			"round", "walkMicros", "evalsPerClient")
-		_, err := runDAG(ctx, spec, cfg, engine.WithHooks(engine.Hooks{
-			OnRound: func(ev engine.RoundEvent) {
-				rr := ev.Detail.(*core.RoundResult)
-				series.Add(float64(ev.Round+1),
-					float64(rr.MeanWalkDuration().Microseconds()),
-					float64(rr.Walk.Evaluations)/float64(len(rr.Active)))
+	cells := make([]Cell, len(levels))
+	for li := range levels {
+		li, active := li, levels[li]
+		var series *metrics.Series
+		cells[li] = Cell{
+			Name: fmt.Sprintf("fig15-active=%d", active),
+			Build: func(io.Reader) (engine.Engine, []engine.Option, error) {
+				spec := ByWriterFMNISTSpec(p, seed)
+				if active > len(spec.Fed.Clients) {
+					active = len(spec.Fed.Clients)
+				}
+				series = metrics.NewSeries(fmt.Sprintf("%d active clients", active),
+					"round", "walkMicros", "evalsPerClient")
+				cfg := spec.DAGConfig(p, tipselect.AccuracyWalk{Alpha: 10, DepthMin: 15, DepthMax: 25}, seed+int64(li))
+				cfg.Rounds = rounds
+				cfg.ClientsPerRound = active
+				cfg.EvalScope = core.EvalScopeNone // re-evaluate on every walk, like the prototype
+				cfg.MeasureWalkTime = true
+				cfg.Workers = 1 // uncontended walks: see the fidelity note above
+				cfg.Pool = nil
+				sim, err := core.NewSimulation(spec.Fed, cfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				return sim, []engine.Option{engine.WithHooks(engine.Hooks{
+					OnRound: func(ev engine.RoundEvent) {
+						rr := ev.Detail.(*core.RoundResult)
+						series.Add(float64(ev.Round+1),
+							float64(rr.MeanWalkDuration().Microseconds()),
+							float64(rr.Walk.Evaluations)/float64(len(rr.Active)))
+					},
+				})}, nil
 			},
-		}))
-		if err != nil {
-			return fmt.Errorf("fig15 active=%d: %w", active, err)
+			Finish: func(engine.Engine) error {
+				out[li] = Fig15Curve{ActiveClients: active, Series: series}
+				return nil
+			},
 		}
-		out[li] = Fig15Curve{ActiveClients: active, Series: series}
-		return nil
-	})
-	if err != nil {
+	}
+	if err := RunGrid(ctx, cells, GridConfig{Workers: 1, Quantum: 1 << 30}); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -3,20 +3,20 @@ package sim
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"github.com/specdag/specdag/internal/core"
 	"github.com/specdag/specdag/internal/engine"
 	"github.com/specdag/specdag/internal/graphx"
 	"github.com/specdag/specdag/internal/metrics"
-	"github.com/specdag/specdag/internal/par"
 	"github.com/specdag/specdag/internal/tipselect"
 	"github.com/specdag/specdag/internal/xrand"
 )
 
 // runDAG builds a simulation for cfg and drives it through the unified run
 // API with the given options, returning the simulation for post-run metrics.
-// Every DAG cell of the harness goes through here, so each inherits
-// cancellation and the shared worker pool.
+// Single-run experiments go through here; sweeps submit their cells to the
+// scheduler via RunGrid instead.
 func runDAG(ctx context.Context, spec Spec, cfg core.Config, opts ...engine.Option) (*core.Simulation, error) {
 	sim, err := core.NewSimulation(spec.Fed, cfg)
 	if err != nil {
@@ -26,6 +26,15 @@ func runDAG(ctx context.Context, spec Spec, cfg core.Config, opts ...engine.Opti
 		return nil, err
 	}
 	return sim, nil
+}
+
+// buildDAG constructs the simulation for one grid cell, resuming from a
+// cell checkpoint when the grid hands one down.
+func buildDAG(spec Spec, cfg core.Config, ckpt io.Reader) (*core.Simulation, error) {
+	if ckpt != nil {
+		return core.ResumeSimulation(spec.Fed, cfg, ckpt)
+	}
+	return core.NewSimulation(spec.Fed, cfg)
 }
 
 // Table2Row is one row of Table 2: the approval pureness in the DAG after
@@ -42,21 +51,32 @@ type Table2Row struct {
 func Table2(ctx context.Context, p Preset, seed int64) ([]Table2Row, error) {
 	specs := []Spec{FMNISTSpec(p, seed), PoetsSpec(p, seed+1), CIFARSpec(p, seed+2)}
 	rows := make([]Table2Row, len(specs))
-	err := par.ForEachErrIn(Pool(), Workers, len(specs), func(i int) error {
-		spec := specs[i]
-		sim, err := runDAG(ctx, spec, spec.DAGConfig(p, spec.Selector, seed+int64(10+i)))
-		if err != nil {
-			return fmt.Errorf("table2 %s: %w", spec.Name, err)
+	cells := make([]Cell, len(specs))
+	for i := range specs {
+		i, spec := i, specs[i]
+		cells[i] = Cell{
+			Name:     "table2-" + spec.Name,
+			Snapshot: true,
+			Build: func(ckpt io.Reader) (engine.Engine, []engine.Option, error) {
+				sim, err := buildDAG(spec, spec.DAGConfig(p, spec.Selector, seed+int64(10+i)), ckpt)
+				if err != nil {
+					return nil, nil, err
+				}
+				return sim, nil, nil
+			},
+			Finish: func(eng engine.Engine) error {
+				sim := eng.(*core.Simulation)
+				rows[i] = Table2Row{
+					Dataset:  spec.Name,
+					Clusters: spec.Fed.NumClusters,
+					Base:     spec.Fed.BasePureness(),
+					Pureness: metrics.ApprovalPureness(sim.DAG(), spec.Fed.ClusterOf()),
+				}
+				return nil
+			},
 		}
-		rows[i] = Table2Row{
-			Dataset:  spec.Name,
-			Clusters: spec.Fed.NumClusters,
-			Base:     spec.Fed.BasePureness(),
-			Pureness: metrics.ApprovalPureness(sim.DAG(), spec.Fed.ClusterOf()),
-		}
-		return nil
-	})
-	if err != nil {
+	}
+	if err := RunGrid(ctx, cells, GridConfig{}); err != nil {
 		return nil, err
 	}
 	return rows, nil
@@ -81,38 +101,48 @@ func Figure5(ctx context.Context, p Preset, seed int64) ([]Fig5Result, error) {
 	}
 
 	out := make([]Fig5Result, len(alphas))
-	err := par.ForEachErrIn(Pool(), Workers, len(alphas), func(ai int) error {
-		alpha := alphas[ai]
-		spec := FMNISTSpec(p, seed)
-		sel := tipselect.AccuracyWalk{Alpha: alpha}
-		sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, sel, seed+int64(ai)))
-		if err != nil {
-			return fmt.Errorf("fig5 alpha=%v: %w", alpha, err)
-		}
-		truth := spec.Fed.ClusterOf()
-		series := metrics.NewSeries(fmt.Sprintf("fig5 alpha=%g", alpha),
-			"round", "modularity", "partitions", "misclassification")
-		lrng := xrand.New(seed + 100 + int64(ai))
-		_, err = engine.Run(ctx, sim, engine.WithHooks(engine.Hooks{
-			OnRound: func(ev engine.RoundEvent) {
-				if (ev.Round+1)%sampleEvery != 0 {
-					return
+	cells := make([]Cell, len(alphas))
+	for ai := range alphas {
+		ai, alpha := ai, alphas[ai]
+		var series *metrics.Series
+		cells[ai] = Cell{
+			// The periodic Louvain analysis streams off live round events,
+			// so the cell restarts rather than resumes after a crash
+			// (Snapshot off): a resumed run could not replay the G_clients
+			// snapshots of rounds before the checkpoint.
+			Name: fmt.Sprintf("fig5-alpha=%g", alpha),
+			Build: func(io.Reader) (engine.Engine, []engine.Option, error) {
+				spec := FMNISTSpec(p, seed)
+				sel := tipselect.AccuracyWalk{Alpha: alpha}
+				sim, err := core.NewSimulation(spec.Fed, spec.DAGConfig(p, sel, seed+int64(ai)))
+				if err != nil {
+					return nil, nil, err
 				}
-				g := metrics.BuildClientGraph(sim.DAG())
-				part := graphx.Louvain(g, lrng)
-				series.Add(float64(ev.Round+1),
-					graphx.Modularity(g, part),
-					float64(graphx.NumCommunities(part)),
-					metrics.Misclassification(part, truth))
+				truth := spec.Fed.ClusterOf()
+				series = metrics.NewSeries(fmt.Sprintf("fig5 alpha=%g", alpha),
+					"round", "modularity", "partitions", "misclassification")
+				lrng := xrand.New(seed + 100 + int64(ai))
+				return sim, []engine.Option{engine.WithHooks(engine.Hooks{
+					OnRound: func(ev engine.RoundEvent) {
+						if (ev.Round+1)%sampleEvery != 0 {
+							return
+						}
+						g := metrics.BuildClientGraph(sim.DAG())
+						part := graphx.Louvain(g, lrng)
+						series.Add(float64(ev.Round+1),
+							graphx.Modularity(g, part),
+							float64(graphx.NumCommunities(part)),
+							metrics.Misclassification(part, truth))
+					},
+				})}, nil
 			},
-		}))
-		if err != nil {
-			return fmt.Errorf("fig5 alpha=%v: %w", alpha, err)
+			Finish: func(engine.Engine) error {
+				out[ai] = Fig5Result{Alpha: alpha, Series: series}
+				return nil
+			},
 		}
-		out[ai] = Fig5Result{Alpha: alpha, Series: series}
-		return nil
-	})
-	if err != nil {
+	}
+	if err := RunGrid(ctx, cells, GridConfig{}); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -129,22 +159,32 @@ type AccuracyCurve struct {
 func accuracySweep(ctx context.Context, p Preset, spec func(int) Spec, norm tipselect.Normalization, seed int64) ([]AccuracyCurve, error) {
 	alphas := []float64{0.1, 1, 10, 100}
 	out := make([]AccuracyCurve, len(alphas))
-	err := par.ForEachErrIn(Pool(), Workers, len(alphas), func(ai int) error {
-		alpha := alphas[ai]
-		sp := spec(ai)
-		sel := tipselect.AccuracyWalk{Alpha: alpha, Norm: norm}
+	cells := make([]Cell, len(alphas))
+	for ai := range alphas {
+		ai, alpha := ai, alphas[ai]
 		series := metrics.NewSeries(fmt.Sprintf("alpha=%g (%s)", alpha, norm), "round", "acc")
-		_, err := runDAG(ctx, sp, sp.DAGConfig(p, sel, seed+int64(ai)),
-			engine.WithHooks(engine.Hooks{OnRound: func(ev engine.RoundEvent) {
-				series.Add(float64(ev.Round+1), ev.MeanAcc)
-			}}))
-		if err != nil {
-			return fmt.Errorf("accuracy sweep alpha=%v: %w", alpha, err)
+		cells[ai] = Cell{
+			Name: fmt.Sprintf("accsweep-%s-%s-alpha=%g", spec(ai).Name, norm, alpha),
+			Build: func(io.Reader) (engine.Engine, []engine.Option, error) {
+				sp := spec(ai)
+				sel := tipselect.AccuracyWalk{Alpha: alpha, Norm: norm}
+				sim, err := core.NewSimulation(sp.Fed, sp.DAGConfig(p, sel, seed+int64(ai)))
+				if err != nil {
+					return nil, nil, err
+				}
+				return sim, []engine.Option{engine.WithHooks(engine.Hooks{
+					OnRound: func(ev engine.RoundEvent) {
+						series.Add(float64(ev.Round+1), ev.MeanAcc)
+					},
+				})}, nil
+			},
+			Finish: func(engine.Engine) error {
+				out[ai] = AccuracyCurve{Label: fmt.Sprintf("alpha=%g", alpha), Series: series}
+				return nil
+			},
 		}
-		out[ai] = AccuracyCurve{Label: fmt.Sprintf("alpha=%g", alpha), Series: series}
-		return nil
-	})
-	if err != nil {
+	}
+	if err := RunGrid(ctx, cells, GridConfig{}); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -176,16 +216,27 @@ func Figure7(ctx context.Context, p Preset, seed int64) (*Fig7Result, error) {
 	}
 	norms := []tipselect.Normalization{tipselect.NormStandard, tipselect.NormDynamic}
 	vals := make([]float64, len(norms))
-	err = par.ForEachErrIn(Pool(), Workers, len(norms), func(i int) error {
+	cells := make([]Cell, len(norms))
+	for i := range norms {
+		i, norm := i, norms[i]
 		spec := FMNISTSpec(p, seed)
-		sim, err := runDAG(ctx, spec, spec.DAGConfig(p, tipselect.AccuracyWalk{Alpha: 1, Norm: norms[i]}, seed+50))
-		if err != nil {
-			return err
+		cells[i] = Cell{
+			Name:     fmt.Sprintf("fig7-norm-%s", norm),
+			Snapshot: true,
+			Build: func(ckpt io.Reader) (engine.Engine, []engine.Option, error) {
+				sim, err := buildDAG(spec, spec.DAGConfig(p, tipselect.AccuracyWalk{Alpha: 1, Norm: norm}, seed+50), ckpt)
+				if err != nil {
+					return nil, nil, err
+				}
+				return sim, nil, nil
+			},
+			Finish: func(eng engine.Engine) error {
+				vals[i] = metrics.ApprovalPureness(eng.(*core.Simulation).DAG(), spec.Fed.ClusterOf())
+				return nil
+			},
 		}
-		vals[i] = metrics.ApprovalPureness(sim.DAG(), spec.Fed.ClusterOf())
-		return nil
-	})
-	if err != nil {
+	}
+	if err := RunGrid(ctx, cells, GridConfig{}); err != nil {
 		return nil, err
 	}
 	pureness := make(map[string]float64, len(norms))

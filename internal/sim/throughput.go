@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"github.com/specdag/specdag/internal/core"
+	"github.com/specdag/specdag/internal/dataset"
+	"github.com/specdag/specdag/internal/engine"
+	"github.com/specdag/specdag/internal/nn"
+	"github.com/specdag/specdag/internal/tipselect"
+)
+
+// ThroughputGrid is the scheduler stress sweep behind the root
+// BenchmarkSchedulerGridThroughput: n tiny FMNIST-clustered cells with
+// mixed priorities submitted to the sweep scheduler, so job dispatch,
+// work-stealing and settling — not training time — dominate the wall
+// clock. It returns each cell's final-round mean trained-model accuracy,
+// in cell order.
+//
+// Every accuracy is a pure function of (preset, seed, cell index): the
+// benchmark gates the returned values byte-for-byte across worker counts
+// (cmd/benchgate), turning "scheduling never changes results" into a CI
+// invariant measured on a real grid rather than a fake engine.
+func ThroughputGrid(ctx context.Context, p Preset, seed int64, n int) ([]float64, error) {
+	rounds := 6
+	if p == Full {
+		rounds = 12
+	}
+	out := make([]float64, n)
+	cells := make([]Cell, n)
+	for i := range cells {
+		i := i
+		cells[i] = Cell{
+			Name: fmt.Sprintf("throughput-%04d", i),
+			// Mixed priorities exercise the aging-ordered pick path; results
+			// are priority-invariant (TestSchedulerWorkerInvariance).
+			Priority: i % 3,
+			// Snapshot off: these cells exist to measure scheduler overhead,
+			// and checkpoint I/O (if SPECDAG_GRID_DIR happens to be set)
+			// would contaminate the timing. Cells are trivially recomputable.
+			Build: func(io.Reader) (engine.Engine, []engine.Option, error) {
+				fed := dataset.FMNISTClustered(dataset.FMNISTConfig{
+					Seed:           seed + int64(i),
+					Clients:        8,
+					TrainPerClient: 30,
+					TestPerClient:  10,
+				})
+				sim, err := core.NewSimulation(fed, core.Config{
+					Rounds:          rounds,
+					ClientsPerRound: 3,
+					Local:           nn.SGDConfig{LR: 0.05, Epochs: 1, BatchSize: 10, MaxBatches: 3},
+					Arch:            nn.Arch{In: fed.InputDim, Hidden: []int{16}, Out: fed.NumClasses},
+					Selector:        tipselect.AccuracyWalk{Alpha: 10},
+					Workers:         Workers,
+					Pool:            Pool(),
+					Seed:            seed + int64(i),
+				})
+				if err != nil {
+					return nil, nil, err
+				}
+				return sim, nil, nil
+			},
+			Finish: func(eng engine.Engine) error {
+				res := eng.(*core.Simulation).Results()
+				out[i] = res[len(res)-1].MeanTrainedAcc()
+				return nil
+			},
+		}
+	}
+	if err := RunGrid(ctx, cells, GridConfig{}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

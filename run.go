@@ -115,6 +115,60 @@ func WithCheckpoints(every int, open func(step int) (io.WriteCloser, error)) Run
 	return engine.WithCheckpoints(every, open)
 }
 
+// ---- Multi-run scheduling ----
+
+// Scheduler multiplexes many engine runs onto one shared WorkerPool:
+// work-stealing workers drive each submitted Job's run loop a quantum of
+// units at a time, ordered by priority with aging (no starvation), with
+// pause/resume/cancel per job at unit boundaries. Results are bit-identical
+// to driving each engine directly with Run, for every worker count and
+// priority order.
+type Scheduler = engine.Scheduler
+
+// SchedulerConfig parameterizes NewScheduler.
+type SchedulerConfig = engine.SchedulerConfig
+
+// Job is one unit of scheduled work: an engine (or a lazy builder for one)
+// plus scheduling policy — priority, an optional compute-time deadline, run
+// options, and a settle callback.
+type Job = engine.Job
+
+// JobHandle controls one submitted job: state, steps, report, Wait, Pause,
+// Resume, Cancel.
+type JobHandle = engine.Handle
+
+// JobState is a job's lifecycle state (JobQueued through JobFailed).
+type JobState = engine.JobState
+
+// Job lifecycle states.
+const (
+	JobQueued   = engine.JobQueued
+	JobRunning  = engine.JobRunning
+	JobPaused   = engine.JobPaused
+	JobDone     = engine.JobDone
+	JobCanceled = engine.JobCanceled
+	JobFailed   = engine.JobFailed
+)
+
+// SchedulerStats counts scheduler activity (dispatches, steals, settles).
+type SchedulerStats = engine.Stats
+
+// DeadlineError reports a job canceled because its compute-time deadline
+// expired; errors.Is(err, ErrJobDeadline) matches it.
+type DeadlineError = engine.DeadlineError
+
+// Scheduler sentinel errors.
+var (
+	ErrJobCanceled   = engine.ErrJobCanceled
+	ErrJobSettled    = engine.ErrJobSettled
+	ErrJobDeadline   = engine.ErrJobDeadline
+	ErrSchedulerBusy = engine.ErrSchedulerBusy
+)
+
+// NewScheduler creates a scheduler drawing from cfg.Pool (nil selects a
+// fresh NumCPU-sized pool).
+func NewScheduler(cfg SchedulerConfig) *Scheduler { return engine.NewScheduler(cfg) }
+
 // ---- Engine constructors beyond NewSimulation (specdag.go) ----
 
 // AsyncSimulation is the event-driven Specializing DAG engine.
