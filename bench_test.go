@@ -355,6 +355,31 @@ func BenchmarkSchedulerGridThroughput(b *testing.B) {
 	}
 }
 
+var faultsOnce sync.Once
+
+// BenchmarkFaultScenarios runs the canned fault-injection scenarios
+// (split-and-heal partition, 3× stragglers, 25% churn over a lossy jittered
+// network) on the async engine. The reported accuracies are gated
+// byte-for-byte across worker counts (cmd/benchgate): per-event fault draws
+// are keyed on stable identifiers, so the schedule — and everything trained
+// under it — is a pure function of the configuration and seed.
+func BenchmarkFaultScenarios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.FaultSweep(context.Background(), benchPreset, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printOnce(&faultsOnce, func() string { return sim.RenderFaults(rows) })
+			for _, r := range rows {
+				b.ReportMetric(r.FirstAcc, metricName("fault", r.Scenario, "first-acc"))
+				b.ReportMetric(r.LastAcc, metricName("fault", r.Scenario, "last-acc"))
+				b.ReportMetric(r.MeanAcc, metricName("fault", r.Scenario, "mean-acc"))
+			}
+		}
+	}
+}
+
 var gossipOnce sync.Once
 
 // BenchmarkGossipComparison compares the DAG against the gossip-learning

@@ -6,7 +6,7 @@
 //	experiments -exp fig12          # poisoning curves (fig12 == fig13 runs)
 //
 // Experiment IDs: table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-// fig13 fig14 fig15 ablations all.
+// fig13 fig14 fig15 ablations gossip visibility faults all.
 //
 // Every experiment runs through the unified run API on one shared worker
 // pool (-workers), so the whole sweep is interruptible: Ctrl-C cancels the
@@ -36,7 +36,7 @@ func main() {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "all", "experiment id (table1, table2, fig5..fig15, ablations, all)")
+		exp        = flag.String("exp", "all", "experiment id (table1, table2, fig5..fig15, ablations, gossip, visibility, faults, all)")
 		full       = flag.Bool("full", false, "paper-scale runs (100 rounds, full federations)")
 		seed       = flag.Int64("seed", 42, "root random seed")
 		workers    = flag.Int("workers", 0, "total worker budget shared by sweep cells and round engines (0 = NumCPU); results are identical for any value")
@@ -79,7 +79,7 @@ func run() error {
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9",
-			"fig10", "fig12", "fig14", "fig15", "ablations", "gossip", "visibility"}
+			"fig10", "fig12", "fig14", "fig15", "ablations", "gossip", "visibility", "faults"}
 		// fig11 shares runs with fig10; fig13 with fig12.
 	}
 
@@ -169,6 +169,12 @@ func runOne(ctx context.Context, id string, preset sim.Preset, seed int64) (stri
 			return "", err
 		}
 		return sim.RenderAblation("reveal delay (non-ideal broadcast)", rows), nil
+	case "faults":
+		rows, err := sim.FaultSweep(ctx, preset, seed)
+		if err != nil {
+			return "", err
+		}
+		return sim.RenderFaults(rows), nil
 	case "gossip":
 		curves, err := sim.GossipComparison(ctx, preset, seed)
 		if err != nil {

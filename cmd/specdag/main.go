@@ -146,6 +146,7 @@ func run() error {
 		minCycle       = flag.Float64("min-cycle", 1, "fastest per-client training cycle time in simulated seconds (with -async)")
 		maxCycle       = flag.Float64("max-cycle", 8, "slowest per-client training cycle time in simulated seconds (with -async)")
 		netDelay       = flag.Float64("net-delay", 0.5, "broadcast propagation delay in simulated seconds (with -async)")
+		faultScenario  = flag.String("fault-scenario", "", "named fault schedule replacing the uniform -net-delay with jittered lossy per-link delivery: partition-heal | straggler-3x | churn-25 (with -async)")
 		cpuProfile     = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile     = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -224,6 +225,16 @@ func run() error {
 		if *workers != 0 {
 			acfg.Workers = *workers
 		}
+		if *faultScenario != "" {
+			// The scenario's base link delay is -net-delay; the uniform
+			// broadcast delay is replaced by the per-link delivery model.
+			fc, err := sim.FaultScenario(*faultScenario, *duration, *netDelay)
+			if err != nil {
+				return err
+			}
+			acfg.NetworkDelay = 0
+			acfg.Faults = fc
+		}
 		return runAsync(spec, acfg, asyncOpts{
 			seed:       *seed,
 			every:      *every,
@@ -234,6 +245,10 @@ func run() error {
 			dotFile:    *dotFile,
 			saveFile:   *saveFile,
 		})
+	}
+
+	if *faultScenario != "" {
+		return fmt.Errorf("-fault-scenario requires -async (the schedules are defined over the simulated-time horizon)")
 	}
 
 	cfg := spec.DAGConfig(preset, sel, *seed)

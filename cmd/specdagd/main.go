@@ -40,22 +40,31 @@ func main() {
 		quantum = flag.Int("quantum", 0, "scheduler dispatch quantum in engine units per run (0 = default)")
 		dir     = flag.String("dir", "", "state directory: persist paused runs on shutdown, restore them on boot")
 		grace   = flag.Duration("grace", 30*time.Second, "shutdown grace period for pausing runs")
+
+		spillDir  = flag.String("spill-dir", "", "event-log spill directory: mirror every run's SDE1 stream to disk so a lapped subscriber replays from file instead of seeing a gap (empty disables)")
+		maxRuns   = flag.Int("max-runs", 0, "cap on concurrently active (running or paused) runs; submits beyond it answer 429 (0 = unlimited)")
+		maxTenant = flag.Int("max-runs-per-tenant", 0, "per-tenant cap on concurrently active runs, keyed by the request's tenant field (0 = unlimited)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *ring, *every, *quantum, *dir, *grace); err != nil {
+	cfg := serve.Config{
+		Workers:          *workers,
+		Ring:             *ring,
+		CheckpointEvery:  *every,
+		Quantum:          *quantum,
+		Dir:              *dir,
+		SpillDir:         *spillDir,
+		MaxRuns:          *maxRuns,
+		MaxRunsPerTenant: *maxTenant,
+	}
+	if err := run(*addr, cfg, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "specdagd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, ring, every, quantum int, dir string, grace time.Duration) error {
-	s := serve.NewServer(serve.Config{
-		Workers:         workers,
-		Ring:            ring,
-		CheckpointEvery: every,
-		Quantum:         quantum,
-		Dir:             dir,
-	})
+func run(addr string, cfg serve.Config, grace time.Duration) error {
+	s := serve.NewServer(cfg)
+	dir := cfg.Dir
 	if dir != "" {
 		n, err := s.Restore()
 		if err != nil {
@@ -71,7 +80,7 @@ func run(addr string, workers, ring, every, quantum int, dir string, grace time.
 	// The listener's accept loop; joined via errc before run returns.
 	//speclint:allow budget http.Server owns its goroutines; this one hands ListenAndServe's exit back to main
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("specdagd listening on %s (workers=%d)", addr, workers)
+	log.Printf("specdagd listening on %s (workers=%d)", addr, cfg.Workers)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)

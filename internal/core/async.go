@@ -3,10 +3,12 @@ package core
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/specdag/specdag/internal/dag"
 	"github.com/specdag/specdag/internal/dataset"
+	"github.com/specdag/specdag/internal/faults"
 	"github.com/specdag/specdag/internal/nn"
 	"github.com/specdag/specdag/internal/par"
 	"github.com/specdag/specdag/internal/tipselect"
@@ -31,6 +33,13 @@ type AsyncConfig struct {
 	// NetworkDelay is the simulated broadcast delay in seconds before a
 	// published transaction becomes visible to other clients.
 	NetworkDelay float64
+	// Faults, when enabled, replaces the uniform NetworkDelay with the full
+	// deterministic fault schedule of internal/faults: per-link latency and
+	// jitter, message drop/duplication, scheduled split-and-heal partitions,
+	// stragglers (cycle-time multipliers) and crash/recover churn windows.
+	// faults.Scalar(d) is the exact compatibility schedule for NetworkDelay=d
+	// (byte-identical results); NetworkDelay must be 0 when Faults is enabled.
+	Faults faults.Config
 	// Local, Arch, Selector, ReferenceWalks as in Config.
 	Local          nn.SGDConfig
 	Arch           nn.Arch
@@ -60,6 +69,12 @@ func (c AsyncConfig) Validate() error {
 	}
 	if c.NetworkDelay < 0 {
 		return fmt.Errorf("core: NetworkDelay must be >= 0, got %v", c.NetworkDelay)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if c.Faults.Enabled() && c.NetworkDelay != 0 {
+		return fmt.Errorf("core: NetworkDelay %v conflicts with an enabled fault schedule — set Faults.Delay instead (faults.Scalar is the exact equivalent)", c.NetworkDelay)
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("core: Workers must be >= 0, got %d", c.Workers)
@@ -105,6 +120,13 @@ type AsyncResult struct {
 	Clients       []AsyncClientStats
 	// DAG is the final tangle, for post-run inspection and metrics.
 	DAG *dag.DAG
+	// Communication statistics, populated only when a non-uniform fault
+	// schedule prices individual links: cross-link deliveries of published
+	// transactions, initial-broadcast losses recovered by re-gossip, and
+	// duplicate deliveries.
+	Deliveries           int
+	DroppedDeliveries    int
+	DuplicatedDeliveries int
 }
 
 // event is one scheduled client activation.
@@ -135,12 +157,25 @@ func (q *eventQueue) Pop() any {
 }
 
 // pendingTxAsync is a published transaction awaiting network propagation.
+// Under a fault model, visibleAt is the earliest delivery over all observers
+// (entry into the global tangle); pubSeq/pubTime key the model's per-link
+// delivery draws so each observer's view reveals the transaction at its own
+// link's delivery time.
 type pendingTxAsync struct {
 	visibleAt float64
 	issuer    int
 	parents   []dag.ID
 	params    []float64
 	meta      dag.Meta
+	pubSeq    int
+	pubTime   float64
+}
+
+// txDelivery is the per-transaction metadata the fault model needs to
+// recompute any link's delivery: the publish sequence number and time.
+type txDelivery struct {
+	pubSeq  int
+	pubTime float64
 }
 
 // asyncClient is the in-simulation state of one event-driven participant.
@@ -156,8 +191,10 @@ type asyncClient struct {
 
 // AsyncSimulation is a running event-driven Specializing DAG experiment: the
 // asynchronous counterpart of Simulation, advanced one client activation at
-// a time. The DAG a client observes at time t contains exactly the
-// transactions published before t − NetworkDelay (plus its own).
+// a time. Without a fault model, the DAG a client observes at time t
+// contains exactly the transactions published before t − NetworkDelay; with
+// one, each client observes the transactions its own links have delivered by
+// t (per-link latency/jitter, re-gossip after drops, partition deferral).
 type AsyncSimulation struct {
 	cfg      AsyncConfig
 	root     *xrand.RNG
@@ -169,6 +206,24 @@ type AsyncSimulation struct {
 	seq      int // next scheduling sequence number
 	events   int // processed events
 	done     bool
+
+	// net is the instantiated fault model, nil when the schedule degenerates
+	// to the uniform broadcast delay (including Faults disabled entirely) —
+	// the nil path is bit-for-bit the historical engine.
+	net *faults.Model
+	// netDelay is the effective uniform broadcast delay: cfg.NetworkDelay, or
+	// the fault schedule's scalar delay when Faults is uniform.
+	netDelay float64
+	// pubSeq numbers publishes in event order; it keys the fault model's
+	// per-link delivery draws.
+	pubSeq int
+	// txInfo maps tangle transactions to their publish metadata so views can
+	// recompute per-observer delivery times. Only populated when net != nil.
+	txInfo map[dag.ID]txDelivery
+	// Communication counters (net != nil only).
+	deliveries           int
+	droppedDeliveries    int
+	duplicatedDeliveries int
 }
 
 // NewAsyncSimulation validates inputs and prepares an event-driven
@@ -196,9 +251,29 @@ func NewAsyncSimulation(fed *dataset.Federation, cfg AsyncConfig) (*AsyncSimulat
 		root:     root,
 		tangle:   dag.New(genesis.ParamsCopy()),
 		trainCfg: cfg.Local,
+		netDelay: cfg.NetworkDelay,
 	}
 	a.trainCfg.Shuffle = true
 	a.tangle.SetParallelism(cfg.Pool, cfg.Workers)
+
+	if cfg.Faults.Enabled() {
+		ids := make([]int, len(fed.Clients))
+		for i, fc := range fed.Clients {
+			ids[i] = fc.ID
+		}
+		m, err := faults.New(cfg.Faults, root, ids, cfg.Duration)
+		if err != nil {
+			return nil, err
+		}
+		if d, uniform := m.Uniform(); uniform {
+			// The schedule is exactly the historical uniform broadcast delay:
+			// keep the scalar code path (and its exact numerics).
+			a.netDelay = d
+		} else {
+			a.net = m
+			a.txInfo = make(map[dag.ID]txDelivery)
+		}
+	}
 
 	for i, fc := range fed.Clients {
 		c := &asyncClient{client: &client{
@@ -217,6 +292,14 @@ func NewAsyncSimulation(fed *dataset.Federation, cfg AsyncConfig) (*AsyncSimulat
 			c.scoreParamsBatch,
 		)
 		c.cycleTime = cfg.MinCycle + crng.Float64()*(cfg.MaxCycle-cfg.MinCycle)
+		if a.net != nil {
+			// Stragglers run every cycle slower by the configured factor (a
+			// factor of 1 is the exact identity for ordinary clients). Each
+			// client also owns a partial view revealed at its own links'
+			// delivery times.
+			c.cycleTime *= a.net.CycleFactor(fc.ID)
+			c.view = dag.NewView(a.tangle)
+		}
 		c.stats = AsyncClientStats{ID: fc.ID, CycleTime: c.cycleTime}
 		a.clients = append(a.clients, c)
 		heap.Push(&a.queue, event{at: crng.Float64() * c.cycleTime, seq: a.seq, client: i})
@@ -226,13 +309,19 @@ func NewAsyncSimulation(fed *dataset.Federation, cfg AsyncConfig) (*AsyncSimulat
 }
 
 // flush applies every pending transaction whose propagation delay has
-// elapsed by now.
+// elapsed by now. Pending entries are in publish order and a parent's entry
+// into the tangle never postdates a child's publish, so parents are always
+// added before their children.
 func (a *AsyncSimulation) flush(now float64) {
 	kept := a.pending[:0]
 	for _, p := range a.pending {
 		if p.visibleAt <= now {
-			if _, err := a.tangle.Add(p.issuer, int(p.visibleAt), p.parents, p.params, p.meta); err != nil {
+			tx, err := a.tangle.Add(p.issuer, int(p.visibleAt), p.parents, p.params, p.meta)
+			if err != nil {
 				panic(fmt.Sprintf("core: async publish failed: %v", err))
+			}
+			if a.net != nil {
+				a.txInfo[tx.ID] = txDelivery{pubSeq: p.pubSeq, pubTime: p.pubTime}
 			}
 		} else {
 			kept = append(kept, p)
@@ -246,7 +335,13 @@ func (a *AsyncSimulation) finish() {
 	if a.done {
 		return
 	}
-	a.flush(a.cfg.Duration + a.cfg.NetworkDelay)
+	if a.net != nil {
+		// Per-link deliveries (and partition heals) can land arbitrarily
+		// after the horizon; the final tangle contains every publish.
+		a.flush(math.Inf(1))
+	} else {
+		a.flush(a.cfg.Duration + a.netDelay)
+	}
 	a.done = true
 }
 
@@ -256,21 +351,50 @@ func (a *AsyncSimulation) step() *AsyncEvent {
 	if a.done {
 		return nil
 	}
-	if a.queue.Len() == 0 {
-		a.finish()
-		return nil
-	}
-	ev := heap.Pop(&a.queue).(event)
-	if ev.at > a.cfg.Duration {
-		a.finish()
-		return nil
+	var ev event
+	for {
+		if a.queue.Len() == 0 {
+			a.finish()
+			return nil
+		}
+		ev = heap.Pop(&a.queue).(event)
+		if ev.at > a.cfg.Duration {
+			a.finish()
+			return nil
+		}
+		if a.net == nil || !a.net.Crashed(a.clients[ev.client].id, ev.at) {
+			break
+		}
+		// The client is inside its crash window: the activation is lost and
+		// the client reschedules at its recovery. The skip happens inside
+		// step so the engine adapter's "nil means done" contract holds.
+		if rec := a.net.Recovery(a.clients[ev.client].id, ev.at); rec <= a.cfg.Duration {
+			heap.Push(&a.queue, event{at: rec, seq: a.seq, client: ev.client})
+			a.seq++
+		}
 	}
 	a.flush(ev.at)
 	c := a.clients[ev.client]
 	crng := a.root.SplitIndex("async-event", ev.seq)
 
-	tips, _ := tipselect.SelectTips(a.cfg.Selector, a.tangle, c.eval, crng, 2)
-	_, refParams, _ := consensusReference(a.tangle, a.cfg.Selector, a.cfg.ReferenceWalks, c.eval, crng)
+	// Under a fault model each client walks its own partial view, revealed at
+	// the times its links actually deliver (jitter, re-gossip after drops,
+	// partition deferral). Delivery times are pure functions of the model, so
+	// the monotone reveal reconstructs identically after a resume.
+	var graph tipselect.Graph = a.tangle
+	if a.net != nil {
+		c.view.RevealWhere(func(tx *dag.Transaction) bool {
+			info, ok := a.txInfo[tx.ID]
+			if !ok {
+				return true // genesis: visible to everyone from the start
+			}
+			return a.net.Deliver(info.pubSeq, tx.Issuer, c.id, info.pubTime).VisibleAt <= ev.at
+		})
+		graph = c.view
+	}
+
+	tips, _ := tipselect.SelectTips(a.cfg.Selector, graph, c.eval, crng, 2)
+	_, refParams, _ := consensusReference(graph, a.cfg.Selector, a.cfg.ReferenceWalks, c.eval, crng)
 
 	avg := nn.AverageParams(tips[0].Params, tips[1].Params)
 	c.model.SetParams(avg)
@@ -295,13 +419,38 @@ func (a *AsyncSimulation) step() *AsyncEvent {
 	published := trainedAcc > refAcc || (trainedAcc == refAcc && trainedLoss <= refLoss)
 	if published {
 		c.stats.Published++
-		a.pending = append(a.pending, pendingTxAsync{
-			visibleAt: ev.at + a.cfg.NetworkDelay,
+		p := pendingTxAsync{
+			visibleAt: ev.at + a.netDelay,
 			issuer:    c.id,
 			parents:   []dag.ID{tips[0].ID, tips[1].ID},
 			params:    c.model.ParamsCopy(),
 			meta:      dag.Meta{TestAcc: trainedAcc},
-		})
+		}
+		if a.net != nil {
+			// The transaction enters the global tangle at its earliest
+			// delivery over all observers; each observer's view reveals it at
+			// that observer's own link time. Cross-link outcomes feed the
+			// run's communication statistics.
+			p.pubSeq = a.pubSeq
+			p.pubTime = ev.at
+			a.pubSeq++
+			minVis := math.Inf(1)
+			for _, o := range a.clients {
+				d := a.net.Deliver(p.pubSeq, c.id, o.id, ev.at)
+				if d.VisibleAt < minVis {
+					minVis = d.VisibleAt
+				}
+				if o.id != c.id {
+					a.deliveries++
+					a.droppedDeliveries += d.Dropped
+					if d.Duplicated {
+						a.duplicatedDeliveries++
+					}
+				}
+			}
+			p.visibleAt = minVis
+		}
+		a.pending = append(a.pending, p)
 	}
 
 	next := ev.at + c.cycleTime
@@ -335,7 +484,14 @@ func (a *AsyncSimulation) Events() int { return a.events }
 // ID plus the tangle. It is valid mid-run (partial results after a canceled
 // run) as well as after completion.
 func (a *AsyncSimulation) Result() *AsyncResult {
-	res := &AsyncResult{SimulatedTime: a.cfg.Duration, Transactions: a.tangle.Size(), DAG: a.tangle}
+	res := &AsyncResult{
+		SimulatedTime:        a.cfg.Duration,
+		Transactions:         a.tangle.Size(),
+		DAG:                  a.tangle,
+		Deliveries:           a.deliveries,
+		DroppedDeliveries:    a.droppedDeliveries,
+		DuplicatedDeliveries: a.duplicatedDeliveries,
+	}
 	for _, c := range a.clients {
 		res.Clients = append(res.Clients, c.stats)
 	}

@@ -31,6 +31,7 @@ import (
 
 	"github.com/specdag/specdag/internal/dag"
 	"github.com/specdag/specdag/internal/dataset"
+	"github.com/specdag/specdag/internal/faults"
 )
 
 // checkpointMagic identifies synchronous simulation checkpoints and fixes
@@ -63,6 +64,14 @@ type checkpointState struct {
 	Clients []clientCheckpoint
 	Results []RoundResult
 	DAG     []byte // SDG1 snapshot (dag.WriteTo)
+
+	// Versioned fault-state section. FaultsVersion is 0 for pre-fault
+	// snapshots and fault-free runs (gob leaves absent fields zero, so old
+	// snapshots decode cleanly) and 1 when a fault schedule was active —
+	// the schedule itself is all that needs saving, because the instantiated
+	// model is a pure function of (schedule, seed, clients, horizon).
+	FaultsVersion int
+	Faults        faults.Config
 }
 
 // WriteCheckpoint serializes the simulation's full state to w and returns
@@ -80,6 +89,10 @@ func (s *Simulation) WriteCheckpoint(w io.Writer) (int64, error) {
 		Rounds:  s.cfg.Rounds,
 		Results: s.results,
 		DAG:     dagBuf.Bytes(),
+	}
+	if s.cfg.Faults.Enabled() {
+		st.FaultsVersion = 1
+		st.Faults = s.cfg.Faults
 	}
 	for _, c := range s.clients {
 		st.Clients = append(st.Clients, clientCheckpoint{
@@ -137,6 +150,14 @@ func readCheckpointState(r io.Reader) (*checkpointState, *dag.DAG, error) {
 	if len(st.Results) != st.Round {
 		return nil, nil, fmt.Errorf("core: checkpoint records %d results for %d rounds", len(st.Results), st.Round)
 	}
+	if st.FaultsVersion < 0 || st.FaultsVersion > 1 {
+		return nil, nil, fmt.Errorf("core: checkpoint fault section has version %d, this build understands 0 and 1 — written by a newer version?", st.FaultsVersion)
+	}
+	if st.FaultsVersion == 1 {
+		if err := st.Faults.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("core: checkpoint fault schedule: %w", err)
+		}
+	}
 	d, err := dag.ReadDAG(bytes.NewReader(st.DAG))
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: checkpoint DAG: %w", err)
@@ -165,6 +186,17 @@ func ResumeSimulation(fed *dataset.Federation, cfg Config, r io.Reader) (*Simula
 		// client data inconsistent with the poisoned flags.
 		return nil, fmt.Errorf("core: checkpoint was taken with Poison %+v, config has %+v — resuming under a different attack would diverge",
 			st.Poison, cfg.Poison)
+	}
+	if !st.Faults.Equal(cfg.Faults) {
+		return nil, fmt.Errorf("core: checkpoint was taken with fault schedule %+v, config has %+v — resuming under a different schedule would diverge",
+			st.Faults, cfg.Faults)
+	}
+	if cfg.Faults.Enabled() && st.Rounds != cfg.Rounds {
+		// The instantiated fault model draws churn windows within [0, Rounds)
+		// and partitions are phrased against it; a different horizon is a
+		// different schedule.
+		return nil, fmt.Errorf("core: checkpoint was taken with a %d-round horizon, config has %d — the fault schedule is drawn against the horizon, so it cannot be extended on resume",
+			st.Rounds, cfg.Rounds)
 	}
 	s, err := NewSimulation(fed, cfg)
 	if err != nil {
@@ -208,7 +240,7 @@ func ResumeSimulation(fed *dataset.Federation, cfg Config, r io.Reader) (*Simula
 			flipLabels(c.testY, cfg.Poison.FlipA, cfg.Poison.FlipB)
 			c.eval = s.newEvalFor(c)
 		}
-		if cfg.RevealDelay > 0 {
+		if s.needsViews() {
 			// Partial views must read the restored tangle. Reveal state is
 			// reconstructed lazily at the client's next walk: the reveal
 			// predicate is monotone in the round counter, so the fresh view

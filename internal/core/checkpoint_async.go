@@ -45,9 +45,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"github.com/specdag/specdag/internal/dag"
 	"github.com/specdag/specdag/internal/dataset"
+	"github.com/specdag/specdag/internal/faults"
 )
 
 // asyncCheckpointMagic identifies event-driven simulation checkpoints — the
@@ -70,12 +72,24 @@ type asyncEventCheckpoint struct {
 }
 
 // asyncPendingCheckpoint is a published transaction still propagating.
+// PubSeq/PubTime key the fault model's per-link delivery draws (zero in
+// fault-free runs).
 type asyncPendingCheckpoint struct {
 	VisibleAt float64
 	Issuer    int
 	Parents   []dag.ID
 	Params    []float64
 	Meta      dag.Meta
+	PubSeq    int
+	PubTime   float64
+}
+
+// asyncTxCheckpoint is the publish metadata of a transaction already in the
+// tangle, needed to recompute per-observer delivery times after a resume.
+type asyncTxCheckpoint struct {
+	ID      dag.ID
+	PubSeq  int
+	PubTime float64
 }
 
 // asyncCheckpointState is the serialized event-driven simulation.
@@ -92,6 +106,20 @@ type asyncCheckpointState struct {
 	Pending      []asyncPendingCheckpoint
 	Clients      []asyncClientCheckpoint
 	DAG          []byte // SDG1 snapshot (dag.WriteTo)
+
+	// Versioned fault-state section (0 = fault-free or pre-fault snapshot;
+	// gob decodes absent fields to zero, so old snapshots stay readable).
+	// The instantiated model is a pure function of (schedule, seed, clients,
+	// horizon) and is rebuilt on resume; only the schedule, the publish
+	// counter, per-transaction publish metadata and the communication
+	// counters carry state.
+	FaultsVersion int
+	Faults        faults.Config
+	PubSeq        int
+	TxInfo        []asyncTxCheckpoint
+	Deliveries    int
+	Dropped       int
+	Duplicated    int
 }
 
 // WriteCheckpoint serializes the event-driven simulation's full state to w
@@ -115,6 +143,22 @@ func (a *AsyncSimulation) WriteCheckpoint(w io.Writer) (int64, error) {
 		Done:         a.done,
 		DAG:          dagBuf.Bytes(),
 	}
+	if a.cfg.Faults.Enabled() {
+		st.FaultsVersion = 1
+		st.Faults = a.cfg.Faults
+		st.PubSeq = a.pubSeq
+		st.Deliveries = a.deliveries
+		st.Dropped = a.droppedDeliveries
+		st.Duplicated = a.duplicatedDeliveries
+		// Map iteration order is arbitrary; identical states must serialize
+		// to identical bytes, so collect then sort by transaction ID.
+		txs := make([]asyncTxCheckpoint, 0, len(a.txInfo))
+		for id, info := range a.txInfo {
+			txs = append(txs, asyncTxCheckpoint{ID: id, PubSeq: info.pubSeq, PubTime: info.pubTime})
+		}
+		sort.Slice(txs, func(i, j int) bool { return txs[i].ID < txs[j].ID })
+		st.TxInfo = txs
+	}
 	for _, ev := range a.queue {
 		st.Queue = append(st.Queue, asyncEventCheckpoint{At: ev.at, Seq: ev.seq, Client: ev.client})
 	}
@@ -125,6 +169,8 @@ func (a *AsyncSimulation) WriteCheckpoint(w io.Writer) (int64, error) {
 			Parents:   p.parents,
 			Params:    p.params,
 			Meta:      p.meta,
+			PubSeq:    p.pubSeq,
+			PubTime:   p.pubTime,
 		})
 	}
 	for _, c := range a.clients {
@@ -188,9 +234,31 @@ func readAsyncCheckpointState(r io.Reader) (*asyncCheckpointState, *dag.DAG, err
 			return nil, nil, fmt.Errorf("core: async checkpoint queue entry %d activates client index %d of %d", i, ev.Client, len(st.Clients))
 		}
 	}
+	if st.FaultsVersion < 0 || st.FaultsVersion > 1 {
+		return nil, nil, fmt.Errorf("core: async checkpoint fault section has version %d, this build understands 0 and 1 — written by a newer version?", st.FaultsVersion)
+	}
+	if st.FaultsVersion == 1 {
+		if err := st.Faults.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("core: async checkpoint fault schedule: %w", err)
+		}
+		if st.PubSeq < 0 {
+			return nil, nil, fmt.Errorf("core: async checkpoint has negative publish counter %d", st.PubSeq)
+		}
+	}
 	d, err := dag.ReadDAG(bytes.NewReader(st.DAG))
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: async checkpoint DAG: %w", err)
+	}
+	for i, tx := range st.TxInfo {
+		if int(tx.ID) <= 0 || int(tx.ID) >= d.Size() {
+			return nil, nil, fmt.Errorf("core: async checkpoint publish metadata entry %d names unknown transaction %d", i, tx.ID)
+		}
+		if tx.PubSeq < 0 || tx.PubSeq >= st.PubSeq {
+			return nil, nil, fmt.Errorf("core: async checkpoint publish metadata entry %d has sequence %d outside [0, %d)", i, tx.PubSeq, st.PubSeq)
+		}
+		if math.IsNaN(tx.PubTime) || math.IsInf(tx.PubTime, 0) || tx.PubTime < 0 {
+			return nil, nil, fmt.Errorf("core: async checkpoint publish metadata entry %d has invalid publish time %v", i, tx.PubTime)
+		}
 	}
 	paramDim := len(d.Genesis().Params)
 	for i, p := range st.Pending {
@@ -235,6 +303,10 @@ func ResumeAsyncSimulation(fed *dataset.Federation, cfg AsyncConfig, r io.Reader
 			st.Duration, st.MinCycle, st.MaxCycle, st.NetworkDelay,
 			cfg.Duration, cfg.MinCycle, cfg.MaxCycle, cfg.NetworkDelay)
 	}
+	if !st.Faults.Equal(cfg.Faults) {
+		return nil, fmt.Errorf("core: async checkpoint was taken with fault schedule %+v, config has %+v — resuming under a different schedule would diverge",
+			st.Faults, cfg.Faults)
+	}
 	a, err := NewAsyncSimulation(fed, cfg)
 	if err != nil {
 		return nil, err
@@ -261,6 +333,24 @@ func ResumeAsyncSimulation(fed *dataset.Federation, cfg AsyncConfig, r io.Reader
 	a.events = st.Events
 	a.seq = st.Seq
 	a.done = st.Done
+	if a.net != nil {
+		// The model itself was rebuilt by the constructor (a pure function of
+		// the schedule); restore the publish metadata and counters, and point
+		// the partial views at the restored tangle. Reveal state reconstructs
+		// lazily — delivery times are pure, so the monotone predicate reveals
+		// exactly the set the uninterrupted run had accumulated.
+		a.pubSeq = st.PubSeq
+		a.deliveries = st.Deliveries
+		a.droppedDeliveries = st.Dropped
+		a.duplicatedDeliveries = st.Duplicated
+		a.txInfo = make(map[dag.ID]txDelivery, len(st.TxInfo))
+		for _, tx := range st.TxInfo {
+			a.txInfo[tx.ID] = txDelivery{pubSeq: tx.PubSeq, pubTime: tx.PubTime}
+		}
+		for _, c := range a.clients {
+			c.view = dag.NewView(a.tangle)
+		}
+	}
 	for i, cc := range st.Clients {
 		c := a.clients[i]
 		if c.stats.ID != cc.ID {
@@ -288,6 +378,8 @@ func ResumeAsyncSimulation(fed *dataset.Federation, cfg AsyncConfig, r io.Reader
 			parents:   p.Parents,
 			params:    p.Params,
 			meta:      p.Meta,
+			pubSeq:    p.PubSeq,
+			pubTime:   p.PubTime,
 		})
 	}
 	return a, nil

@@ -24,6 +24,7 @@ import (
 
 	"github.com/specdag/specdag/internal/dag"
 	"github.com/specdag/specdag/internal/dataset"
+	"github.com/specdag/specdag/internal/faults"
 	"github.com/specdag/specdag/internal/mathx"
 	"github.com/specdag/specdag/internal/nn"
 	"github.com/specdag/specdag/internal/par"
@@ -140,6 +141,15 @@ type Config struct {
 	// only from round r+RevealDelay on. Publishers always see their own
 	// transactions immediately. 0 (default) is the paper's ideal broadcast.
 	RevealDelay int
+	// Faults, when enabled, applies the deterministic fault schedule of
+	// internal/faults to the round grid: scheduled split-and-heal partitions
+	// withhold cross-group transactions until their window heals, and clients
+	// inside a churn crash window skip their sampled activations. The
+	// network-shape fields (Delay, Jitter, DropProb, DupProb) and stragglers
+	// describe continuous time and apply to the async engine only; the round
+	// engine's delivery granularity remains RevealDelay. Times in the
+	// schedule are measured in rounds.
+	Faults faults.Config
 	// Poison configures the attack scenario (zero value: no attack).
 	Poison PoisonConfig
 	// Workers bounds the number of goroutines that process the round's
@@ -190,7 +200,7 @@ func (c Config) Validate() error {
 	if p := c.Poison; p.Fraction < 0 || p.Fraction > 1 {
 		return fmt.Errorf("core: poison fraction %v outside [0,1]", p.Fraction)
 	}
-	return nil
+	return c.Faults.Validate()
 }
 
 func (c Config) withDefaults() Config {
@@ -354,6 +364,10 @@ type Simulation struct {
 	rng     *xrand.RNG
 	round   int
 
+	// net is the instantiated fault model (nil when cfg.Faults degenerates
+	// to a uniform delay, which the round grid already ignores).
+	net *faults.Model
+
 	results []RoundResult
 }
 
@@ -385,6 +399,20 @@ func NewSimulation(fed *dataset.Federation, cfg Config) (*Simulation, error) {
 	// invariant, so this only affects wall clock.
 	s.tangle.SetParallelism(cfg.Pool, cfg.Workers)
 
+	if cfg.Faults.Enabled() {
+		ids := make([]int, len(fed.Clients))
+		for i, fc := range fed.Clients {
+			ids[i] = fc.ID
+		}
+		m, err := faults.New(cfg.Faults, root, ids, float64(cfg.Rounds))
+		if err != nil {
+			return nil, err
+		}
+		if _, uniform := m.Uniform(); !uniform {
+			s.net = m
+		}
+	}
+
 	for _, fc := range fed.Clients {
 		c := &client{
 			id:      fc.ID,
@@ -395,12 +423,19 @@ func NewSimulation(fed *dataset.Federation, cfg Config) (*Simulation, error) {
 		c.testX, c.testY = fc.Test.X, fc.Test.CopyLabels()
 		c.origTestY = append([]int(nil), c.testY...)
 		c.eval = s.newEvalFor(c)
-		if cfg.RevealDelay > 0 {
+		if s.needsViews() {
 			c.view = dag.NewView(s.tangle)
 		}
 		s.clients = append(s.clients, c)
 	}
 	return s, nil
+}
+
+// needsViews reports whether clients require partial-visibility views:
+// RevealDelay delays every reveal, and scheduled partitions withhold
+// cross-group transactions. Churn alone does not restrict visibility.
+func (s *Simulation) needsViews() bool {
+	return s.cfg.RevealDelay > 0 || (s.net != nil && len(s.cfg.Faults.Partitions) > 0)
 }
 
 func (s *Simulation) newEvalFor(c *client) *tipselect.EvalCache {
@@ -575,6 +610,19 @@ func (s *Simulation) RunRound() RoundResult {
 	sampler := s.rng.SplitIndex("round-sample", round)
 	idxs := sampler.SampleWithoutReplacement(len(s.clients), s.cfg.ClientsPerRound)
 
+	// Clients inside a churn crash window skip their sampled activation (the
+	// filter runs before the fan-out, so the schedule stays worker-count
+	// invariant; an all-crashed round simply publishes nothing).
+	if s.net != nil {
+		kept := idxs[:0]
+		for _, ci := range idxs {
+			if !s.net.Crashed(s.clients[ci].id, float64(round)) {
+				kept = append(kept, ci)
+			}
+		}
+		idxs = kept
+	}
+
 	// Fan out: one outcome slot per sampled client. SampleWithoutReplacement
 	// yields distinct clients, so no client state is shared between workers.
 	outs := make([]clientOutcome, len(idxs))
@@ -650,14 +698,25 @@ func (s *Simulation) trainConfig() nn.SGDConfig {
 
 // graphFor returns the tangle view the client walks over this round: the
 // full DAG under ideal broadcast, or the client's partial view with all
-// sufficiently old (or own) transactions revealed.
+// sufficiently old (or own) transactions revealed — minus whatever a live
+// partition window still withholds from this client.
 func (s *Simulation) graphFor(c *client, round int) tipselect.Graph {
 	if c.view == nil {
 		return s.tangle
 	}
 	horizon := round - s.cfg.RevealDelay
 	c.view.RevealWhere(func(tx *dag.Transaction) bool {
-		return tx.Round <= horizon || tx.Issuer == c.id
+		if tx.Issuer == c.id {
+			return true
+		}
+		if tx.Round > horizon {
+			return false
+		}
+		// A transaction published inside a partition window that separates
+		// publisher and observer stays hidden until the window heals. The
+		// predicate is monotone in the round counter, so views reconstruct
+		// identically after a checkpoint resume.
+		return s.net == nil || !s.net.PartitionDeferred(float64(tx.Round), tx.Issuer, c.id, float64(round))
 	})
 	return c.view
 }

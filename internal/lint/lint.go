@@ -130,6 +130,7 @@ type Diagnostic struct {
 var deterministicPkgs = []string{
 	"internal/core",
 	"internal/dag",
+	"internal/faults",
 	"internal/nn",
 	"internal/mathx",
 	"internal/tipselect",

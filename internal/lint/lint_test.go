@@ -14,7 +14,7 @@ import (
 
 func TestDetrand(t *testing.T) {
 	linttest.Run(t, linttest.TestData(), lint.Detrand,
-		"detrand/internal/core", "detrand/outside")
+		"detrand/internal/core", "detrand/internal/faults", "detrand/outside")
 }
 
 func TestMapOrder(t *testing.T) {
@@ -50,6 +50,7 @@ func TestDeterministicPkgSet(t *testing.T) {
 	for _, path := range []string{
 		"github.com/specdag/specdag/internal/core",
 		"github.com/specdag/specdag/internal/dag",
+		"github.com/specdag/specdag/internal/faults",
 		"github.com/specdag/specdag/internal/nn",
 		"github.com/specdag/specdag/internal/mathx",
 		"github.com/specdag/specdag/internal/tipselect",

@@ -1,0 +1,40 @@
+// Package faults is a fixture standing in for the fault-injection package
+// (its import path ends in internal/faults): a fault model that reaches for
+// ambient randomness or the wall clock silently breaks worker-count
+// invariance and checkpoint resume, so the vettool must catch it.
+package faults
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Model is a fake fault model with nondeterministic schedule draws.
+type Model struct {
+	delay float64
+}
+
+func (m *Model) jitter() float64 {
+	return rand.Float64() * m.delay // want `math/rand\.Float64 in deterministic package faults: all randomness must come from internal/xrand seed splits`
+}
+
+func (m *Model) deliverAt() time.Time {
+	return time.Now().Add(time.Second) // want `time\.Now in deterministic package faults: results must not depend on the wall clock`
+}
+
+func dropped(p float64) bool {
+	return rand.New(rand.NewSource(time.Now().UnixNano())).Float64() < p // want `math/rand\.New in deterministic package faults` `math/rand\.NewSource in deterministic package faults` `math/rand\.Float64 in deterministic package faults` `time\.Now in deterministic package faults`
+}
+
+// clean: pure schedule arithmetic over plain data needs no annotation.
+func healTime(windowEnd, arrival float64) float64 {
+	if arrival < windowEnd {
+		return windowEnd
+	}
+	return arrival
+}
+
+// audited keeps a wall-clock read behind an audited suppression.
+func audited() time.Time {
+	return time.Now() //speclint:allow detrand fixture demonstrating an audited suppression
+}

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"time"
+
+	"github.com/specdag/specdag/internal/xrand"
+)
+
+// Default reconnect backoff bounds (see Backoff).
+const (
+	DefaultBackoffBase = 100 * time.Millisecond
+	DefaultBackoffMax  = 5 * time.Second
+)
+
+// A Backoff computes capped exponential reconnect delays with deterministic
+// equal jitter: attempt n waits between half and all of min(Base<<(n-1), Max).
+// The jitter fraction comes from an xrand seed split keyed on the attempt
+// number, so a given (Seed, attempt) pair always yields the same delay —
+// retry schedules are reproducible in tests and logs, while distinct Seeds
+// de-synchronize a fleet of subscribers re-dialing after one server restart
+// (the thundering-herd failure mode of the old fixed linear backoff).
+//
+// The zero value selects DefaultBackoffBase/DefaultBackoffMax with Seed 0.
+type Backoff struct {
+	// Base is the first attempt's full delay; later attempts double it.
+	Base time.Duration
+	// Max caps the un-jittered delay.
+	Max time.Duration
+	// Seed keys the jitter stream.
+	Seed int64
+}
+
+// Delay returns the wait before reconnect attempt n (1-based; values < 1 are
+// treated as 1). The result lies in [d/2, d) for d = min(Base<<(n-1), Max).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := max
+	// The shift bound keeps base<<(attempt-1) from overflowing before the
+	// cap comparison; 40 doublings already exceed any sane Max.
+	if shift := attempt - 1; shift < 40 && base<<shift < max {
+		d = base << shift
+	}
+	f := xrand.New(b.Seed).SplitIndex("backoff", attempt).Float64()
+	return d/2 + time.Duration(float64(d/2)*f)
+}

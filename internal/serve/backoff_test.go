@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelay pins the backoff shape: deterministic per (Seed, attempt),
+// equal-jittered within [d/2, d) for d = min(Base<<(attempt-1), Max), and
+// capped at Max for large attempts (including ones that would overflow a
+// naive shift).
+func TestBackoffDelay(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 5 * time.Second, Seed: 7}
+	for attempt, want := range map[int]time.Duration{
+		1: 100 * time.Millisecond,
+		2: 200 * time.Millisecond,
+		3: 400 * time.Millisecond,
+		7: 5 * time.Second, // 100ms<<6 = 6.4s, capped
+		// Attempt counts far beyond the cap, where Base<<(n-1) overflows.
+		64:  5 * time.Second,
+		500: 5 * time.Second,
+	} {
+		d := b.Delay(attempt)
+		if d < want/2 || d >= want {
+			t.Errorf("Delay(%d) = %v, want in [%v, %v)", attempt, d, want/2, want)
+		}
+		if again := b.Delay(attempt); again != d {
+			t.Errorf("Delay(%d) not deterministic: %v then %v", attempt, d, again)
+		}
+	}
+	// The zero value works with the documented defaults.
+	var zero Backoff
+	if d := zero.Delay(1); d < DefaultBackoffBase/2 || d >= DefaultBackoffBase {
+		t.Errorf("zero-value Delay(1) = %v, want in [%v, %v)", d, DefaultBackoffBase/2, DefaultBackoffBase)
+	}
+	if d := zero.Delay(0); d < DefaultBackoffBase/2 || d >= DefaultBackoffBase {
+		t.Errorf("Delay(0) = %v, want the attempt clamped to 1", d)
+	}
+	// Different seeds de-synchronize: at least one of the first attempts
+	// must differ (the point of the jitter).
+	other := Backoff{Base: b.Base, Max: b.Max, Seed: 8}
+	same := true
+	for attempt := 1; attempt <= 4; attempt++ {
+		if b.Delay(attempt) != other.Delay(attempt) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical first four delays — jitter not keyed on Seed")
+	}
+}
+
+// TestSubscribeReconnectBudget pins the retry loop against a refusing
+// address: with Reconnects=2 the client dials exactly three times (the
+// initial attempt plus two reconnects), backing off between attempts, and
+// then reports the transport error.
+func TestSubscribeReconnectBudget(t *testing.T) {
+	// Reserve an address and close the listener so every dial is refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	var dials atomic.Int32
+	client := &http.Client{Transport: &http.Transport{
+		DialContext: func(ctx context.Context, network, address string) (net.Conn, error) {
+			dials.Add(1)
+			return (&net.Dialer{}).DialContext(ctx, network, address)
+		},
+	}}
+	_, err = Subscribe(context.Background(), "http://"+addr, 1, SubscribeOptions{
+		Client:     client,
+		Reconnects: 2,
+		Backoff:    Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+	})
+	if err == nil {
+		t.Fatal("subscription to a refusing address succeeded")
+	}
+	if !strings.Contains(err.Error(), "failed at index 0") {
+		t.Fatalf("error %v does not name the resume index", err)
+	}
+	if got := dials.Load(); got != 3 {
+		t.Fatalf("dialed %d times, want exactly 3 (1 initial + 2 reconnects)", got)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 
 	"github.com/specdag/specdag/internal/engine"
@@ -58,6 +59,14 @@ type Broadcaster struct {
 	next   uint64 // index the next appended frame will get
 	closed bool
 	notify chan struct{} // closed and replaced on every append
+
+	// Spill state (EnableSpill): every appended frame is also written to an
+	// SDE1 file, so frames the ring has overwritten remain replayable.
+	spillPath  string
+	spillFile  *os.File
+	spillW     *wire.Writer
+	spillStart uint64 // index of the first frame in the spill file
+	spillErr   error  // first spill write error; spilling stops on it
 }
 
 // NewBroadcaster creates a broadcaster whose ring retains the last
@@ -94,10 +103,98 @@ func (b *Broadcaster) Append(f wire.Frame) {
 	if b.next-b.start > uint64(len(b.ring)) {
 		b.start = b.next - uint64(len(b.ring))
 	}
+	if b.spillW != nil {
+		// The spill write happens inside the lock so the file's frame order
+		// is the log order. A frame that is fully written before a gap is
+		// detected is durably readable by ReplayGap's independent handle.
+		if err := b.spillW.WriteFrame(&f); err != nil {
+			b.spillErr = err
+			b.spillW = nil
+			b.spillFile.Close()
+			b.spillFile = nil
+		}
+	}
 	notify := b.notify
 	b.notify = make(chan struct{})
 	b.mu.Unlock()
 	close(notify)
+}
+
+// EnableSpill starts mirroring every subsequently appended frame to an SDE1
+// file at path, making overwritten ring frames replayable via ReplayGap
+// (call it before the first Append to cover the whole log). A spill write
+// error stops spilling — the ring and its subscribers are unaffected, gaps
+// simply fall back to drop semantics.
+func (b *Broadcaster) EnableSpill(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("serve: creating spill file: %w", err)
+	}
+	w, err := wire.NewWriter(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.spillW != nil || b.closed {
+		f.Close()
+		return fmt.Errorf("serve: spill already enabled or log closed")
+	}
+	b.spillPath, b.spillFile, b.spillW = path, f, w
+	b.spillStart = b.next
+	return nil
+}
+
+// SpillPath returns the spill file's path, empty when spilling never
+// started. The file remains readable after Close.
+func (b *Broadcaster) SpillPath() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spillPath
+}
+
+// ReplayGap streams the spilled frames in [from, to) to emit, in order. It
+// reports false when the range cannot be served from disk — spilling never
+// started, failed, or began after `from` — in which case the caller falls
+// back to drop semantics (Gap frame + Resync). An emit error aborts the
+// replay and is returned as-is (the consumer is gone, not the file).
+func (b *Broadcaster) ReplayGap(from, to uint64, emit func(*wire.Frame) error) (bool, error) {
+	b.mu.Lock()
+	path, ok := b.spillPath, b.spillErr == nil && b.spillPath != "" && from >= b.spillStart
+	b.mu.Unlock()
+	if !ok || from >= to {
+		return false, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return false, nil
+	}
+	defer f.Close()
+	r, err := wire.NewReader(f)
+	if err != nil {
+		return false, nil
+	}
+	for {
+		fr, err := r.ReadFrame()
+		if err != nil {
+			// Truncated or corrupt spill before reaching `to`: the caller
+			// falls back to the Gap frame rather than a silently short replay.
+			return false, nil
+		}
+		if fr.Index < from {
+			continue
+		}
+		if fr.Index >= to {
+			return true, nil
+		}
+		if err := emit(fr); err != nil {
+			return true, err
+		}
+		if fr.Index == to-1 {
+			return true, nil
+		}
+	}
 }
 
 // Close marks the log complete (after the End frame). Blocked subscribers
@@ -109,6 +206,12 @@ func (b *Broadcaster) Close() {
 		return
 	}
 	b.closed = true
+	if b.spillFile != nil {
+		// The log is complete; the file stays on disk for ReplayGap, which
+		// opens its own read handle.
+		b.spillFile.Close()
+		b.spillFile, b.spillW = nil, nil
+	}
 	notify := b.notify
 	b.notify = make(chan struct{})
 	b.mu.Unlock()

@@ -23,16 +23,23 @@ type apiError struct {
 }
 
 // writeError maps lifecycle errors to HTTP statuses: unknown run → 404,
-// lifecycle conflict → 409, everything else → 400.
+// lifecycle conflict → 409, quota exhaustion → 429 with Retry-After,
+// everything else → 400.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	var nf *notFoundError
 	var st *stateError
+	var qe *quotaError
 	switch {
 	case errors.As(err, &nf):
 		status = http.StatusNotFound
 	case errors.As(err, &st):
 		status = http.StatusConflict
+	case errors.As(err, &qe):
+		status = http.StatusTooManyRequests
+		// A coarse hint: quota frees when an active run settles, which is
+		// run-length-dependent; clients should poll, not hammer.
+		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, status, apiError{Error: err.Error()})
 }
@@ -214,21 +221,43 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 			flush()
 		case errors.As(err, &gap):
-			// Tell the subscriber exactly what it missed and where the
-			// latest checkpoint resumes, then continue with what remains.
+			// Resync first: the cursor lands on the oldest frame still in
+			// the ring *now*, so the dropped range is [gap.From, to) exactly.
+			// (Resyncing after a slow replay would silently skip whatever
+			// the ring overwrote meanwhile.)
+			to := sub.Resync()
+			// First choice: replay the overwritten range from the spill file
+			// — the subscriber sees a complete stream, no gap at all. Should
+			// the ring lap the cursor again during the replay, the next
+			// iteration handles the fresh GapError the same way.
+			replayed, rerr := run.b.ReplayGap(gap.From, to, func(f *wire.Frame) error {
+				if err := ww.WriteFrame(f); err != nil {
+					return err
+				}
+				flush()
+				return nil
+			})
+			if replayed {
+				if rerr != nil {
+					return // client gone mid-replay
+				}
+				continue
+			}
+			// No spill coverage: tell the subscriber exactly what it missed
+			// and where the latest checkpoint resumes, then continue with
+			// what remains (drop semantics).
 			run.mu.Lock()
 			ckptIndex := run.ckptIndex
 			run.mu.Unlock()
 			gf := wire.Frame{
 				Index: gap.From,
 				Kind:  wire.KindGap,
-				Gap:   &wire.Gap{From: gap.From, To: gap.To, CheckpointIndex: ckptIndex},
+				Gap:   &wire.Gap{From: gap.From, To: to, CheckpointIndex: ckptIndex},
 			}
 			if ww.WriteFrame(&gf) != nil {
 				return
 			}
 			flush()
-			sub.Resync()
 		case errors.Is(err, io.EOF):
 			return // log complete: the End frame was the last write
 		default:

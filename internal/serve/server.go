@@ -44,6 +44,17 @@ type Config struct {
 	// Dir, when non-empty, is where Shutdown persists the checkpoints of
 	// in-flight runs (and Restore re-registers them on the next boot).
 	Dir string
+	// SpillDir, when non-empty, is where each run's event log is mirrored to
+	// disk (run-<id>.sde, SDE1). A subscriber that falls behind the ring then
+	// gets the overwritten frames replayed from the spill file instead of a
+	// Gap frame — the stream stays complete regardless of ring size.
+	SpillDir string
+	// MaxRuns caps concurrently active (running or paused) runs; further
+	// submissions answer 429 until one settles. 0 means unlimited.
+	MaxRuns int
+	// MaxRunsPerTenant caps active runs per RunRequest.Tenant (the empty
+	// tenant is a tenant like any other). 0 means unlimited.
+	MaxRunsPerTenant int
 }
 
 // EventStreamContentType is the Content-Type of the SDE1 events endpoint.
@@ -190,6 +201,9 @@ type RunRequest struct {
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 	// Label is a free-form run name for listings and event logs.
 	Label string `json:"label,omitempty"`
+	// Tenant attributes the run for per-tenant submit quotas
+	// (Config.MaxRunsPerTenant); empty is a valid tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // RunStatus is the JSON shape of the status and list endpoints.
@@ -375,6 +389,10 @@ func (s *Server) Submit(req RunRequest) (int, error) {
 		return 0, err
 	}
 	s.mu.Lock()
+	if err := s.checkQuotaLocked(req.Tenant); err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
 	id := s.nextID
 	s.nextID++
 	r := &run{
@@ -385,12 +403,63 @@ func (s *Server) Submit(req RunRequest) (int, error) {
 	}
 	s.runs[id] = r
 	s.mu.Unlock()
+	if s.cfg.SpillDir != "" {
+		// Spill failure degrades to drop semantics, it never blocks a run.
+		if err := os.MkdirAll(s.cfg.SpillDir, 0o755); err == nil {
+			r.b.EnableSpill(filepath.Join(s.cfg.SpillDir, fmt.Sprintf("run-%d.sde", id)))
+		}
+	}
 	info := runInfo(eng, &req)
 	r.b.Append(wire.Frame{Kind: wire.KindStart, Start: &info})
 	if err := s.launch(r, eng); err != nil {
 		return 0, err
 	}
 	return id, nil
+}
+
+// checkQuotaLocked enforces Config.MaxRuns and MaxRunsPerTenant against the
+// currently active (running or paused) runs. Callers hold s.mu.
+func (s *Server) checkQuotaLocked(tenant string) error {
+	if s.cfg.MaxRuns <= 0 && s.cfg.MaxRunsPerTenant <= 0 {
+		return nil
+	}
+	total, mine := 0, 0
+	for _, r := range s.runs {
+		r.mu.Lock()
+		active := r.state == StateRunning || r.state == StatePaused
+		rt := r.req.Tenant
+		r.mu.Unlock()
+		if !active {
+			continue
+		}
+		total++
+		if rt == tenant {
+			mine++
+		}
+	}
+	if s.cfg.MaxRuns > 0 && total >= s.cfg.MaxRuns {
+		return &quotaError{scope: "server", limit: s.cfg.MaxRuns}
+	}
+	if s.cfg.MaxRunsPerTenant > 0 && mine >= s.cfg.MaxRunsPerTenant {
+		return &quotaError{scope: "tenant", tenant: tenant, limit: s.cfg.MaxRunsPerTenant}
+	}
+	return nil
+}
+
+// quotaError is a submit rejected by an active-run cap (HTTP 429). It is not
+// a lifecycle conflict: the request is well-formed and will succeed once an
+// active run settles, which is what Retry-After communicates.
+type quotaError struct {
+	scope  string // "server" | "tenant"
+	tenant string
+	limit  int
+}
+
+func (e *quotaError) Error() string {
+	if e.scope == "tenant" {
+		return fmt.Sprintf("serve: tenant %q is at its active-run quota (%d) — retry after a run settles", e.tenant, e.limit)
+	}
+	return fmt.Sprintf("serve: server is at its active-run quota (%d) — retry after a run settles", e.limit)
 }
 
 // launch submits (or resubmits, after restore) the run to the scheduler.
@@ -862,6 +931,13 @@ func (s *Server) Restore() (int, error) {
 			r.ckpt = ckpt
 			r.ckptIndex = e.CheckpointIndex
 			r.b = NewBroadcaster(s.cfg.Ring, e.CheckpointIndex)
+			if s.cfg.SpillDir != "" {
+				// The old process's spill is stale (its frames predate the
+				// checkpoint); the reborn log spills to a fresh file.
+				if err := os.MkdirAll(s.cfg.SpillDir, 0o755); err == nil {
+					r.b.EnableSpill(filepath.Join(s.cfg.SpillDir, fmt.Sprintf("run-%d.sde", e.ID)))
+				}
+			}
 			// A fresh start frame anchors the reborn log at the resume
 			// index, so late subscribers still learn the run identity.
 			eng, err := s.buildEngine(&e.Request, nil)

@@ -34,6 +34,9 @@ type SubscribeOptions struct {
 	// connection that delivered at least one frame resets the count).
 	// 0 selects 3; negative disables reconnection.
 	Reconnects int
+	// Backoff shapes the wait between reconnect attempts (the zero value
+	// selects the capped exponential defaults; see Backoff).
+	Backoff Backoff
 	// Client is the HTTP client to use (nil selects http.DefaultClient).
 	Client *http.Client
 }
@@ -71,10 +74,10 @@ func Subscribe(ctx context.Context, baseURL string, id int, opt SubscribeOptions
 		if budget < 0 || fails > budget {
 			return nil, fmt.Errorf("serve: subscription to run %d failed at index %d: %w", id, next, err)
 		}
-		// Brief linear backoff before redialing; resume from `next`, the
-		// first index not yet delivered.
+		// Capped exponential backoff with deterministic jitter before
+		// redialing; resume from `next`, the first index not yet delivered.
 		select {
-		case <-time.After(time.Duration(fails) * 100 * time.Millisecond):
+		case <-time.After(opt.Backoff.Delay(fails)):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}

@@ -56,6 +56,11 @@ func Subscribe(ctx context.Context, baseURL string, id int, opt SubscribeOptions
 	return serve.Subscribe(ctx, baseURL, id, opt)
 }
 
+// Backoff is the capped exponential backoff with deterministic jitter that
+// Subscribe sleeps between reconnect attempts (SubscribeOptions.Backoff);
+// the zero value selects the documented defaults.
+type Backoff = serve.Backoff
+
 // Broadcaster fans one run's event stream out to any number of subscribers
 // through a bounded ring: the appending side never blocks on a slow
 // subscriber (drop-or-snapshot semantics; see the internal/serve package

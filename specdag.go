@@ -120,6 +120,7 @@ import (
 	"github.com/specdag/specdag/internal/core"
 	"github.com/specdag/specdag/internal/dag"
 	"github.com/specdag/specdag/internal/dataset"
+	"github.com/specdag/specdag/internal/faults"
 	"github.com/specdag/specdag/internal/fl"
 	"github.com/specdag/specdag/internal/graphx"
 	"github.com/specdag/specdag/internal/metrics"
@@ -167,6 +168,26 @@ func RunAsync(fed *Federation, cfg AsyncConfig) (*AsyncResult, error) {
 	//speclint:allow deprecated this deprecated public wrapper delegates to its deprecated internal counterpart to keep numerics pinned
 	return core.RunAsync(fed, cfg)
 }
+
+// ---- Fault injection (internal/faults) ----
+
+// FaultConfig is a deterministic network/client fault schedule for the
+// simulation engines: per-link latency and jitter, broadcast drops recovered
+// by re-gossip, duplicate deliveries, scheduled split-and-heal partitions,
+// stragglers (cycle-time multipliers) and crash/recover churn. Set
+// Config.Faults or AsyncConfig.Faults (with NetworkDelay 0) to enable it;
+// the zero value disables fault injection. Every draw is keyed on stable
+// identifiers via seed splits, so a faulty run remains bit-identical across
+// worker counts and checkpoint/resume boundaries.
+type FaultConfig = faults.Config
+
+// FaultPartition is one scheduled network partition in a FaultConfig: the
+// federation splits into Groups disjoint groups during [From, To) and heals.
+type FaultPartition = faults.Partition
+
+// ScalarFaults returns the fault schedule exactly equivalent to a uniform
+// broadcast delay — the engines produce bit-identical results either way.
+func ScalarFaults(delay float64) FaultConfig { return faults.Scalar(delay) }
 
 // ---- Tangle (internal/dag) ----
 
