@@ -90,6 +90,20 @@ func run() error {
 			fmt.Printf("simulation checkpoint: seed %d, round %d/%d, %d clients — resume with specdag -resume\n",
 				info.Seed, info.Round, info.Rounds, info.Clients)
 		}
+		if info.FrozenEpochs > 0 {
+			fmt.Printf("compaction: %d frozen epochs, %d frozen transactions, %d spill bytes (live floor %d)\n",
+				info.FrozenEpochs, info.FrozenTxs, info.SpillBytes, d.LiveFloor())
+			epochs := d.FrozenEpochs()
+			fmt.Println("  epoch |    ids    | txs | rounds  | mean acc | spill")
+			for _, e := range epochs {
+				spill := "-"
+				if e.SpillFile != "" {
+					spill = fmt.Sprintf("%s (%d B)", e.SpillFile, e.SpillBytes)
+				}
+				fmt.Printf("  %5d | %4d-%-4d | %3d | %3d-%-3d | %8.3f | %s\n",
+					e.Epoch, e.FirstID, e.LastID, e.Txs, e.MinRound, e.MaxRound, e.MeanTestAcc, spill)
+			}
+		}
 	default:
 		d, err = dag.ReadDAG(br)
 		if err != nil {
@@ -126,7 +140,15 @@ func run() error {
 			g.NumNodes(), graphx.NumCommunities(part), graphx.Modularity(g, part))
 	}
 
-	// Heaviest transactions (classic cumulative weight).
+	// Heaviest transactions (classic cumulative weight). The sweep's bitset
+	// costs O(n^2/64) memory over the live suffix; past a few hundred
+	// thousand transactions that dwarfs the snapshot itself, so skip the
+	// table rather than OOM on long-haul artifacts.
+	const maxWeighable = 200_000
+	if live := d.Size() - int(d.LiveFloor()); live > maxWeighable {
+		fmt.Printf("\nheaviest-transactions table skipped: %d live transactions exceed the %d sweep limit\n", live, maxWeighable)
+		return writeDot(*dotFile, d)
+	}
 	weights := d.CumulativeWeights()
 	type row struct {
 		id dag.ID
@@ -145,19 +167,29 @@ func run() error {
 	if *top > len(rows) {
 		*top = len(rows)
 	}
-	fmt.Printf("\nheaviest %d transactions (cumulative weight):\n", *top)
+	scope := ""
+	if d.LiveFloor() > 0 {
+		scope = ", live suffix only"
+	}
+	fmt.Printf("\nheaviest %d transactions (cumulative weight%s):\n", *top, scope)
 	fmt.Println("  id | weight | issuer | round | test acc")
 	for _, r := range rows[:*top] {
 		tx := d.MustGet(r.id)
 		fmt.Printf("%4d | %6d | %6d | %5d | %.3f\n", tx.ID, r.w, tx.Issuer, tx.Round, tx.Meta.TestAcc)
 	}
 
-	if *dotFile != "" {
-		if err := os.WriteFile(*dotFile, []byte(d.DOT()), 0o644); err != nil {
-			return fmt.Errorf("writing DOT file: %w", err)
-		}
-		fmt.Printf("\nwrote Graphviz output to %s\n", *dotFile)
+	return writeDot(*dotFile, d)
+}
+
+// writeDot handles the optional Graphviz export.
+func writeDot(path string, d *dag.DAG) error {
+	if path == "" {
+		return nil
 	}
+	if err := os.WriteFile(path, []byte(d.DOT()), 0o644); err != nil {
+		return fmt.Errorf("writing DOT file: %w", err)
+	}
+	fmt.Printf("\nwrote Graphviz output to %s\n", path)
 	return nil
 }
 

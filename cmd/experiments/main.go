@@ -6,7 +6,9 @@
 //	experiments -exp fig12          # poisoning curves (fig12 == fig13 runs)
 //
 // Experiment IDs: table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-// fig13 fig14 fig15 ablations gossip visibility faults all.
+// fig13 fig14 fig15 ablations gossip visibility faults all, plus longhaul —
+// the bounded-memory endurance run (epoch compaction + parameter spill),
+// which is not part of "all".
 //
 // Every experiment runs through the unified run API on one shared worker
 // pool (-workers), so the whole sweep is interruptible: Ctrl-C cancels the
@@ -175,6 +177,20 @@ func runOne(ctx context.Context, id string, preset sim.Preset, seed int64) (stri
 			return "", err
 		}
 		return sim.RenderFaults(rows), nil
+	case "longhaul":
+		// The bounded-memory endurance run (ROADMAP item 2): epoch compaction
+		// with parameter spill. Quick scale finishes in seconds; -full is the
+		// ~10^6-event acceptance run and takes minutes. Not part of "all".
+		dir, err := os.MkdirTemp("", "specdag-longhaul-*")
+		if err != nil {
+			return "", err
+		}
+		defer os.RemoveAll(dir)
+		rep, err := sim.LongHaul(ctx, preset, dir, seed)
+		if err != nil {
+			return "", err
+		}
+		return sim.RenderLongHaul(rep), nil
 	case "gossip":
 		curves, err := sim.GossipComparison(ctx, preset, seed)
 		if err != nil {

@@ -147,6 +147,11 @@ func run() error {
 		maxCycle       = flag.Float64("max-cycle", 8, "slowest per-client training cycle time in simulated seconds (with -async)")
 		netDelay       = flag.Float64("net-delay", 0.5, "broadcast propagation delay in simulated seconds (with -async)")
 		faultScenario  = flag.String("fault-scenario", "", "named fault schedule replacing the uniform -net-delay with jittered lossy per-link delivery: partition-heal | straggler-3x | churn-25 (with -async)")
+		depthMin       = flag.Int("depth-min", 0, "shallowest walk entry depth for banded selectors (0 = start at genesis)")
+		depthMax       = flag.Int("depth-max", 0, "deepest walk entry depth for banded selectors (0 = start at genesis; required for -compact-width)")
+		compactWidth   = flag.Int("compact-width", 0, "epoch width in rounds for bounded-memory compaction (0 = keep everything; requires a depth-banded selector)")
+		compactLive    = flag.Int("compact-live", 0, "trailing epochs kept live before freezing (0 = default, with -compact-width)")
+		compactSpill   = flag.String("compact-spill", "", "directory receiving frozen epochs' parameter spills (with -compact-width; empty = release without spilling)")
 		cpuProfile     = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile     = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -203,15 +208,26 @@ func run() error {
 	var sel tipselect.Selector
 	switch *selector {
 	case "accuracy":
-		sel = tipselect.AccuracyWalk{Alpha: *alpha, Norm: normalization}
+		sel = tipselect.AccuracyWalk{Alpha: *alpha, Norm: normalization, DepthMin: *depthMin, DepthMax: *depthMax}
 	case "weighted":
-		sel = tipselect.WeightedWalk{Alpha: *alpha}
+		sel = tipselect.WeightedWalk{Alpha: *alpha, DepthMin: *depthMin, DepthMax: *depthMax}
 	case "urts":
 		sel = tipselect.URTS{}
 	case "uniform":
-		sel = tipselect.UniformWalk{}
+		sel = tipselect.UniformWalk{DepthMin: *depthMin, DepthMax: *depthMax}
 	default:
 		return fmt.Errorf("unknown selector %q", *selector)
+	}
+
+	var compaction dag.Compaction
+	if *compactWidth > 0 {
+		live := *compactLive
+		if live == 0 {
+			live = 2
+		}
+		compaction = dag.Compaction{Width: *compactWidth, Live: live, SpillDir: *compactSpill}
+	} else if *compactLive > 0 || *compactSpill != "" {
+		return fmt.Errorf("-compact-live/-compact-spill require -compact-width")
 	}
 
 	if *asyncMode {
@@ -225,6 +241,7 @@ func run() error {
 		if *workers != 0 {
 			acfg.Workers = *workers
 		}
+		acfg.Compaction = compaction
 		if *faultScenario != "" {
 			// The scenario's base link delay is -net-delay; the uniform
 			// broadcast delay is replaced by the per-link delivery model.
@@ -252,6 +269,7 @@ func run() error {
 	}
 
 	cfg := spec.DAGConfig(preset, sel, *seed)
+	cfg.Compaction = compaction
 	if *workers != 0 {
 		// Only the explicit flag overrides; DAGConfig already applied the
 		// SPECDAG_WORKERS-derived default. Negative values flow through to
@@ -474,6 +492,15 @@ func reportDAG(d *dag.DAG, spec sim.Spec, seed int64, poisoned int, dotFile, sav
 	fmt.Println()
 	stats := d.Stats()
 	fmt.Printf("final DAG: %d transactions, %d tips, max depth %d\n", stats.Transactions, stats.Tips, stats.MaxDepth)
+	if epochs := d.FrozenEpochs(); len(epochs) > 0 {
+		frozenTxs, spillBytes := 0, int64(0)
+		for _, e := range epochs {
+			frozenTxs += e.Txs
+			spillBytes += e.SpillBytes
+		}
+		fmt.Printf("compaction: %d frozen epochs, %d frozen transactions (live floor %d), %d spill bytes\n",
+			len(epochs), frozenTxs, d.LiveFloor(), spillBytes)
+	}
 	pureness := metrics.ApprovalPureness(d, spec.Fed.ClusterOf())
 	fmt.Printf("approval pureness: %.3f (random base %.3f)\n", pureness, spec.Fed.BasePureness())
 

@@ -55,6 +55,13 @@ type AsyncConfig struct {
 	// Pool, when set, is the shared worker budget the per-event evaluations
 	// draw from (see Config.Pool).
 	Pool *par.Budget
+	// Compaction, when enabled, freezes epochs of old DAG history out of
+	// memory (summaries retained, params optionally spilled to disk) so
+	// long-haul runs complete in bounded RSS. Requires the uniform
+	// broadcast delay (no fault schedule) and a depth-banded selector;
+	// GuardDepth is derived from the selector and need not be set. Results
+	// are byte-identical with compaction on or off.
+	Compaction dag.Compaction
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -81,6 +88,17 @@ func (c AsyncConfig) Validate() error {
 	}
 	if c.ReferenceWalks < 0 {
 		return fmt.Errorf("core: ReferenceWalks must be >= 0, got %d", c.ReferenceWalks)
+	}
+	if c.Compaction.Enabled() {
+		if err := c.Compaction.Validate(); err != nil {
+			return err
+		}
+		if c.Faults.Enabled() {
+			// The freeze guard relies on Round being monotone in insertion
+			// order and on clients approving only current tips, both of which
+			// per-link fault schedules break.
+			return fmt.Errorf("core: Compaction requires the uniform broadcast delay; disable Faults")
+		}
 	}
 	return c.Arch.Validate()
 }
@@ -152,8 +170,19 @@ func (q *eventQueue) Pop() any {
 	old := *q
 	n := len(old)
 	e := old[n-1]
-	*q = old[:n-1]
+	*q = shrinkCap(old[:n-1])
 	return e
+}
+
+// shrinkCap releases a slice's backing array once its length falls below a
+// quarter of the capacity: over a long run, transient bursts (a churn
+// recovery flood of events, a delay spike's pending backlog) would otherwise
+// pin their high-water storage forever.
+func shrinkCap[T any](s []T) []T {
+	if cap(s) >= 64 && len(s) < cap(s)/4 {
+		return append(make([]T, 0, len(s)*2), s...)
+	}
+	return s
 }
 
 // pendingTxAsync is a published transaction awaiting network propagation.
@@ -217,6 +246,9 @@ type AsyncSimulation struct {
 	// pubSeq numbers publishes in event order; it keys the fault model's
 	// per-link delivery draws.
 	pubSeq int
+	// compFloor tracks the tangle's live floor so eval caches are rebased
+	// exactly once per floor advance.
+	compFloor dag.ID
 	// txInfo maps tangle transactions to their publish metadata so views can
 	// recompute per-observer delivery times. Only populated when net != nil.
 	txInfo map[dag.ID]txDelivery
@@ -243,6 +275,17 @@ func NewAsyncSimulation(fed *dataset.Federation, cfg AsyncConfig) (*AsyncSimulat
 	if cfg.ReferenceWalks == 0 {
 		cfg.ReferenceWalks = 1
 	}
+	if cfg.Compaction.Enabled() {
+		// The freeze guard must cover every transaction a walk can reach;
+		// that bound is the selector's entry band, derived here so callers
+		// only choose Width/Live/SpillDir. DepthMin additionally lets the
+		// guard retire dead cones instead of blocking on them forever.
+		gmin, gmax, err := tipselect.CompactionGuardBand(cfg.Selector)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Compaction.GuardDepthMin, cfg.Compaction.GuardDepth = gmin, gmax
+	}
 
 	root := xrand.New(cfg.Seed)
 	genesis := nn.New(cfg.Arch, root.Split("genesis"))
@@ -255,6 +298,11 @@ func NewAsyncSimulation(fed *dataset.Federation, cfg AsyncConfig) (*AsyncSimulat
 	}
 	a.trainCfg.Shuffle = true
 	a.tangle.SetParallelism(cfg.Pool, cfg.Workers)
+	if cfg.Compaction.Enabled() {
+		if err := a.tangle.SetCompaction(cfg.Compaction); err != nil {
+			return nil, err
+		}
+	}
 
 	if cfg.Faults.Enabled() {
 		ids := make([]int, len(fed.Clients))
@@ -327,7 +375,36 @@ func (a *AsyncSimulation) flush(now float64) {
 			kept = append(kept, p)
 		}
 	}
-	a.pending = kept
+	// Zero the reused tail: dag.Add retains the params slice itself, so a
+	// stale slot in the old backing array would keep a delivered
+	// transaction's parameters reachable (and un-collectible after epoch
+	// compaction releases the tangle's copy) until it is next overwritten.
+	tail := a.pending[len(kept):]
+	for i := range tail {
+		tail[i] = pendingTxAsync{}
+	}
+	a.pending = shrinkCap(kept)
+}
+
+// compact freezes epochs that aged out of the live suffix as of the given
+// simulated time and, when the live floor advances, rebases every client's
+// eval cache onto the suffix. It runs in the sequential section of the
+// event loop (the quiescent point CompactTo requires) and is a no-op when
+// compaction is off.
+func (a *AsyncSimulation) compact(now float64) {
+	if !a.cfg.Compaction.Enabled() {
+		return
+	}
+	floor, err := a.tangle.CompactTo(int(now))
+	if err != nil {
+		panic(fmt.Sprintf("core: epoch compaction failed: %v", err))
+	}
+	if floor > a.compFloor {
+		a.compFloor = floor
+		for _, c := range a.clients {
+			c.eval.Advance(floor)
+		}
+	}
 }
 
 // finish applies all remaining pending transactions and marks the run done.
@@ -374,6 +451,7 @@ func (a *AsyncSimulation) step() *AsyncEvent {
 		}
 	}
 	a.flush(ev.at)
+	a.compact(ev.at)
 	c := a.clients[ev.client]
 	crng := a.root.SplitIndex("async-event", ev.seq)
 

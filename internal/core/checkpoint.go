@@ -72,6 +72,15 @@ type checkpointState struct {
 	// model is a pure function of (schedule, seed, clients, horizon).
 	FaultsVersion int
 	Faults        faults.Config
+
+	// Versioned epoch-compaction section (0 = compaction off or pre-epoch
+	// snapshot; old snapshots decode cleanly). When 1, Compaction holds the
+	// active config and Epochs the frozen epoch summaries; the embedded DAG
+	// carries frozen transactions with released (empty) parameter vectors,
+	// so checkpoint size stays proportional to the live suffix.
+	CompactionVersion int
+	Compaction        dag.Compaction
+	Epochs            []dag.EpochSummary
 }
 
 // WriteCheckpoint serializes the simulation's full state to w and returns
@@ -93,6 +102,11 @@ func (s *Simulation) WriteCheckpoint(w io.Writer) (int64, error) {
 	if s.cfg.Faults.Enabled() {
 		st.FaultsVersion = 1
 		st.Faults = s.cfg.Faults
+	}
+	if s.cfg.Compaction.Enabled() {
+		st.CompactionVersion = 1
+		st.Compaction = s.cfg.Compaction
+		st.Epochs = s.tangle.FrozenEpochs()
 	}
 	for _, c := range s.clients {
 		st.Clients = append(st.Clients, clientCheckpoint{
@@ -158,11 +172,37 @@ func readCheckpointState(r io.Reader) (*checkpointState, *dag.DAG, error) {
 			return nil, nil, fmt.Errorf("core: checkpoint fault schedule: %w", err)
 		}
 	}
+	if st.CompactionVersion < 0 || st.CompactionVersion > 1 {
+		return nil, nil, fmt.Errorf("core: checkpoint epoch section has version %d, this build understands 0 and 1 — written by a newer version?", st.CompactionVersion)
+	}
+	if st.CompactionVersion == 1 {
+		if !st.Compaction.Enabled() {
+			return nil, nil, fmt.Errorf("core: checkpoint epoch section is versioned but its compaction config is disabled")
+		}
+		if err := st.Compaction.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("core: checkpoint compaction config: %w", err)
+		}
+	}
 	d, err := dag.ReadDAG(bytes.NewReader(st.DAG))
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: checkpoint DAG: %w", err)
 	}
+	if st.CompactionVersion == 1 {
+		if err := d.RestoreCompaction(st.Compaction, st.Epochs); err != nil {
+			return nil, nil, fmt.Errorf("core: checkpoint epoch state: %w", err)
+		}
+	}
 	return &st, d, nil
+}
+
+// compactionMatches verifies that a checkpoint's compaction config equals
+// the resume config. The guard band is excluded: engines derive it from the
+// selector on both sides, and the checkpointed copy carries the derived
+// values while a fresh config usually leaves them zero.
+func compactionMatches(st, cfg dag.Compaction) bool {
+	st.GuardDepth, cfg.GuardDepth = 0, 0
+	st.GuardDepthMin, cfg.GuardDepthMin = 0, 0
+	return st == cfg
 }
 
 // ResumeSimulation reconstructs a simulation from a checkpoint written by
@@ -190,6 +230,10 @@ func ResumeSimulation(fed *dataset.Federation, cfg Config, r io.Reader) (*Simula
 	if !st.Faults.Equal(cfg.Faults) {
 		return nil, fmt.Errorf("core: checkpoint was taken with fault schedule %+v, config has %+v — resuming under a different schedule would diverge",
 			st.Faults, cfg.Faults)
+	}
+	if !compactionMatches(st.Compaction, cfg.Compaction) {
+		return nil, fmt.Errorf("core: checkpoint was taken with compaction %+v, config has %+v — resuming under a different epoch config would diverge",
+			st.Compaction, cfg.Compaction)
 	}
 	if cfg.Faults.Enabled() && st.Rounds != cfg.Rounds {
 		// The instantiated fault model draws churn windows within [0, Rounds)
@@ -223,6 +267,15 @@ func ResumeSimulation(fed *dataset.Federation, cfg Config, r io.Reader) (*Simula
 	// its cumulative-weight sweep to the configured budget, as NewSimulation
 	// did for the original.
 	s.tangle.SetParallelism(cfg.Pool, cfg.Workers)
+	if st.CompactionVersion == 1 {
+		// readCheckpointState restored the frozen-epoch state on d; rebase
+		// the (cold) eval caches so their dense indexing starts at the live
+		// floor, exactly as the uninterrupted run's caches did.
+		s.compFloor = s.tangle.LiveFloor()
+		for _, c := range s.clients {
+			c.eval.Advance(s.compFloor)
+		}
+	}
 	s.round = st.Round
 	s.results = st.Results
 	for i, cc := range st.Clients {
@@ -267,6 +320,20 @@ type CheckpointInfo struct {
 	Duration float64 // configured simulated-time horizon in seconds
 	Pending  int     // published transactions still propagating
 	Done     bool    // the run had reached its horizon
+
+	// Epoch compaction (both kinds; zero when compaction was off):
+	FrozenEpochs int   // epochs frozen out of the live suffix
+	FrozenTxs    int   // transactions whose params were released
+	SpillBytes   int64 // total size of the epoch spill files
+}
+
+// fillCompaction populates the epoch-compaction summary fields.
+func (info *CheckpointInfo) fillCompaction(epochs []dag.EpochSummary) {
+	info.FrozenEpochs = len(epochs)
+	for _, e := range epochs {
+		info.FrozenTxs += e.Txs
+		info.SpillBytes += e.SpillBytes
+	}
 }
 
 // InspectCheckpoint reads a checkpoint of either kind — synchronous (SDC1)
@@ -283,7 +350,7 @@ func InspectCheckpoint(r io.Reader) (*CheckpointInfo, *dag.DAG, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		return &CheckpointInfo{
+		info := &CheckpointInfo{
 			Kind:     "async",
 			Seed:     st.Seed,
 			Clients:  len(st.Clients),
@@ -291,17 +358,21 @@ func InspectCheckpoint(r io.Reader) (*CheckpointInfo, *dag.DAG, error) {
 			Duration: st.Duration,
 			Pending:  len(st.Pending),
 			Done:     st.Done,
-		}, d, nil
+		}
+		info.fillCompaction(st.Epochs)
+		return info, d, nil
 	}
 	st, d, err := readCheckpointState(br)
 	if err != nil {
 		return nil, nil, err
 	}
-	return &CheckpointInfo{
+	info := &CheckpointInfo{
 		Kind:    "sync",
 		Seed:    st.Seed,
 		Round:   st.Round,
 		Rounds:  st.Rounds,
 		Clients: len(st.Clients),
-	}, d, nil
+	}
+	info.fillCompaction(st.Epochs)
+	return info, d, nil
 }

@@ -120,6 +120,15 @@ type asyncCheckpointState struct {
 	Deliveries    int
 	Dropped       int
 	Duplicated    int
+
+	// Versioned epoch-compaction section (0 = compaction off or pre-compaction
+	// snapshot). The DAG snapshot above holds the live suffix with frozen
+	// parameter vectors elided; Epochs carries the per-epoch summaries that
+	// make the restored tangle resume-equivalent (spill files are referenced
+	// by path, not embedded, so checkpoint size tracks the live suffix).
+	CompactionVersion int
+	Compaction        dag.Compaction
+	Epochs            []dag.EpochSummary
 }
 
 // WriteCheckpoint serializes the event-driven simulation's full state to w
@@ -158,6 +167,11 @@ func (a *AsyncSimulation) WriteCheckpoint(w io.Writer) (int64, error) {
 		}
 		sort.Slice(txs, func(i, j int) bool { return txs[i].ID < txs[j].ID })
 		st.TxInfo = txs
+	}
+	if a.cfg.Compaction.Enabled() {
+		st.CompactionVersion = 1
+		st.Compaction = a.tangle.CompactionConfig()
+		st.Epochs = a.tangle.FrozenEpochs()
 	}
 	for _, ev := range a.queue {
 		st.Queue = append(st.Queue, asyncEventCheckpoint{At: ev.at, Seq: ev.seq, Client: ev.client})
@@ -245,9 +259,25 @@ func readAsyncCheckpointState(r io.Reader) (*asyncCheckpointState, *dag.DAG, err
 			return nil, nil, fmt.Errorf("core: async checkpoint has negative publish counter %d", st.PubSeq)
 		}
 	}
+	if st.CompactionVersion < 0 || st.CompactionVersion > 1 {
+		return nil, nil, fmt.Errorf("core: async checkpoint compaction section has version %d, this build understands 0 and 1 — written by a newer version?", st.CompactionVersion)
+	}
+	if st.CompactionVersion == 1 {
+		if !st.Compaction.Enabled() {
+			return nil, nil, fmt.Errorf("core: async checkpoint has a compaction section but no epoch width")
+		}
+		if err := st.Compaction.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("core: async checkpoint compaction config: %w", err)
+		}
+	}
 	d, err := dag.ReadDAG(bytes.NewReader(st.DAG))
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: async checkpoint DAG: %w", err)
+	}
+	if st.CompactionVersion == 1 {
+		if err := d.RestoreCompaction(st.Compaction, st.Epochs); err != nil {
+			return nil, nil, fmt.Errorf("core: async checkpoint epoch state: %w", err)
+		}
 	}
 	for i, tx := range st.TxInfo {
 		if int(tx.ID) <= 0 || int(tx.ID) >= d.Size() {
@@ -307,6 +337,10 @@ func ResumeAsyncSimulation(fed *dataset.Federation, cfg AsyncConfig, r io.Reader
 		return nil, fmt.Errorf("core: async checkpoint was taken with fault schedule %+v, config has %+v — resuming under a different schedule would diverge",
 			st.Faults, cfg.Faults)
 	}
+	if !compactionMatches(st.Compaction, cfg.Compaction) {
+		return nil, fmt.Errorf("core: async checkpoint was taken with compaction %+v, config has %+v — resuming under a different epoch config would diverge",
+			st.Compaction, cfg.Compaction)
+	}
 	a, err := NewAsyncSimulation(fed, cfg)
 	if err != nil {
 		return nil, err
@@ -330,6 +364,12 @@ func ResumeAsyncSimulation(fed *dataset.Federation, cfg AsyncConfig, r io.Reader
 	// The restored tangle replaces the one NewAsyncSimulation configured:
 	// re-wire its cumulative-weight sweep to the configured budget.
 	a.tangle.SetParallelism(cfg.Pool, cfg.Workers)
+	if st.CompactionVersion == 1 {
+		a.compFloor = a.tangle.LiveFloor()
+		for _, c := range a.clients {
+			c.eval.Advance(a.compFloor)
+		}
+	}
 	a.events = st.Events
 	a.seq = st.Seq
 	a.done = st.Done

@@ -167,6 +167,13 @@ type Config struct {
 	// per-round cap. Results are unaffected — the pool only bounds
 	// concurrency.
 	Pool *par.Budget
+	// Compaction, when enabled, freezes epochs (buckets of Width rounds) of
+	// old DAG history out of memory — summaries retained, params optionally
+	// spilled to disk — so long runs complete in bounded RSS. Requires
+	// ideal broadcast (RevealDelay 0, no fault schedule) and a depth-banded
+	// selector; GuardDepth is derived from the selector. Results are
+	// byte-identical with compaction on or off.
+	Compaction dag.Compaction
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -199,6 +206,17 @@ func (c Config) Validate() error {
 	}
 	if p := c.Poison; p.Fraction < 0 || p.Fraction > 1 {
 		return fmt.Errorf("core: poison fraction %v outside [0,1]", p.Fraction)
+	}
+	if c.Compaction.Enabled() {
+		if err := c.Compaction.Validate(); err != nil {
+			return err
+		}
+		if c.RevealDelay > 0 || c.Faults.Enabled() {
+			// Partial views and fault schedules let clients approve non-tip
+			// transactions, breaking the depth monotonicity the freeze guard
+			// relies on.
+			return fmt.Errorf("core: Compaction requires ideal broadcast; disable RevealDelay and Faults")
+		}
 	}
 	return c.Faults.Validate()
 }
@@ -363,6 +381,9 @@ type Simulation struct {
 	clients []*client
 	rng     *xrand.RNG
 	round   int
+	// compFloor tracks the tangle's live floor so eval caches are rebased
+	// exactly once per floor advance (epoch compaction).
+	compFloor dag.ID
 
 	// net is the instantiated fault model (nil when cfg.Faults degenerates
 	// to a uniform delay, which the round grid already ignores).
@@ -385,6 +406,13 @@ func NewSimulation(fed *dataset.Federation, cfg Config) (*Simulation, error) {
 			cfg.ClientsPerRound, len(fed.Clients))
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Compaction.Enabled() {
+		gmin, gmax, err := tipselect.CompactionGuardBand(cfg.Selector)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Compaction.GuardDepthMin, cfg.Compaction.GuardDepth = gmin, gmax
+	}
 	root := xrand.New(cfg.Seed)
 
 	genesis := nn.New(cfg.Arch, root.Split("genesis"))
@@ -398,6 +426,11 @@ func NewSimulation(fed *dataset.Federation, cfg Config) (*Simulation, error) {
 	// over the same budget as the round engine; results are worker-count
 	// invariant, so this only affects wall clock.
 	s.tangle.SetParallelism(cfg.Pool, cfg.Workers)
+	if cfg.Compaction.Enabled() {
+		if err := s.tangle.SetCompaction(cfg.Compaction); err != nil {
+			return nil, err
+		}
+	}
 
 	if cfg.Faults.Enabled() {
 		ids := make([]int, len(fed.Clients))
@@ -685,9 +718,31 @@ func (s *Simulation) RunRound() RoundResult {
 		}
 	}
 
+	s.compact(round)
+
 	s.results = append(s.results, res)
 	s.round++
 	return res
+}
+
+// compact freezes epochs that aged out of the live suffix at the end of a
+// round and, when the live floor advances, rebases every client's eval
+// cache onto the suffix. Runs in the sequential round-end section (the
+// quiescent point CompactTo requires); no-op when compaction is off.
+func (s *Simulation) compact(round int) {
+	if !s.cfg.Compaction.Enabled() {
+		return
+	}
+	floor, err := s.tangle.CompactTo(round)
+	if err != nil {
+		panic(fmt.Sprintf("core: epoch compaction failed: %v", err))
+	}
+	if floor > s.compFloor {
+		s.compFloor = floor
+		for _, c := range s.clients {
+			c.eval.Advance(floor)
+		}
+	}
 }
 
 func (s *Simulation) trainConfig() nn.SGDConfig {

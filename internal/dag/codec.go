@@ -23,6 +23,10 @@ import (
 // Decoding validates structural invariants (sequential IDs, parents precede
 // children), so a corrupted or adversarial snapshot cannot produce a cyclic
 // or dangling DAG.
+//
+// The per-transaction record codec (txRecordWriter / readTxRecord) is shared
+// with the "SDS1" epoch spill files written by compaction (see epoch.go),
+// which carry the same records under their own header.
 
 // codecMagic identifies snapshot files and fixes the version.
 var codecMagic = [4]byte{'S', 'D', 'G', '1'}
@@ -30,7 +34,146 @@ var codecMagic = [4]byte{'S', 'D', 'G', '1'}
 // maxSnapshotTxs bounds decoding work against adversarial headers.
 const maxSnapshotTxs = 1 << 24
 
+// txRecordWriter encodes transaction records in the SDG1 layout.
+type txRecordWriter struct {
+	cw  *countingWriter
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (e *txRecordWriter) putUvarint(v uint64) error {
+	n := binary.PutUvarint(e.buf[:], v)
+	_, err := e.cw.Write(e.buf[:n])
+	return err
+}
+
+func (e *txRecordWriter) putVarint(v int64) error {
+	n := binary.PutVarint(e.buf[:], v)
+	_, err := e.cw.Write(e.buf[:n])
+	return err
+}
+
+// write encodes one transaction record.
+func (e *txRecordWriter) write(t *Transaction) error {
+	cw := e.cw
+	if err := e.putUvarint(uint64(t.ID)); err != nil {
+		return err
+	}
+	if err := e.putVarint(int64(t.Issuer)); err != nil {
+		return err
+	}
+	if err := e.putVarint(int64(t.Round)); err != nil {
+		return err
+	}
+	if len(t.Parents) > 255 {
+		return fmt.Errorf("dag: transaction %d has %d parents", t.ID, len(t.Parents))
+	}
+	if _, err := cw.Write([]byte{byte(len(t.Parents))}); err != nil {
+		return err
+	}
+	for _, p := range t.Parents {
+		if err := e.putUvarint(uint64(p)); err != nil {
+			return err
+		}
+	}
+	for _, f := range []float64{t.Meta.TrainAcc, t.Meta.TestAcc} {
+		if err := binary.Write(cw, binary.LittleEndian, math.Float64bits(f)); err != nil {
+			return err
+		}
+	}
+	poisoned := byte(0)
+	if t.Meta.Poisoned {
+		poisoned = 1
+	}
+	if _, err := cw.Write([]byte{poisoned}); err != nil {
+		return err
+	}
+	if err := e.putUvarint(uint64(len(t.Params))); err != nil {
+		return err
+	}
+	for _, f := range t.Params {
+		if err := binary.Write(cw, binary.LittleEndian, math.Float64bits(f)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readTxRecord decodes one transaction record, validating that its ID equals
+// want and that every parent strictly precedes it.
+func readTxRecord(br *bufio.Reader, want uint64) (*Transaction, error) {
+	id, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("tx %d: id: %w", want, err)
+	}
+	if id != want {
+		return nil, fmt.Errorf("tx %d: non-sequential id %d", want, id)
+	}
+	issuer, err := binary.ReadVarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("tx %d: issuer: %w", want, err)
+	}
+	round, err := binary.ReadVarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("tx %d: round: %w", want, err)
+	}
+	var pc [1]byte
+	if _, err := io.ReadFull(br, pc[:]); err != nil {
+		return nil, fmt.Errorf("tx %d: parent count: %w", want, err)
+	}
+	parents := make([]ID, 0, pc[0])
+	for i := 0; i < int(pc[0]); i++ {
+		p, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("tx %d: parent %d: %w", want, i, err)
+		}
+		if p >= want {
+			return nil, fmt.Errorf("tx %d: parent %d does not precede child", want, p)
+		}
+		parents = append(parents, ID(p))
+	}
+	var meta Meta
+	var bits uint64
+	if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+		return nil, fmt.Errorf("tx %d: trainAcc: %w", want, err)
+	}
+	meta.TrainAcc = math.Float64frombits(bits)
+	if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+		return nil, fmt.Errorf("tx %d: testAcc: %w", want, err)
+	}
+	meta.TestAcc = math.Float64frombits(bits)
+	var pb [1]byte
+	if _, err := io.ReadFull(br, pb[:]); err != nil {
+		return nil, fmt.Errorf("tx %d: poisoned flag: %w", want, err)
+	}
+	meta.Poisoned = pb[0] != 0
+	nParams, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("tx %d: param count: %w", want, err)
+	}
+	if nParams > 1<<28 {
+		return nil, fmt.Errorf("tx %d: implausible param count %d", want, nParams)
+	}
+	params := make([]float64, nParams)
+	for i := range params {
+		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+			return nil, fmt.Errorf("tx %d: param %d: %w", want, i, err)
+		}
+		params[i] = math.Float64frombits(bits)
+	}
+	return &Transaction{
+		ID:      ID(id),
+		Issuer:  int(issuer),
+		Round:   int(round),
+		Parents: parents,
+		Params:  params,
+		Meta:    meta,
+	}, nil
+}
+
 // WriteTo serializes the DAG to w and returns the number of bytes written.
+// Frozen transactions (below the compaction floor) serialize with their
+// released, empty parameter vectors — checkpoint size stays proportional to
+// the live suffix.
 func (d *DAG) WriteTo(w io.Writer) (int64, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
@@ -42,57 +185,10 @@ func (d *DAG) WriteTo(w io.Writer) (int64, error) {
 	if err := binary.Write(cw, binary.LittleEndian, uint32(len(d.txs))); err != nil {
 		return cw.n, err
 	}
-	var buf [binary.MaxVarintLen64]byte
-	putUvarint := func(v uint64) error {
-		n := binary.PutUvarint(buf[:], v)
-		_, err := cw.Write(buf[:n])
-		return err
-	}
-	putVarint := func(v int64) error {
-		n := binary.PutVarint(buf[:], v)
-		_, err := cw.Write(buf[:n])
-		return err
-	}
+	enc := txRecordWriter{cw: cw}
 	for _, t := range d.txs {
-		if err := putUvarint(uint64(t.ID)); err != nil {
+		if err := enc.write(t); err != nil {
 			return cw.n, err
-		}
-		if err := putVarint(int64(t.Issuer)); err != nil {
-			return cw.n, err
-		}
-		if err := putVarint(int64(t.Round)); err != nil {
-			return cw.n, err
-		}
-		if len(t.Parents) > 255 {
-			return cw.n, fmt.Errorf("dag: transaction %d has %d parents", t.ID, len(t.Parents))
-		}
-		if _, err := cw.Write([]byte{byte(len(t.Parents))}); err != nil {
-			return cw.n, err
-		}
-		for _, p := range t.Parents {
-			if err := putUvarint(uint64(p)); err != nil {
-				return cw.n, err
-			}
-		}
-		for _, f := range []float64{t.Meta.TrainAcc, t.Meta.TestAcc} {
-			if err := binary.Write(cw, binary.LittleEndian, math.Float64bits(f)); err != nil {
-				return cw.n, err
-			}
-		}
-		poisoned := byte(0)
-		if t.Meta.Poisoned {
-			poisoned = 1
-		}
-		if _, err := cw.Write([]byte{poisoned}); err != nil {
-			return cw.n, err
-		}
-		if err := putUvarint(uint64(len(t.Params))); err != nil {
-			return cw.n, err
-		}
-		for _, f := range t.Params {
-			if err := binary.Write(cw, binary.LittleEndian, math.Float64bits(f)); err != nil {
-				return cw.n, err
-			}
 		}
 	}
 	return cw.n, cw.w.(*bufio.Writer).Flush()
@@ -120,77 +216,7 @@ func ReadDAG(r io.Reader) (*DAG, error) {
 		return nil, fmt.Errorf("dag: snapshot claims %d transactions (limit %d)", count, maxSnapshotTxs)
 	}
 
-	readTx := func(index uint32) (*Transaction, error) {
-		id, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("tx %d: id: %w", index, err)
-		}
-		if id != uint64(index) {
-			return nil, fmt.Errorf("tx %d: non-sequential id %d", index, id)
-		}
-		issuer, err := binary.ReadVarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("tx %d: issuer: %w", index, err)
-		}
-		round, err := binary.ReadVarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("tx %d: round: %w", index, err)
-		}
-		var pc [1]byte
-		if _, err := io.ReadFull(br, pc[:]); err != nil {
-			return nil, fmt.Errorf("tx %d: parent count: %w", index, err)
-		}
-		parents := make([]ID, 0, pc[0])
-		for i := 0; i < int(pc[0]); i++ {
-			p, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("tx %d: parent %d: %w", index, i, err)
-			}
-			if p >= uint64(index) {
-				return nil, fmt.Errorf("tx %d: parent %d does not precede child", index, p)
-			}
-			parents = append(parents, ID(p))
-		}
-		var meta Meta
-		var bits uint64
-		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
-			return nil, fmt.Errorf("tx %d: trainAcc: %w", index, err)
-		}
-		meta.TrainAcc = math.Float64frombits(bits)
-		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
-			return nil, fmt.Errorf("tx %d: testAcc: %w", index, err)
-		}
-		meta.TestAcc = math.Float64frombits(bits)
-		var pb [1]byte
-		if _, err := io.ReadFull(br, pb[:]); err != nil {
-			return nil, fmt.Errorf("tx %d: poisoned flag: %w", index, err)
-		}
-		meta.Poisoned = pb[0] != 0
-		nParams, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("tx %d: param count: %w", index, err)
-		}
-		if nParams > 1<<28 {
-			return nil, fmt.Errorf("tx %d: implausible param count %d", index, nParams)
-		}
-		params := make([]float64, nParams)
-		for i := range params {
-			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
-				return nil, fmt.Errorf("tx %d: param %d: %w", index, i, err)
-			}
-			params[i] = math.Float64frombits(bits)
-		}
-		return &Transaction{
-			ID:      ID(id),
-			Issuer:  int(issuer),
-			Round:   int(round),
-			Parents: parents,
-			Params:  params,
-			Meta:    meta,
-		}, nil
-	}
-
-	genesis, err := readTx(0)
+	genesis, err := readTxRecord(br, 0)
 	if err != nil {
 		return nil, fmt.Errorf("dag: %w", err)
 	}
@@ -205,7 +231,7 @@ func ReadDAG(r io.Reader) (*DAG, error) {
 	d.txs[0].Meta = genesis.Meta
 
 	for i := uint32(1); i < count; i++ {
-		tx, err := readTx(i)
+		tx, err := readTxRecord(br, uint64(i))
 		if err != nil {
 			return nil, fmt.Errorf("dag: %w", err)
 		}

@@ -83,12 +83,22 @@ type DAG struct {
 	// within a simulation round (tangle frozen) every walker reuses one
 	// sweep instead of recomputing an identical map per walk.
 	cwCache atomic.Pointer[cwCacheEntry]
+
+	// Epoch compaction state (see epoch.go). comp, frozen and
+	// lastFrozenEpoch are guarded by mu; floor mirrors the first live ID
+	// for lock-free readers and only ever advances.
+	comp            Compaction
+	frozen          []EpochSummary
+	lastFrozenEpoch int
+	floor           atomic.Int64
 }
 
-// cwCacheEntry pairs a weights map with the snapshot size it was computed
-// for. The map is shared by all readers and must not be modified.
+// cwCacheEntry pairs a weights map with the snapshot size and compaction
+// floor it was computed for. The map is shared by all readers and must not
+// be modified.
 type cwCacheEntry struct {
 	n       int
+	floor   ID
 	weights map[ID]int
 }
 
@@ -96,7 +106,8 @@ type cwCacheEntry struct {
 // given initial model parameters.
 func New(genesisParams []float64) *DAG {
 	d := &DAG{
-		tips: make(map[ID]struct{}),
+		tips:            make(map[ID]struct{}),
+		lastFrozenEpoch: -1,
 	}
 	g := &Transaction{ID: 0, Issuer: GenesisIssuer, Round: -1, Params: genesisParams}
 	d.txs = append(d.txs, g)
@@ -275,17 +286,53 @@ const cumWeightsParallelMin = 128
 func (d *DAG) CumulativeWeights() map[ID]int {
 	txs := d.snapshot()
 	n := len(txs)
-	if e := d.cwCache.Load(); e != nil && e.n == n {
+	floor := ID(d.floor.Load())
+	if e := d.cwCache.Load(); e != nil && e.n == n && e.floor == floor {
 		return e.weights
 	}
 	var weights map[ID]int
-	if n >= cumWeightsParallelMin && par.Workers(d.cwWorkers) > 1 {
+	switch {
+	case floor > 0:
+		weights = cumulativeWeightsSuffix(txs, floor)
+	case n >= cumWeightsParallelMin && par.Workers(d.cwWorkers) > 1:
 		weights = d.cumulativeWeightsParallel(txs)
-	} else {
+	default:
 		weights = d.cumulativeWeightsSeq(txs)
 	}
 	// Concurrent fillers compute identical maps; last store wins.
-	d.cwCache.Store(&cwCacheEntry{n: n, weights: weights})
+	d.cwCache.Store(&cwCacheEntry{n: n, floor: floor, weights: weights})
+	return weights
+}
+
+// cumulativeWeightsSuffix sweeps the live suffix [floor, n) only. Children
+// always carry larger IDs than their parents and the frozen region is an ID
+// prefix, so every approver of a live transaction is itself live: the
+// weights computed over the suffix alone equal the full-DAG weights of
+// those transactions exactly. The returned map holds live IDs only — frozen
+// weights live in the EpochSummary aggregates.
+func cumulativeWeightsSuffix(txs []*Transaction, floor ID) map[ID]int {
+	n := len(txs)
+	m := n - int(floor)
+	approvers := newBitsets(m)
+	for i := n - 1; i >= int(floor); i-- {
+		t := txs[i]
+		j := i - int(floor)
+		for _, p := range t.Parents {
+			if p < floor {
+				continue
+			}
+			dst := approvers[p-floor]
+			src := approvers[j]
+			for w := range dst {
+				dst[w] |= src[w]
+			}
+			dst[j/64] |= 1 << (uint(j) % 64)
+		}
+	}
+	weights := make(map[ID]int, m)
+	for i := 0; i < m; i++ {
+		weights[floor+ID(i)] = 1 + popcountSet(approvers[i])
+	}
 	return weights
 }
 
@@ -474,14 +521,50 @@ func (d *DAG) Depths() map[ID]int {
 	return depths
 }
 
+// depthsUpTo computes shortest distances to the given tips, following child
+// edges, for every transaction within maxDepth hops — a depth-bounded
+// variant of Depths. BFS visits nodes in nondecreasing depth order and every
+// shortest path to an in-bound node stays in bound, so the result agrees
+// exactly with Depths restricted to [0, maxDepth] while the sweep cost
+// tracks the tip band, not the DAG.
+func (d *DAG) depthsUpTo(txs []*Transaction, tips []ID, maxDepth int) map[ID]int {
+	depths := make(map[ID]int, len(tips))
+	queue := append([]ID(nil), tips...)
+	for _, id := range tips {
+		depths[id] = 0
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		dep := depths[cur]
+		if dep >= maxDepth {
+			continue
+		}
+		for _, p := range txs[cur].Parents {
+			if _, seen := depths[p]; !seen {
+				depths[p] = dep + 1
+				queue = append(queue, p)
+			}
+		}
+	}
+	return depths
+}
+
 // SampleAtDepth returns a uniformly random transaction whose depth (shortest
 // distance to a tip) lies in [minDepth, maxDepth]. If no transaction
 // qualifies, it returns the genesis transaction. This implements the walk
 // entry-point sampling of §5.3.5 ("sampled at a depth of 15-25 transactions
 // from the tips, as proposed by Popov").
 func (d *DAG) SampleAtDepth(rng *xrand.RNG, minDepth, maxDepth int) *Transaction {
-	depths := d.Depths()
+	d.mu.RLock()
 	txs := d.snapshot()
+	tips := make([]ID, 0, len(d.tips))
+	for id := range d.tips {
+		tips = append(tips, id)
+	}
+	d.mu.RUnlock()
+	sort.Slice(tips, func(i, j int) bool { return tips[i] < tips[j] })
+	depths := d.depthsUpTo(txs, tips, maxDepth)
 	var candidates []ID
 	for id, depth := range depths {
 		if depth >= minDepth && depth <= maxDepth {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/specdag/specdag/internal/core"
+	"github.com/specdag/specdag/internal/dag"
 	"github.com/specdag/specdag/internal/engine"
 	"github.com/specdag/specdag/internal/par"
 	"github.com/specdag/specdag/internal/sim"
@@ -175,10 +176,13 @@ type RunRequest struct {
 	// Seed is the root random seed (the run is a pure function of it).
 	Seed int64 `json:"seed"`
 	// Selector is the tip selector: accuracy (default) | weighted | urts |
-	// uniform; Alpha and Norm parameterize it.
+	// uniform; Alpha and Norm parameterize it. DepthMin/DepthMax, when
+	// positive, band the walk entry depth (required for compaction).
 	Selector string  `json:"selector,omitempty"`
 	Alpha    float64 `json:"alpha,omitempty"`
 	Norm     string  `json:"norm,omitempty"`
+	DepthMin int     `json:"depth_min,omitempty"`
+	DepthMax int     `json:"depth_max,omitempty"`
 	// Rounds and ClientsPerRound override the preset (sync engine only).
 	Rounds          int `json:"rounds,omitempty"`
 	ClientsPerRound int `json:"clients_per_round,omitempty"`
@@ -204,6 +208,15 @@ type RunRequest struct {
 	// Tenant attributes the run for per-tenant submit quotas
 	// (Config.MaxRunsPerTenant); empty is a valid tenant.
 	Tenant string `json:"tenant,omitempty"`
+	// CompactWidth enables epoch-based DAG compaction with the given epoch
+	// width (rounds or simulated seconds); CompactLive is the number of
+	// trailing epochs kept live (default 2). Requires a depth-banded selector
+	// (DepthMax >= 1 for walk selectors). Frozen parameter vectors are
+	// released without spilling — requests cannot name server filesystem
+	// paths — so the run stays byte-identical while its memory is bounded by
+	// the live suffix.
+	CompactWidth int `json:"compact_width,omitempty"`
+	CompactLive  int `json:"compact_live,omitempty"`
 }
 
 // RunStatus is the JSON shape of the status and list endpoints.
@@ -292,17 +305,32 @@ func buildSpec(req *RunRequest) (sim.Spec, sim.Preset, tipselect.Selector, error
 	var sel tipselect.Selector
 	switch req.Selector {
 	case "accuracy":
-		sel = tipselect.AccuracyWalk{Alpha: req.Alpha, Norm: norm}
+		sel = tipselect.AccuracyWalk{Alpha: req.Alpha, Norm: norm, DepthMin: req.DepthMin, DepthMax: req.DepthMax}
 	case "weighted":
-		sel = tipselect.WeightedWalk{Alpha: req.Alpha}
+		sel = tipselect.WeightedWalk{Alpha: req.Alpha, DepthMin: req.DepthMin, DepthMax: req.DepthMax}
 	case "urts":
 		sel = tipselect.URTS{}
 	case "uniform":
-		sel = tipselect.UniformWalk{}
+		sel = tipselect.UniformWalk{DepthMin: req.DepthMin, DepthMax: req.DepthMax}
 	default:
 		return sim.Spec{}, preset, nil, fmt.Errorf("unknown selector %q (accuracy | weighted | urts | uniform)", req.Selector)
 	}
 	return spec, preset, sel, nil
+}
+
+// compactionFor maps the request's compaction fields to the engine config.
+// SpillDir stays empty by design: requests must not name server filesystem
+// paths, and the live suffix plus epoch summaries are what a served run's
+// stream and checkpoints expose anyway.
+func compactionFor(req *RunRequest) dag.Compaction {
+	if req.CompactWidth <= 0 {
+		return dag.Compaction{}
+	}
+	live := req.CompactLive
+	if live == 0 {
+		live = 2
+	}
+	return dag.Compaction{Width: req.CompactWidth, Live: live}
 }
 
 // buildEngine constructs the run's engine — fresh when ckpt is nil, resumed
@@ -326,6 +354,7 @@ func (s *Server) buildEngine(req *RunRequest, ckpt []byte) (engine.Engine, error
 			Workers:      req.Workers,
 			Pool:         s.pool,
 			Seed:         req.Seed,
+			Compaction:   compactionFor(req),
 		}
 		if ckpt != nil {
 			return core.ResumeAsyncSimulation(spec.Fed, acfg, bytes.NewReader(ckpt))
@@ -341,6 +370,7 @@ func (s *Server) buildEngine(req *RunRequest, ckpt []byte) (engine.Engine, error
 		Workers:         req.Workers,
 		Pool:            s.pool,
 		Seed:            req.Seed,
+		Compaction:      compactionFor(req),
 	}
 	if req.Rounds > 0 {
 		cfg.Rounds = req.Rounds
@@ -362,6 +392,14 @@ func runInfo(eng engine.Engine, req *RunRequest) wire.RunInfo {
 		"selector": req.Selector,
 		"alpha":    strconv.FormatFloat(req.Alpha, 'g', -1, 64),
 		"norm":     req.Norm,
+	}
+	if req.DepthMax > 0 {
+		cfg["depth_min"] = strconv.Itoa(req.DepthMin)
+		cfg["depth_max"] = strconv.Itoa(req.DepthMax)
+	}
+	if c := compactionFor(req); c.Enabled() {
+		cfg["compact_width"] = strconv.Itoa(c.Width)
+		cfg["compact_live"] = strconv.Itoa(c.Live)
 	}
 	if req.Async {
 		cfg["duration"] = strconv.FormatFloat(req.Duration, 'g', -1, 64)

@@ -77,9 +77,12 @@ type EvalCache struct {
 	// The cache is indexed by transaction ID — IDs are dense small ints
 	// (the DAG allocates them sequentially), so a flat slice replaces the
 	// former map: hits cost one bounds check and two loads instead of a
-	// hash probe on the walk hot path.
-	have []bool
-	vals []float64
+	// hash probe on the walk hot path. Slot i holds transaction floor+i;
+	// floor is 0 until epoch compaction calls Advance, after which frozen
+	// IDs below it are permanent misses (walks never score them).
+	floor dag.ID
+	have  []bool
+	vals  []float64
 	// stepWeights memoizes, per transaction, the walk-selection weight
 	// vector computed for a given child count (see StepWeights).
 	stepWeights []weightsEntry
@@ -101,16 +104,21 @@ func NewEvalCache(score func(params []float64) float64, scoreBatch func(params [
 
 // get reads the cached accuracy of id, if present. Callers hold mu.
 func (e *EvalCache) get(id dag.ID) (float64, bool) {
-	if int(id) < len(e.have) && e.have[id] {
-		return e.vals[id], true
+	i := int(id - e.floor)
+	if i >= 0 && i < len(e.have) && e.have[i] {
+		return e.vals[i], true
 	}
 	return 0, false
 }
 
 // put records the accuracy of id. Callers hold mu for writing.
 func (e *EvalCache) put(id dag.ID, acc float64) {
-	if int(id) >= len(e.have) {
-		n := int(id) + 1
+	i := int(id - e.floor)
+	if i < 0 {
+		return // frozen transaction: never cached
+	}
+	if i >= len(e.have) {
+		n := i + 1
 		if n < 2*len(e.have) {
 			n = 2 * len(e.have)
 		}
@@ -120,8 +128,8 @@ func (e *EvalCache) put(id dag.ID, acc float64) {
 		copy(vals, e.vals)
 		e.have, e.vals = have, vals
 	}
-	e.have[id] = true
-	e.vals[id] = acc
+	e.have[i] = true
+	e.vals[i] = acc
 }
 
 // weightsEntry is one memoized selection-weight vector: valid while its
@@ -148,8 +156,8 @@ func (e *EvalCache) StepWeights(id dag.ID, nChildren int, alpha float64, norm No
 		return compute()
 	}
 	e.mu.RLock()
-	if int(id) < len(e.stepWeights) {
-		if ent := e.stepWeights[id]; ent.w != nil && ent.n == nChildren && ent.alpha == alpha && ent.norm == norm {
+	if i := int(id - e.floor); i >= 0 && i < len(e.stepWeights) {
+		if ent := e.stepWeights[i]; ent.w != nil && ent.n == nChildren && ent.alpha == alpha && ent.norm == norm {
 			e.mu.RUnlock()
 			return ent.w
 		}
@@ -157,8 +165,14 @@ func (e *EvalCache) StepWeights(id dag.ID, nChildren int, alpha float64, norm No
 	e.mu.RUnlock()
 	w := compute()
 	e.mu.Lock()
-	if int(id) >= len(e.stepWeights) {
-		n := int(id) + 1
+	i := int(id - e.floor)
+	if i < 0 {
+		// Frozen transaction: never memoized.
+		e.mu.Unlock()
+		return w
+	}
+	if i >= len(e.stepWeights) {
+		n := i + 1
 		if n < 2*len(e.stepWeights) {
 			n = 2 * len(e.stepWeights)
 		}
@@ -166,9 +180,36 @@ func (e *EvalCache) StepWeights(id dag.ID, nChildren int, alpha float64, norm No
 		copy(grown, e.stepWeights)
 		e.stepWeights = grown
 	}
-	e.stepWeights[id] = weightsEntry{n: nChildren, alpha: alpha, norm: norm, w: w}
+	e.stepWeights[i] = weightsEntry{n: nChildren, alpha: alpha, norm: norm, w: w}
 	e.mu.Unlock()
 	return w
+}
+
+// Advance rebases the dense index to a new live floor after epoch
+// compaction: entries for frozen transactions are dropped and the retained
+// suffix moves into freshly allocated live-sized storage, so the cache's
+// footprint tracks the live suffix rather than the lifetime maximum.
+// Frozen IDs become permanent misses — the compaction guard ensures walks
+// never score them.
+func (e *EvalCache) Advance(floor dag.ID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if floor <= e.floor {
+		return
+	}
+	shift := int(floor - e.floor)
+	if shift >= len(e.have) {
+		e.have, e.vals = nil, nil
+	} else {
+		e.have = append([]bool(nil), e.have[shift:]...)
+		e.vals = append([]float64(nil), e.vals[shift:]...)
+	}
+	if shift >= len(e.stepWeights) {
+		e.stepWeights = nil
+	} else {
+		e.stepWeights = append([]weightsEntry(nil), e.stepWeights[shift:]...)
+	}
+	e.floor = floor
 }
 
 // Hits returns the number of cache hits so far.
@@ -180,9 +221,17 @@ func (e *EvalCache) Misses() int { return int(e.misses.Load()) }
 // Reset drops all cached accuracies (counters are kept). Call it when the
 // data the scores depend on changes (label poisoning) or when the owner
 // scopes the cache to a shorter lifetime than the run (per-round caching).
-// Storage is retained, so scoped caches do not reallocate every round.
+// Without compaction, storage is retained so scoped caches do not
+// reallocate every round; once Advance has raised the floor, the high-water
+// capacity reflects frozen history, so storage is released and regrows to
+// the live-suffix size on the next put.
 func (e *EvalCache) Reset() {
 	e.mu.Lock()
+	if e.floor > 0 {
+		e.have, e.vals, e.stepWeights = nil, nil, nil
+		e.mu.Unlock()
+		return
+	}
 	for i := range e.have {
 		e.have[i] = false
 	}

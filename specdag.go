@@ -211,6 +211,21 @@ func NewDAG(genesisParams []float64) *DAG { return dag.New(genesisParams) }
 // (*DAG).WriteTo, re-validating all structural invariants.
 func ReadDAG(r io.Reader) (*DAG, error) { return dag.ReadDAG(r) }
 
+// Compaction is the opt-in epoch-compaction policy for bounded-memory long
+// runs: transactions are bucketed into fixed-width epochs by round, and
+// epochs older than the live window are frozen — their cumulative weights
+// summarized and their parameter vectors released (optionally spilled to
+// disk first). Set Config.Compaction or AsyncConfig.Compaction to enable it;
+// the zero value keeps the classic keep-everything behavior. With a
+// depth-banded selector the produced history, final DAG and gated metrics
+// are byte-identical to an uncompacted run.
+type Compaction = dag.Compaction
+
+// EpochSummary is the retained summary of one frozen epoch: its ID range,
+// per-epoch statistics, the confirmed cumulative weights, and the spill file
+// (if any) holding the released parameter vectors.
+type EpochSummary = dag.EpochSummary
+
 // ---- Tip selection (internal/tipselect) ----
 
 // Selector chooses tips of the DAG for approval.
